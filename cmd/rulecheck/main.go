@@ -1,0 +1,155 @@
+// Command rulecheck validates an integrity rule set: it compiles the rules,
+// prints their (generated) trigger sets, enforcement programs and constraint
+// classes, builds the triggering graph of Definition 6.1, and reports any
+// cycles — the static analysis a database designer runs before enabling a
+// rule set (Section 6.1).
+//
+// Input is a definition file with one declaration per block, blocks
+// separated by a line containing only "---":
+//
+//	relation beer(name string, type string, brewery string, alcohol int)
+//	---
+//	relation brewery(name string, city string, country string)
+//	---
+//	rule R1: forall x (x in beer implies x.alcohol >= 0)
+//	---
+//	rule R2:
+//	if not forall x (x in beer implies
+//	    exists y (y in brewery and x.brewery = y.name))
+//	then
+//	    temp := diff(project(beer, brewery), project(brewery, name));
+//	    insert(brewery, project(temp, #1 as name, null as city, null as country))
+//
+// "rule NAME: <CL formula>" declares a default aborting rule; "rule NAME:"
+// followed by RL text declares a full rule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/lang"
+	"repro/internal/rules"
+	"repro/internal/schema"
+)
+
+func main() {
+	dot := flag.Bool("dot", false, "print the triggering graph in Graphviz DOT format")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rulecheck [-dot] <definitions-file>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sch := schema.MustDatabase()
+	cat := rules.NewCatalog(sch)
+	for _, block := range splitBlocks(string(data)) {
+		if err := handleBlock(block, sch, cat); err != nil {
+			log.Fatalf("block %q: %v", firstLine(block), err)
+		}
+	}
+
+	fmt.Printf("%d relation(s), %d rule(s)\n\n", sch.Len(), cat.Len())
+	for _, ip := range cat.Programs() {
+		fmt.Printf("rule %s\n  triggers: %s\n", ip.RuleName, ip.Triggers)
+		if len(ip.Classes) > 0 {
+			classes := make([]string, len(ip.Classes))
+			for i, c := range ip.Classes {
+				classes[i] = c.String()
+			}
+			fmt.Printf("  classes:  %s\n", strings.Join(classes, ", "))
+		}
+		fmt.Printf("  enforcement (full):\n%s", indent(ip.Full.String(), "    "))
+		if ip.Differential != nil {
+			fmt.Printf("  enforcement (differential):\n%s", indent(ip.Differential.String(), "    "))
+		}
+		if ip.NonTriggering {
+			fmt.Println("  action declared non-triggering")
+		}
+		fmt.Println()
+	}
+
+	g := graph.Build(cat.Programs())
+	if *dot {
+		fmt.Println(g.DOT())
+	}
+	if err := g.Validate(); err != nil {
+		fmt.Printf("TRIGGERING CYCLES: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("triggering graph is acyclic: rule set cannot loop")
+}
+
+func splitBlocks(src string) []string {
+	var blocks []string
+	var cur []string
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) == "---" {
+			if b := strings.TrimSpace(strings.Join(cur, "\n")); b != "" {
+				blocks = append(blocks, b)
+			}
+			cur = nil
+			continue
+		}
+		cur = append(cur, line)
+	}
+	if b := strings.TrimSpace(strings.Join(cur, "\n")); b != "" {
+		blocks = append(blocks, b)
+	}
+	return blocks
+}
+
+func handleBlock(block string, sch *schema.Database, cat *rules.Catalog) error {
+	switch {
+	case strings.HasPrefix(block, "relation"):
+		rs, err := lang.ParseRelationSchema(block)
+		if err != nil {
+			return err
+		}
+		return sch.Add(rs)
+	case strings.HasPrefix(block, "rule"):
+		rest := strings.TrimSpace(strings.TrimPrefix(block, "rule"))
+		colon := strings.Index(rest, ":")
+		if colon < 0 {
+			return fmt.Errorf("rule block needs 'rule NAME: ...'")
+		}
+		name := strings.TrimSpace(rest[:colon])
+		body := strings.TrimSpace(rest[colon+1:])
+		var r *rules.Rule
+		var err error
+		if strings.HasPrefix(body, "when") || strings.HasPrefix(body, "if") {
+			r, err = lang.ParseRule(name, body, sch)
+		} else {
+			r, err = lang.ParseConstraintRule(name, body)
+		}
+		if err != nil {
+			return err
+		}
+		return cat.Add(r)
+	default:
+		return fmt.Errorf("unknown declaration (want 'relation ...' or 'rule NAME: ...')")
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,86 @@
+// Command inventory demonstrates transition constraints (Section 3.1's
+// dynamic constraints): rules whose conditions compare the post-transaction
+// state against the pre-transaction state via the auxiliary relation old(R).
+// Stock levels may only change within bounds, shipped orders are immutable,
+// and prices may not rise by more than 20% in one transaction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	db := repro.Open(nil)
+
+	db.MustCreateRelation(`relation stock(sku string, qty int, price float)`)
+	db.MustCreateRelation(`relation orders(id int, sku string, state string)`)
+
+	// Static domain constraint: quantities are non-negative.
+	db.MustDefineConstraint("qtyDomain", `forall s (s in stock implies s.qty >= 0)`)
+
+	// Transition constraint: a price may not rise by more than 20% within
+	// one transaction (compares the new state against old(stock)).
+	db.MustDefineConstraint("priceJump", `
+		forall s (s in stock implies forall o (o in old(stock) implies
+			(s.sku <> o.sku or s.price <= o.price * 1.2)))`)
+
+	// Transition constraint: shipped orders are immutable — an order that
+	// was shipped before the transaction must still exist, unchanged.
+	db.MustDefineConstraint("shippedImmutable", `
+		forall o (o in old(orders) implies (o.state <> "shipped" or
+			exists n (n in orders and n == o)))`)
+
+	if err := db.ValidateRules(); err != nil {
+		log.Fatal(err)
+	}
+
+	must := func(res *repro.Result, err error) *repro.Result {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	res := must(db.Submit(`begin
+		insert(stock, values[("widget", 10, 2.50), ("gadget", 5, 10.0)]);
+		insert(orders, values[(1, "widget", "shipped"), (2, "gadget", "open")]);
+	end`))
+	fmt.Printf("seed committed=%v\n", res.Committed)
+
+	// A modest price increase (within 20%) commits.
+	res = must(db.Submit(`begin
+		update(stock, sku = "widget", [price = price * 1.1]);
+	end`))
+	fmt.Printf("+10%% price committed=%v\n", res.Committed)
+
+	// A 50% jump violates the transition constraint.
+	res = must(db.Submit(`begin
+		update(stock, sku = "widget", [price = price * 1.5]);
+	end`))
+	fmt.Printf("+50%% price committed=%v constraint=%s\n", res.Committed, res.Constraint)
+
+	// Editing an open order is fine; deleting a shipped one is not.
+	res = must(db.Submit(`begin
+		update(orders, id = 2, [state = "shipped"]);
+	end`))
+	fmt.Printf("ship order 2 committed=%v\n", res.Committed)
+
+	res = must(db.Submit(`begin
+		delete(orders, select(orders, id = 1));
+	end`))
+	fmt.Printf("delete shipped order committed=%v constraint=%s\n", res.Committed, res.Constraint)
+
+	// Oversell: quantity would go negative; qtyDomain aborts.
+	res = must(db.Submit(`begin
+		update(stock, sku = "gadget", [qty = qty - 50]);
+	end`))
+	fmt.Printf("oversell committed=%v constraint=%s\n", res.Committed, res.Constraint)
+
+	rows, _ := db.Query(`stock`)
+	fmt.Printf("final stock: %v\n", rows.Data)
+	rows, _ = db.Query(`orders`)
+	fmt.Printf("final orders: %v\n", rows.Data)
+}

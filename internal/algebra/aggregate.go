@@ -1,0 +1,222 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// AggFunc enumerates the aggregate function symbols of CL: FA = {SUM, AVG,
+// MIN, MAX} over an attribute plus the counting function FC = {CNT} over a
+// whole relation.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggSum AggFunc = iota
+	AggAvg
+	AggMin
+	AggMax
+	AggCnt
+)
+
+// String returns the upper-case function name used in CL and the algebra
+// syntax.
+func (f AggFunc) String() string {
+	switch f {
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggCnt:
+		return "CNT"
+	default:
+		return fmt.Sprintf("AGG(%d)", uint8(f))
+	}
+}
+
+// ParseAggFunc resolves an aggregate function name; ok is false for unknown
+// names.
+func ParseAggFunc(name string) (AggFunc, bool) {
+	switch name {
+	case "SUM", "sum":
+		return AggSum, true
+	case "AVG", "avg":
+		return AggAvg, true
+	case "MIN", "min":
+		return AggMin, true
+	case "MAX", "max":
+		return AggMax, true
+	case "CNT", "cnt", "COUNT", "count":
+		return AggCnt, true
+	default:
+		return 0, false
+	}
+}
+
+// Aggregate computes a whole-relation aggregate, producing a single-tuple,
+// single-attribute relation. For CNT the column expression is ignored and
+// may be nil. Aggregates over the empty relation yield: CNT = 0, SUM = 0,
+// and null for AVG/MIN/MAX.
+type Aggregate struct {
+	base
+	In   Expr
+	Func AggFunc
+	Col  Scalar // nil for CNT
+	As   string // output attribute name; defaults to the function name
+}
+
+// NewAggregate builds an aggregate node.
+func NewAggregate(in Expr, f AggFunc, col Scalar, as string) *Aggregate {
+	return &Aggregate{In: in, Func: f, Col: col, As: as}
+}
+
+// NewCount builds CNT(in).
+func NewCount(in Expr) *Aggregate { return &Aggregate{In: in, Func: AggCnt} }
+
+// TypeCheck implements Expr.
+func (a *Aggregate) TypeCheck(env *TypeEnv) (*schema.Relation, error) {
+	in, err := a.In.TypeCheck(env)
+	if err != nil {
+		return nil, err
+	}
+	outKind := value.KindInt
+	if a.Func != AggCnt {
+		if a.Col == nil {
+			return nil, fmt.Errorf("algebra: %s requires a column expression", a.Func)
+		}
+		k, err := a.Col.Bind(in)
+		if err != nil {
+			return nil, err
+		}
+		if k != value.KindInt && k != value.KindFloat && k != value.KindNull {
+			return nil, fmt.Errorf("algebra: %s over non-numeric kind %s", a.Func, k)
+		}
+		outKind = k
+		if a.Func == AggAvg {
+			outKind = value.KindFloat
+		}
+	}
+	name := a.As
+	if name == "" {
+		name = a.Func.String()
+	}
+	out, err := schema.NewRelation("_agg", schema.Attribute{Name: name, Type: outKind})
+	if err != nil {
+		return nil, err
+	}
+	a.out = out
+	return out, nil
+}
+
+// Eval implements Expr.
+func (a *Aggregate) Eval(env Env) (*relation.Relation, error) {
+	in, err := a.In.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(a.out)
+	v, err := a.compute(in)
+	if err != nil {
+		return nil, err
+	}
+	out.InsertUnchecked(relation.Tuple{v})
+	return out, nil
+}
+
+func (a *Aggregate) compute(in *relation.Relation) (value.Value, error) {
+	if a.Func == AggCnt {
+		return value.Int(int64(in.Len())), nil
+	}
+	var (
+		sum      float64
+		sumInt   int64
+		allInt   = true
+		count    int
+		min, max value.Value
+	)
+	err := in.ForEach(func(t relation.Tuple) error {
+		v, err := a.Col.Eval(t)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			return nil // nulls are ignored by aggregates
+		}
+		if v.Kind() != value.KindInt && v.Kind() != value.KindFloat {
+			return fmt.Errorf("algebra: %s over non-numeric value %s", a.Func, v)
+		}
+		count++
+		if v.Kind() == value.KindInt {
+			sumInt += v.AsInt()
+		} else {
+			allInt = false
+		}
+		sum += v.AsFloat()
+		if count == 1 {
+			min, max = v, v
+			return nil
+		}
+		if c, _ := v.Compare(min); c < 0 {
+			min = v
+		}
+		if c, _ := v.Compare(max); c > 0 {
+			max = v
+		}
+		return nil
+	})
+	if err != nil {
+		return value.Null(), err
+	}
+	switch a.Func {
+	case AggSum:
+		if count == 0 {
+			return value.Int(0), nil
+		}
+		if allInt {
+			return value.Int(sumInt), nil
+		}
+		return value.Float(sum), nil
+	case AggAvg:
+		if count == 0 {
+			return value.Null(), nil
+		}
+		return value.Float(sum / float64(count)), nil
+	case AggMin:
+		if count == 0 {
+			return value.Null(), nil
+		}
+		return min, nil
+	case AggMax:
+		if count == 0 {
+			return value.Null(), nil
+		}
+		return max, nil
+	default:
+		return value.Null(), fmt.Errorf("algebra: unknown aggregate %v", a.Func)
+	}
+}
+
+// ComputeAggregate evaluates an aggregate function over a materialized
+// relation by zero-based column index (ignored for CNT). It is shared with
+// the calculus evaluator so both layers agree on aggregate semantics.
+func ComputeAggregate(in *relation.Relation, f AggFunc, col int) (value.Value, error) {
+	a := &Aggregate{Func: f}
+	if f != AggCnt {
+		a.Col = AttrByIndex(col)
+	}
+	return a.compute(in)
+}
+
+func (a *Aggregate) String() string {
+	if a.Func == AggCnt {
+		return fmt.Sprintf("cnt(%s)", a.In)
+	}
+	return fmt.Sprintf("agg(%s, %s, %s)", a.In, a.Func, a.Col)
+}

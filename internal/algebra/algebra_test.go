@@ -1,0 +1,434 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// fakeEnv is a map-backed Env for evaluator tests.
+type fakeEnv struct {
+	rels  map[string]map[AuxKind]*relation.Relation
+	temps map[string]*relation.Relation
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{
+		rels:  make(map[string]map[AuxKind]*relation.Relation),
+		temps: make(map[string]*relation.Relation),
+	}
+}
+
+func (e *fakeEnv) add(r *relation.Relation, aux AuxKind) {
+	name := r.Schema().Name
+	if e.rels[name] == nil {
+		e.rels[name] = make(map[AuxKind]*relation.Relation)
+	}
+	e.rels[name][aux] = r
+}
+
+func (e *fakeEnv) Rel(name string, aux AuxKind) (*relation.Relation, error) {
+	m, ok := e.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("fake: no relation %q", name)
+	}
+	r, ok := m[aux]
+	if !ok {
+		return nil, fmt.Errorf("fake: no %v incarnation of %q", aux, name)
+	}
+	return r, nil
+}
+
+func (e *fakeEnv) Temp(name string) (*relation.Relation, error) {
+	if r, ok := e.temps[name]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("fake: no temp %q", name)
+}
+
+func empSchema() *schema.Relation {
+	return schema.MustRelation("emp",
+		schema.Attribute{Name: "id", Type: value.KindInt},
+		schema.Attribute{Name: "dept", Type: value.KindString},
+		schema.Attribute{Name: "sal", Type: value.KindInt},
+	)
+}
+
+func deptSchema() *schema.Relation {
+	return schema.MustRelation("dept",
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "budget", Type: value.KindInt},
+	)
+}
+
+func emp(id int64, dept string, sal int64) relation.Tuple {
+	return relation.Tuple{value.Int(id), value.String(dept), value.Int(sal)}
+}
+
+func dept(name string, budget int64) relation.Tuple {
+	return relation.Tuple{value.String(name), value.Int(budget)}
+}
+
+// fixture builds the standard test database: 4 employees, 2 departments.
+func fixture(t *testing.T) (*fakeEnv, *TypeEnv) {
+	t.Helper()
+	es, ds := empSchema(), deptSchema()
+	env := newFakeEnv()
+	env.add(relation.MustFromTuples(es,
+		emp(1, "eng", 100), emp(2, "eng", 200), emp(3, "ops", 150), emp(4, "ghost", 50)), AuxCur)
+	env.add(relation.MustFromTuples(ds, dept("eng", 1000), dept("ops", 500)), AuxCur)
+	db := schema.MustDatabase(es, ds)
+	return env, NewTypeEnv(db)
+}
+
+// evalExpr type-checks and evaluates an expression against the fixture.
+func evalExpr(t *testing.T, e Expr, env Env, tenv *TypeEnv) *relation.Relation {
+	t.Helper()
+	if _, err := e.TypeCheck(tenv); err != nil {
+		t.Fatalf("TypeCheck(%s): %v", e, err)
+	}
+	r, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return r
+}
+
+func TestSelectEval(t *testing.T) {
+	env, tenv := fixture(t)
+	e := NewSelect(NewRel("emp"), &Cmp{Op: CmpGT, L: AttrByName("sal"), R: &Const{V: value.Int(120)}})
+	r := evalExpr(t, e, env, tenv)
+	if r.Len() != 2 {
+		t.Errorf("select sal>120: %d tuples, want 2", r.Len())
+	}
+}
+
+func TestProjectEvalDeduplicates(t *testing.T) {
+	env, tenv := fixture(t)
+	e := ProjectAttrs(NewRel("emp"), "dept")
+	r := evalExpr(t, e, env, tenv)
+	if r.Len() != 3 { // eng, ops, ghost
+		t.Errorf("project dept: %d tuples, want 3", r.Len())
+	}
+	if r.Schema().Attrs[0].Name != "dept" {
+		t.Errorf("projected attr name = %q", r.Schema().Attrs[0].Name)
+	}
+}
+
+func TestProjectComputedColumn(t *testing.T) {
+	env, tenv := fixture(t)
+	e := NewProject(NewRel("emp"),
+		[]Scalar{AttrByName("id"), &Arith{Op: value.OpMul, L: AttrByName("sal"), R: &Const{V: value.Int(2)}}},
+		[]string{"id", "double"})
+	r := evalExpr(t, e, env, tenv)
+	for _, tp := range r.SortedTuples() {
+		if tp[1].AsInt() != 2*100*tp[0].AsInt() && tp[0].AsInt() == 1 {
+			t.Errorf("computed column wrong: %v", tp)
+		}
+	}
+	if r.Schema().Attrs[1].Name != "double" {
+		t.Errorf("output name = %q, want double", r.Schema().Attrs[1].Name)
+	}
+}
+
+func TestJoinInnerHash(t *testing.T) {
+	env, tenv := fixture(t)
+	// emp ⋈ dept on dept = name: the equi-key path.
+	e := NewJoin(NewRel("emp"), NewRel("dept"),
+		&Cmp{Op: CmpEQ, L: AttrByIndex(1), R: AttrByIndex(3)})
+	r := evalExpr(t, e, env, tenv)
+	if r.Len() != 3 { // ghost has no department
+		t.Errorf("join: %d tuples, want 3", r.Len())
+	}
+	if got := r.Schema().Arity(); got != 5 {
+		t.Errorf("join output arity = %d, want 5", got)
+	}
+}
+
+func TestJoinResidualPredicate(t *testing.T) {
+	env, tenv := fixture(t)
+	// Equi-key plus residual: budget > 600 keeps only eng.
+	pred := &And{
+		L: &Cmp{Op: CmpEQ, L: AttrByIndex(1), R: AttrByIndex(3)},
+		R: &Cmp{Op: CmpGT, L: AttrByIndex(4), R: &Const{V: value.Int(600)}},
+	}
+	e := NewJoin(NewRel("emp"), NewRel("dept"), pred)
+	r := evalExpr(t, e, env, tenv)
+	if r.Len() != 2 {
+		t.Errorf("join with residual: %d tuples, want 2", r.Len())
+	}
+}
+
+func TestJoinThetaNoEquiKeys(t *testing.T) {
+	env, tenv := fixture(t)
+	// Pure inequality join exercises the nested-loop path.
+	e := NewJoin(NewRel("emp"), NewRel("dept"),
+		&Cmp{Op: CmpGT, L: AttrByIndex(2), R: AttrByIndex(4)})
+	r := evalExpr(t, e, env, tenv)
+	// sal > budget: no emp salary beats 500 or 1000 → 0 tuples.
+	if r.Len() != 0 {
+		t.Errorf("theta join: %d tuples, want 0", r.Len())
+	}
+}
+
+func TestSemiAndAntiJoin(t *testing.T) {
+	env, tenv := fixture(t)
+	pred := &Cmp{Op: CmpEQ, L: AttrByIndex(1), R: AttrByIndex(3)}
+	semi := evalExpr(t, NewSemiJoin(NewRel("emp"), NewRel("dept"), CloneScalar(pred)), env, tenv)
+	anti := evalExpr(t, NewAntiJoin(NewRel("emp"), NewRel("dept"), CloneScalar(pred)), env, tenv)
+	if semi.Len() != 3 {
+		t.Errorf("semijoin: %d, want 3", semi.Len())
+	}
+	if anti.Len() != 1 {
+		t.Errorf("antijoin: %d, want 1", anti.Len())
+	}
+	got := anti.SortedTuples()[0]
+	if !got[1].Equal(value.String("ghost")) {
+		t.Errorf("antijoin survivor = %v, want the ghost-department employee", got)
+	}
+	// semi ∪ anti = emp
+	semi.UnionInPlace(anti)
+	cur, _ := env.Rel("emp", AuxCur)
+	if !semi.Equal(cur) {
+		t.Error("semijoin ∪ antijoin ≠ input")
+	}
+}
+
+func TestJoinEmptyShortCircuits(t *testing.T) {
+	env, tenv := fixture(t)
+	env.add(relation.New(deptSchema().Clone("empty")), AuxCur)
+	tenvDB := schema.MustDatabase(empSchema(), deptSchema(), deptSchema().Clone("empty"))
+	tenv = NewTypeEnv(tenvDB)
+
+	pred := &Cmp{Op: CmpEQ, L: AttrByIndex(1), R: AttrByIndex(3)}
+	anti := evalExpr(t, NewAntiJoin(NewRel("emp"), NewRel("empty"), CloneScalar(pred)), env, tenv)
+	if anti.Len() != 4 {
+		t.Errorf("antijoin vs empty: %d, want all 4", anti.Len())
+	}
+	semi := evalExpr(t, NewSemiJoin(NewRel("emp"), NewRel("empty"), CloneScalar(pred)), env, tenv)
+	if semi.Len() != 0 {
+		t.Errorf("semijoin vs empty: %d, want 0", semi.Len())
+	}
+}
+
+func TestProductViaNilPredicate(t *testing.T) {
+	env, tenv := fixture(t)
+	e := NewJoin(NewRel("emp"), NewRel("dept"), nil)
+	r := evalExpr(t, e, env, tenv)
+	if r.Len() != 8 { // 4 × 2
+		t.Errorf("product: %d tuples, want 8", r.Len())
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	env, tenv := fixture(t)
+	hi := NewSelect(NewRel("emp"), &Cmp{Op: CmpGE, L: AttrByName("sal"), R: &Const{V: value.Int(150)}})
+	eng := NewSelect(NewRel("emp"), &Cmp{Op: CmpEQ, L: AttrByName("dept"), R: &Const{V: value.String("eng")}})
+
+	union := evalExpr(t, NewUnion(CloneExpr(hi), CloneExpr(eng)), env, tenv)
+	if union.Len() != 3 { // {2,3} ∪ {1,2}
+		t.Errorf("union: %d, want 3", union.Len())
+	}
+	diff := evalExpr(t, NewDiff(CloneExpr(hi), CloneExpr(eng)), env, tenv)
+	if diff.Len() != 1 {
+		t.Errorf("diff: %d, want 1", diff.Len())
+	}
+	inter := evalExpr(t, NewIntersect(CloneExpr(hi), CloneExpr(eng)), env, tenv)
+	if inter.Len() != 1 {
+		t.Errorf("intersect: %d, want 1", inter.Len())
+	}
+}
+
+func TestSetOpIncompatibleSchemas(t *testing.T) {
+	_, tenv := fixture(t)
+	e := NewUnion(NewRel("emp"), NewRel("dept"))
+	if _, err := e.TypeCheck(tenv); err == nil {
+		t.Error("union of incompatible schemas type-checked")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	env, tenv := fixture(t)
+	cases := []struct {
+		f    AggFunc
+		want value.Value
+	}{
+		{AggSum, value.Int(500)},
+		{AggAvg, value.Float(125)},
+		{AggMin, value.Int(50)},
+		{AggMax, value.Int(200)},
+		{AggCnt, value.Int(4)},
+	}
+	for _, c := range cases {
+		var e Expr
+		if c.f == AggCnt {
+			e = NewCount(NewRel("emp"))
+		} else {
+			e = NewAggregate(NewRel("emp"), c.f, AttrByName("sal"), "")
+		}
+		r := evalExpr(t, e, env, tenv)
+		if r.Len() != 1 {
+			t.Fatalf("%s: %d tuples, want 1", c.f, r.Len())
+		}
+		got := r.SortedTuples()[0][0]
+		if !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestAggregatesOverEmpty(t *testing.T) {
+	es := empSchema().Clone("none")
+	env := newFakeEnv()
+	env.add(relation.New(es), AuxCur)
+	tenv := NewTypeEnv(schema.MustDatabase(es))
+
+	checks := []struct {
+		f    AggFunc
+		want value.Value
+	}{
+		{AggCnt, value.Int(0)},
+		{AggSum, value.Int(0)},
+		{AggAvg, value.Null()},
+		{AggMin, value.Null()},
+		{AggMax, value.Null()},
+	}
+	for _, c := range checks {
+		var e Expr
+		if c.f == AggCnt {
+			e = NewCount(NewRel("none"))
+		} else {
+			e = NewAggregate(NewRel("none"), c.f, AttrByName("sal"), "")
+		}
+		r := evalExpr(t, e, env, tenv)
+		got := r.SortedTuples()[0][0]
+		if !got.Equal(c.want) {
+			t.Errorf("%s over empty = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestAggregateIgnoresNulls(t *testing.T) {
+	es := schema.MustRelation("n",
+		schema.Attribute{Name: "v", Type: value.KindInt})
+	r := relation.New(es)
+	r.InsertUnchecked(relation.Tuple{value.Int(10)})
+	r.InsertUnchecked(relation.Tuple{value.Null()})
+	env := newFakeEnv()
+	env.add(r, AuxCur)
+	tenv := NewTypeEnv(schema.MustDatabase(es))
+
+	e := NewAggregate(NewRel("n"), AggAvg, AttrByIndex(0), "")
+	out := evalExpr(t, e, env, tenv)
+	got := out.SortedTuples()[0][0]
+	if !got.Equal(value.Float(10)) {
+		t.Errorf("AVG with null = %v, want 10 (nulls ignored)", got)
+	}
+}
+
+func TestRename(t *testing.T) {
+	env, tenv := fixture(t)
+	e := NewRename(NewRel("dept"), "d2", []string{"dname", "dbudget"})
+	r := evalExpr(t, e, env, tenv)
+	if r.Schema().Name != "d2" || r.Schema().Attrs[0].Name != "dname" {
+		t.Errorf("rename schema = %s", r.Schema())
+	}
+	if r.Len() != 2 {
+		t.Errorf("rename lost tuples: %d", r.Len())
+	}
+	bad := NewRename(NewRel("dept"), "d3", []string{"only-one"})
+	if _, err := bad.TypeCheck(tenv); err == nil {
+		t.Error("rename with wrong attr count type-checked")
+	}
+}
+
+func TestTempResolution(t *testing.T) {
+	env, tenv := fixture(t)
+	tmp := relation.MustFromTuples(deptSchema().Clone("t1"), dept("x", 1))
+	env.temps["t1"] = tmp
+	tenv.SetTemp("t1", tmp.Schema())
+	r := evalExpr(t, NewTemp("t1"), env, tenv)
+	if r.Len() != 1 {
+		t.Errorf("temp eval: %d, want 1", r.Len())
+	}
+	if _, err := NewTemp("nope").TypeCheck(tenv); err == nil {
+		t.Error("unknown temp type-checked")
+	}
+}
+
+func TestLitTypeChecking(t *testing.T) {
+	_, tenv := fixture(t)
+	ds := deptSchema()
+	ok := NewLit(ds, dept("x", 1))
+	if _, err := ok.TypeCheck(tenv); err != nil {
+		t.Errorf("valid literal rejected: %v", err)
+	}
+	badArity := NewLit(ds, relation.Tuple{value.String("x")})
+	if _, err := badArity.TypeCheck(tenv); err == nil {
+		t.Error("wrong-arity literal accepted")
+	}
+	badType := NewLit(ds, relation.Tuple{value.Int(1), value.Int(2)})
+	if _, err := badType.TypeCheck(tenv); err == nil {
+		t.Error("wrong-typed literal accepted")
+	}
+	withNull := NewLit(ds, relation.Tuple{value.String("x"), value.Null()})
+	if _, err := withNull.TypeCheck(tenv); err != nil {
+		t.Errorf("null literal rejected: %v", err)
+	}
+}
+
+func TestUnknownRelationAndAttr(t *testing.T) {
+	_, tenv := fixture(t)
+	if _, err := NewRel("nope").TypeCheck(tenv); err == nil {
+		t.Error("unknown relation type-checked")
+	}
+	e := NewSelect(NewRel("emp"), &Cmp{Op: CmpGT, L: AttrByName("nope"), R: &Const{V: value.Int(0)}})
+	if _, err := e.TypeCheck(tenv); err == nil {
+		t.Error("unknown attribute type-checked")
+	}
+	e2 := NewSelect(NewRel("emp"), AttrByName("sal")) // non-boolean predicate
+	if _, err := e2.TypeCheck(tenv); err == nil {
+		t.Error("non-boolean selection predicate type-checked")
+	}
+}
+
+func TestConcatSchemaQualifiesDuplicates(t *testing.T) {
+	_, tenv := fixture(t)
+	e := NewJoin(NewRel("emp"), NewRel("emp"), nil)
+	out, err := e.TypeCheck(tenv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := out.AttrNames()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate attribute %q in concat schema %v", n, names)
+		}
+		seen[n] = true
+	}
+	if !strings.Contains(strings.Join(names, ","), "emp.id") {
+		t.Errorf("expected qualified name in %v", names)
+	}
+}
+
+func TestCloneExprIndependence(t *testing.T) {
+	_, tenv := fixture(t)
+	orig := NewSelect(NewRel("emp"), &Cmp{Op: CmpGT, L: AttrByName("sal"), R: &Const{V: value.Int(0)}})
+	clone := CloneExpr(orig)
+	if _, err := clone.TypeCheck(tenv); err != nil {
+		t.Fatalf("clone TypeCheck: %v", err)
+	}
+	// The original must still be unbound (its Attr index untouched).
+	attr := orig.Pred.(*Cmp).L.(*Attr)
+	if attr.Index != -1 {
+		t.Errorf("CloneExpr shared scalar state: original index = %d", attr.Index)
+	}
+	if clone.String() != orig.String() {
+		t.Errorf("clone text %q != original %q", clone.String(), orig.String())
+	}
+}

@@ -1,0 +1,73 @@
+package algebra
+
+import "fmt"
+
+// CloneExpr returns a deep copy of a relational expression with all memoized
+// type information cleared, so the copy can be re-type-checked independently.
+// Compiled integrity programs are cloned before being spliced into a user
+// transaction so that concurrent transactions never share mutable AST state.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Rel:
+		return &Rel{Name: x.Name, Aux: x.Aux}
+	case *Temp:
+		return &Temp{Name: x.Name}
+	case *Lit:
+		l := &Lit{Rows: x.Rows}
+		l.out = x.out
+		return l
+	case *Select:
+		return &Select{In: CloneExpr(x.In), Pred: CloneScalar(x.Pred)}
+	case *Project:
+		cols := make([]Scalar, len(x.Cols))
+		for i, c := range x.Cols {
+			cols[i] = CloneScalar(c)
+		}
+		return &Project{In: CloneExpr(x.In), Cols: cols, Names: x.Names}
+	case *Rename:
+		return &Rename{In: CloneExpr(x.In), Name: x.Name, Attrs: x.Attrs}
+	case *Join:
+		return &Join{Kind: x.Kind, L: CloneExpr(x.L), R: CloneExpr(x.R), Pred: CloneScalar(x.Pred)}
+	case *SetExpr:
+		return &SetExpr{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *Aggregate:
+		return &Aggregate{In: CloneExpr(x.In), Func: x.Func, Col: CloneScalar(x.Col), As: x.As}
+	default:
+		panic(fmt.Sprintf("algebra: CloneExpr: unknown node %T", e))
+	}
+}
+
+// CloneStmt returns a deep copy of a statement; see CloneExpr.
+func CloneStmt(s Stmt) Stmt {
+	switch x := s.(type) {
+	case *Assign:
+		return &Assign{Temp: x.Temp, Expr: CloneExpr(x.Expr)}
+	case *Insert:
+		return &Insert{Rel: x.Rel, Src: CloneExpr(x.Src)}
+	case *Delete:
+		return &Delete{Rel: x.Rel, Src: CloneExpr(x.Src)}
+	case *Update:
+		sets := make([]SetClause, len(x.Sets))
+		for i, sc := range x.Sets {
+			sets[i] = SetClause{Attr: sc.Attr, Expr: CloneScalar(sc.Expr), col: sc.col}
+		}
+		return &Update{Rel: x.Rel, Where: CloneScalar(x.Where), Sets: sets}
+	case *Alarm:
+		return &Alarm{Expr: CloneExpr(x.Expr), Constraint: x.Constraint}
+	case *Abort:
+		return &Abort{Constraint: x.Constraint}
+	default:
+		panic(fmt.Sprintf("algebra: CloneStmt: unknown node %T", s))
+	}
+}
+
+// CloneProgram returns a deep copy of a program; see CloneExpr.
+func CloneProgram(p Program) Program {
+	out := make(Program, len(p))
+	for i, s := range p {
+		out[i] = CloneStmt(s)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+// AuxKind selects which incarnation of a relation a reference denotes: the
+// current (possibly transaction-local) state, the pre-transaction state
+// ("old", the auxiliary relation of Section 4.1 needed for transition
+// constraints), or the differential relations holding the net inserted and
+// net deleted tuples of the running transaction.
+type AuxKind uint8
+
+// Auxiliary relation kinds.
+const (
+	AuxCur AuxKind = iota // current state
+	AuxOld                // pre-transaction state
+	AuxIns                // net inserted tuples (differential)
+	AuxDel                // net deleted tuples (differential)
+)
+
+// String renders the reference decoration used by the textual syntax.
+func (k AuxKind) String() string {
+	switch k {
+	case AuxCur:
+		return ""
+	case AuxOld:
+		return "old"
+	case AuxIns:
+		return "ins"
+	case AuxDel:
+		return "del"
+	default:
+		return fmt.Sprintf("aux(%d)", uint8(k))
+	}
+}
+
+// Env provides read access to relation states during expression evaluation.
+// The transaction executor implements it over its working overlay.
+type Env interface {
+	// Rel resolves a base relation in the requested auxiliary incarnation.
+	Rel(name string, aux AuxKind) (*relation.Relation, error)
+	// Temp resolves a temporary relation created by an assignment statement
+	// earlier in the same transaction.
+	Temp(name string) (*relation.Relation, error)
+}
+
+// ExecEnv extends Env with the mutations statements need. Implementations
+// must keep differential relations consistent with the mutations.
+type ExecEnv interface {
+	Env
+	// SetTemp binds a temporary relation name for the rest of the program.
+	SetTemp(name string, r *relation.Relation) error
+	// InsertTuples adds the tuples of src to base relation rel.
+	InsertTuples(rel string, src *relation.Relation) error
+	// DeleteTuples removes the tuples of src from base relation rel.
+	DeleteTuples(rel string, src *relation.Relation) error
+}
+
+// TypeEnv is the static counterpart of Env used by TypeCheck: it resolves
+// relation names to schemas, tracking temp relations created so far while a
+// program is checked statement by statement.
+type TypeEnv struct {
+	DB    *schema.Database
+	Temps map[string]*schema.Relation
+}
+
+// NewTypeEnv returns a TypeEnv over the database schema with no temps.
+func NewTypeEnv(db *schema.Database) *TypeEnv {
+	return &TypeEnv{DB: db, Temps: make(map[string]*schema.Relation)}
+}
+
+// RelSchema resolves a base relation schema.
+func (e *TypeEnv) RelSchema(name string) (*schema.Relation, error) {
+	return e.DB.MustFind(name)
+}
+
+// TempSchema resolves a temp relation schema.
+func (e *TypeEnv) TempSchema(name string) (*schema.Relation, error) {
+	if s, ok := e.Temps[name]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("algebra: unknown temporary relation %q", name)
+}
+
+// SetTemp records the schema of a temp relation for later statements.
+func (e *TypeEnv) SetTemp(name string, s *schema.Relation) {
+	if e.Temps == nil {
+		e.Temps = make(map[string]*schema.Relation)
+	}
+	e.Temps[name] = s
+}
+
+// Clone returns an independent copy so speculative type checks do not leak
+// temp bindings.
+func (e *TypeEnv) Clone() *TypeEnv {
+	c := NewTypeEnv(e.DB)
+	for k, v := range e.Temps {
+		c.Temps[k] = v
+	}
+	return c
+}

@@ -1,0 +1,357 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+// JoinKind distinguishes the three join-shaped operators the translation of
+// constraint conditions produces: theta-join, semijoin and antijoin.
+type JoinKind uint8
+
+// Join operator kinds.
+const (
+	JoinInner JoinKind = iota // full theta-join: concatenated matching pairs
+	JoinSemi                  // left tuples with at least one match
+	JoinAnti                  // left tuples with no match
+)
+
+// String returns the operator's textual name.
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "join"
+	case JoinSemi:
+		return "semijoin"
+	case JoinAnti:
+		return "antijoin"
+	default:
+		return fmt.Sprintf("join(%d)", uint8(k))
+	}
+}
+
+// Join is a theta-join, semijoin or antijoin of two inputs. The predicate is
+// evaluated over the concatenation of a left and a right tuple; a nil
+// predicate means "always true" (Cartesian product for JoinInner). Equality
+// conjuncts between a left and a right attribute are detected at TypeCheck
+// time and executed with a hash join; any residual predicate is applied to
+// the candidate pairs.
+type Join struct {
+	base
+	Kind JoinKind
+	L, R Expr
+	Pred Scalar
+
+	lArity    int
+	eqL, eqR  []int  // positional equi-join keys detected from Pred
+	residual  Scalar // remaining predicate after equi-key extraction
+	hashReady bool
+}
+
+// NewJoin builds an inner theta-join.
+func NewJoin(l, r Expr, pred Scalar) *Join { return &Join{Kind: JoinInner, L: l, R: r, Pred: pred} }
+
+// NewSemiJoin builds a semijoin (left tuples with a match).
+func NewSemiJoin(l, r Expr, pred Scalar) *Join { return &Join{Kind: JoinSemi, L: l, R: r, Pred: pred} }
+
+// NewAntiJoin builds an antijoin (left tuples without a match).
+func NewAntiJoin(l, r Expr, pred Scalar) *Join { return &Join{Kind: JoinAnti, L: l, R: r, Pred: pred} }
+
+// TypeCheck implements Expr.
+func (j *Join) TypeCheck(env *TypeEnv) (*schema.Relation, error) {
+	ls, err := j.L.TypeCheck(env)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := j.R.TypeCheck(env)
+	if err != nil {
+		return nil, err
+	}
+	j.lArity = ls.Arity()
+
+	concat, err := concatSchema(ls, rs)
+	if err != nil {
+		return nil, err
+	}
+	if j.Pred != nil {
+		if _, err := j.Pred.Bind(concat); err != nil {
+			return nil, err
+		}
+		j.eqL, j.eqR, j.residual = extractEquiKeys(j.Pred, j.lArity, concat.Arity())
+		j.hashReady = len(j.eqL) > 0
+	}
+
+	switch j.Kind {
+	case JoinInner:
+		j.out = concat
+	default:
+		j.out = ls
+	}
+	return j.out, nil
+}
+
+// concatSchema builds the schema of the concatenated pair, qualifying
+// duplicate attribute names with the side's relation name.
+func concatSchema(l, r *schema.Relation) (*schema.Relation, error) {
+	attrs := make([]schema.Attribute, 0, l.Arity()+r.Arity())
+	seen := make(map[string]int)
+	add := func(side *schema.Relation, a schema.Attribute) {
+		name := a.Name
+		if _, dup := seen[name]; dup {
+			name = side.Name + "." + name
+		}
+		for seen[name] > 0 {
+			name = "_" + name
+		}
+		seen[name]++
+		seen[a.Name]++
+		attrs = append(attrs, schema.Attribute{Name: name, Type: a.Type})
+	}
+	for _, a := range l.Attrs {
+		add(l, a)
+	}
+	for _, a := range r.Attrs {
+		add(r, a)
+	}
+	return schema.NewRelation("_join", attrs...)
+}
+
+// extractEquiKeys walks a conjunction looking for "left attr = right attr"
+// comparisons; it returns the positional key columns on each side and the
+// conjunction of the remaining predicates (nil if none).
+func extractEquiKeys(pred Scalar, lArity, totalArity int) (eqL, eqR []int, residual Scalar) {
+	var rest []Scalar
+	var walk func(p Scalar)
+	walk = func(p Scalar) {
+		if a, ok := p.(*And); ok {
+			walk(a.L)
+			walk(a.R)
+			return
+		}
+		if c, ok := p.(*Cmp); ok && c.Op == CmpEQ {
+			la, lok := c.L.(*Attr)
+			ra, rok := c.R.(*Attr)
+			if lok && rok && la.Index >= 0 && ra.Index >= 0 && la.Index < totalArity && ra.Index < totalArity {
+				switch {
+				case la.Index < lArity && ra.Index >= lArity:
+					eqL = append(eqL, la.Index)
+					eqR = append(eqR, ra.Index-lArity)
+					return
+				case ra.Index < lArity && la.Index >= lArity:
+					eqL = append(eqL, ra.Index)
+					eqR = append(eqR, la.Index-lArity)
+					return
+				}
+			}
+		}
+		rest = append(rest, p)
+	}
+	walk(pred)
+	return eqL, eqR, AndAll(rest...)
+}
+
+// Eval implements Expr.
+func (j *Join) Eval(env Env) (*relation.Relation, error) {
+	left, err := j.L.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := j.R.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(j.out)
+
+	// An empty right input decides every left tuple at once: no pair can
+	// match, so inner and semi joins are empty and an antijoin passes the
+	// whole left side through. This matters for differential enforcement
+	// programs, whose delta inputs are usually empty.
+	if right.IsEmpty() {
+		if j.Kind == JoinAnti {
+			out.UnionInPlace(left)
+		}
+		return out, nil
+	}
+	if left.IsEmpty() {
+		return out, nil
+	}
+
+	// matchRight yields the right-side candidates for a left tuple.
+	var matchRight func(lt relation.Tuple, visit func(relation.Tuple) error) error
+	if j.hashReady {
+		index := make(map[string][]relation.Tuple, right.Len())
+		if err := right.ForEach(func(rt relation.Tuple) error {
+			key := joinKey(rt, j.eqR)
+			index[key] = append(index[key], rt)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		matchRight = func(lt relation.Tuple, visit func(relation.Tuple) error) error {
+			for _, rt := range index[joinKey(lt, j.eqL)] {
+				if err := visit(rt); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	} else {
+		matchRight = func(lt relation.Tuple, visit func(relation.Tuple) error) error {
+			return right.ForEach(visit)
+		}
+	}
+
+	pred := j.residual
+	if !j.hashReady {
+		pred = j.Pred
+	}
+	err = left.ForEach(func(lt relation.Tuple) error {
+		matched := false
+		err := matchRight(lt, func(rt relation.Tuple) error {
+			if pred != nil {
+				pair := lt.Concat(rt)
+				ok, err := evalBool(pred, pair)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			matched = true
+			if j.Kind == JoinInner {
+				out.InsertUnchecked(lt.Concat(rt))
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		switch j.Kind {
+		case JoinSemi:
+			if matched {
+				out.InsertUnchecked(lt)
+			}
+		case JoinAnti:
+			if !matched {
+				out.InsertUnchecked(lt)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// joinKey encodes the selected columns of a tuple as a hash key.
+func joinKey(t relation.Tuple, cols []int) string {
+	buf := make([]byte, 0, 16*len(cols))
+	for _, c := range cols {
+		buf = t[c].AppendKey(buf)
+	}
+	return string(buf)
+}
+
+func (j *Join) String() string {
+	if j.Pred == nil {
+		return fmt.Sprintf("%s(%s, %s)", j.Kind, j.L, j.R)
+	}
+	return fmt.Sprintf("%s(%s, %s, %s)", j.Kind, j.L, j.R, j.Pred)
+}
+
+// SetOp enumerates the binary set operators.
+type SetOp uint8
+
+// Set operators.
+const (
+	SetUnion SetOp = iota
+	SetDiff
+	SetIntersect
+)
+
+// String returns the operator's textual name.
+func (op SetOp) String() string {
+	switch op {
+	case SetUnion:
+		return "union"
+	case SetDiff:
+		return "diff"
+	case SetIntersect:
+		return "intersect"
+	default:
+		return fmt.Sprintf("setop(%d)", uint8(op))
+	}
+}
+
+// SetExpr applies a set operator to two union-compatible inputs.
+type SetExpr struct {
+	base
+	Op   SetOp
+	L, R Expr
+}
+
+// NewUnion builds L ∪ R.
+func NewUnion(l, r Expr) *SetExpr { return &SetExpr{Op: SetUnion, L: l, R: r} }
+
+// NewDiff builds L − R.
+func NewDiff(l, r Expr) *SetExpr { return &SetExpr{Op: SetDiff, L: l, R: r} }
+
+// NewIntersect builds L ∩ R.
+func NewIntersect(l, r Expr) *SetExpr { return &SetExpr{Op: SetIntersect, L: l, R: r} }
+
+// TypeCheck implements Expr.
+func (s *SetExpr) TypeCheck(env *TypeEnv) (*schema.Relation, error) {
+	ls, err := s.L.TypeCheck(env)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := s.R.TypeCheck(env)
+	if err != nil {
+		return nil, err
+	}
+	if !ls.SameType(rs) {
+		return nil, fmt.Errorf("algebra: %s of incompatible schemas %s and %s", s.Op, ls, rs)
+	}
+	s.out = ls
+	return ls, nil
+}
+
+// Eval implements Expr.
+func (s *SetExpr) Eval(env Env) (*relation.Relation, error) {
+	l, err := s.L.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.R.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(s.out)
+	switch s.Op {
+	case SetUnion:
+		out.UnionInPlace(l)
+		out.UnionInPlace(r)
+	case SetDiff:
+		out.UnionInPlace(l)
+		out.DiffInPlace(r)
+	case SetIntersect:
+		err := l.ForEach(func(t relation.Tuple) error {
+			if r.Contains(t) {
+				out.InsertUnchecked(t)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (s *SetExpr) String() string {
+	return fmt.Sprintf("%s(%s, %s)", s.Op, s.L, s.R)
+}

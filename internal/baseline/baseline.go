@@ -1,0 +1,84 @@
+// Package baseline implements the integrity control strategies transaction
+// modification is compared against in the benchmarks:
+//
+//   - PostHoc: execute the user transaction unmodified, then evaluate every
+//     rule's full-state enforcement program before commit (the classical
+//     "check after, abort on violation" discipline of theory-oriented
+//     proposals);
+//   - Unchecked: no integrity control at all, the cost floor.
+//
+// Both reuse the same executor and enforcement programs as the modification
+// subsystem, so benchmark differences isolate the strategy, not the engine.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/rules"
+	"repro/internal/trigger"
+	"repro/internal/txn"
+)
+
+// PostHoc checks every rule of the catalog (regardless of triggers) against
+// the post-transaction state before commit.
+type PostHoc struct {
+	cat *rules.Catalog
+	// TriggerAware restricts checking to rules whose trigger sets intersect
+	// the transaction's triggers, isolating the benefit of trigger-based
+	// selection from the benefit of inlined differential checks.
+	TriggerAware bool
+}
+
+// NewPostHoc returns a post-hoc checker over the catalog.
+func NewPostHoc(cat *rules.Catalog, triggerAware bool) *PostHoc {
+	return &PostHoc{cat: cat, TriggerAware: triggerAware}
+}
+
+// Exec runs the transaction with the post-hoc check attached.
+func (p *PostHoc) Exec(exec *txn.Executor, t *txn.Transaction) (*txn.Result, error) {
+	programs := p.cat.Programs()
+	var selected []*rules.IntegrityProgram
+	if p.TriggerAware {
+		raised := trigger.FromProgram(t.Program)
+		for _, ip := range programs {
+			if ip.Triggers.Intersects(raised) {
+				selected = append(selected, ip)
+			}
+		}
+	} else {
+		selected = programs
+	}
+	check := func(env algebra.Env) error {
+		for _, ip := range selected {
+			for _, st := range ip.Full {
+				al, ok := st.(*algebra.Alarm)
+				if !ok {
+					// Compensating rules cannot be enforced post hoc — their
+					// corrective updates belong inside the transaction. The
+					// post-hoc baseline treats any violation as fatal by
+					// checking the rule's condition is irrelevant here; we
+					// conservatively reject such catalogs.
+					return fmt.Errorf("baseline: rule %s has a compensating action; post-hoc checking supports aborting rules only", ip.RuleName)
+				}
+				r, err := evalAlarm(al, env)
+				if err != nil {
+					return err
+				}
+				if r > 0 {
+					return &algebra.ViolationError{Constraint: al.Constraint, Witnesses: r}
+				}
+			}
+		}
+		return nil
+	}
+	return exec.ExecWithCheck(t, check)
+}
+
+func evalAlarm(al *algebra.Alarm, env algebra.Env) (int, error) {
+	r, err := al.Expr.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	return r.Len(), nil
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/txn"
+)
+
+func TestGenerateIsConsistentAndDeterministic(t *testing.T) {
+	cfg := PaperConfig{Keys: 50, FKs: 300, Inserts: 40, Seed: 2}
+	p1, c1, n1, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Len() != 50 || c1.Len() != 300 || n1.Len() != 40 {
+		t.Fatalf("sizes = %d/%d/%d", p1.Len(), c1.Len(), n1.Len())
+	}
+	p2, c2, n2, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Equal(p2) || !c1.Equal(c2) || !n1.Equal(n2) {
+		t.Error("same seed produced different data")
+	}
+	cfg.Seed = 3
+	_, c3, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Equal(c3) {
+		t.Error("different seeds produced identical child relations")
+	}
+}
+
+// TestWorkloadSatisfiesConstraints: base state and base+inserts both pass
+// both rules; the violation generator fails the referential rule.
+func TestWorkloadSatisfiesConstraints(t *testing.T) {
+	cfg := PaperConfig{Keys: 30, FKs: 200, Inserts: 25, Seed: 4}
+	parent, child, newChild, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := cfg.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := cfg.NewStore(parent, child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := txn.NewExecutor(store)
+
+	insert := func(src *txn.Transaction) *txn.Result {
+		res, err := exec.Exec(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	childSchema, _ := cfg.Schema().Relation("child")
+
+	// Base + inserts + both full checks commits.
+	prog := algebra.Program{&algebra.Insert{Rel: "child", Src: algebra.NewLit(childSchema, newChild.Tuples()...)}}
+	for _, ip := range cat.Programs() {
+		prog = prog.Concat(algebra.CloneProgram(ip.Full))
+	}
+	if res := insert(txn.Bracket(prog)); !res.Committed {
+		t.Fatalf("consistent workload aborted: %v", res.AbortReason)
+	}
+
+	// Violations fire the referential rule.
+	bad := cfg.GenViolations(3)
+	prog2 := algebra.Program{&algebra.Insert{Rel: "child", Src: algebra.NewLit(childSchema, bad.Tuples()...)}}
+	ip, _ := cat.Program("referential")
+	prog2 = prog2.Concat(algebra.CloneProgram(ip.Full))
+	res := insert(txn.Bracket(prog2))
+	if res.Committed {
+		t.Fatal("dangling children committed past the referential check")
+	}
+	if v := res.Violation(); v == nil || v.Witnesses != 3 {
+		t.Errorf("violation = %v, want 3 witnesses", res.AbortReason)
+	}
+}
+
+func TestPlacementColocatesReferentialCheck(t *testing.T) {
+	cfg := DefaultPaperConfig()
+	pl := cfg.Placement()
+	if pl["parent"] != 0 || pl["child"] != 1 {
+		t.Errorf("placement = %v, want parent on id, child on parent", pl)
+	}
+}

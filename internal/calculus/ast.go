@@ -1,0 +1,242 @@
+// Package calculus implements the CL constraint specification language of
+// Section 4.1: a tuple relational calculus with arithmetic, aggregate and
+// counting functions. It provides the AST (Definitions 4.1-4.4), a validator
+// for the range-restricted fragment the subsystem supports, and a direct
+// (brute-force) evaluator that serves as the semantic oracle for the
+// calculus-to-algebra translation.
+package calculus
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/value"
+)
+
+// RelRef names a tuple set constant from the set M: a base relation or one
+// of its auxiliary incarnations (the pre-transaction state needed by
+// transition constraints, or the differential relations).
+type RelRef struct {
+	Name string
+	Aux  algebra.AuxKind
+}
+
+// String renders the reference, e.g. "beer" or "old(beer)".
+func (r RelRef) String() string {
+	if r.Aux == algebra.AuxCur {
+		return r.Name
+	}
+	return fmt.Sprintf("%s(%s)", r.Aux, r.Name)
+}
+
+// Term is an element of the term set T (Definition 4.2).
+type Term interface {
+	isTerm()
+	String() string
+}
+
+// TConst is a value constant from the set C.
+type TConst struct {
+	V value.Value
+}
+
+func (*TConst) isTerm()          {}
+func (t *TConst) String() string { return t.V.String() }
+
+// TAttr is an attribute selection x.i (tuple function application). Attr
+// holds the source-level attribute name when one was written; Index is the
+// zero-based position, resolved by the validator when only a name was given
+// (Index < 0 until then).
+type TAttr struct {
+	Var   string
+	Name  string // optional source-level attribute name
+	Index int    // zero-based; -1 until resolved
+}
+
+func (*TAttr) isTerm() {}
+func (t *TAttr) String() string {
+	if t.Name != "" {
+		return fmt.Sprintf("%s.%s", t.Var, t.Name)
+	}
+	return fmt.Sprintf("%s.#%d", t.Var, t.Index+1)
+}
+
+// TArith is an arithmetic function application t1 op t2 from FV.
+type TArith struct {
+	Op   value.ArithOp
+	L, R Term
+}
+
+func (*TArith) isTerm()          {}
+func (t *TArith) String() string { return fmt.Sprintf("(%s %s %s)", t.L, t.Op, t.R) }
+
+// TAggr is an aggregate function application AGGR(R, i) from FA, or the
+// counting function CNT(R) from FC (Index is ignored for CNT).
+type TAggr struct {
+	Func  algebra.AggFunc
+	Rel   RelRef
+	Name  string // optional source-level attribute name
+	Index int    // zero-based; -1 until resolved; unused for CNT
+}
+
+func (*TAggr) isTerm() {}
+func (t *TAggr) String() string {
+	if t.Func == algebra.AggCnt {
+		return fmt.Sprintf("CNT(%s)", t.Rel)
+	}
+	if t.Name != "" {
+		return fmt.Sprintf("%s(%s, %s)", t.Func, t.Rel, t.Name)
+	}
+	return fmt.Sprintf("%s(%s, #%d)", t.Func, t.Rel, t.Index+1)
+}
+
+// Atom is an element of the atomic formula set A (Definition 4.3).
+type Atom interface {
+	isAtom()
+	String() string
+}
+
+// ACompare is an arithmetic comparison T1 op T2 over value predicates PV.
+type ACompare struct {
+	Op   algebra.CmpOp
+	L, R Term
+}
+
+func (*ACompare) isAtom()          {}
+func (a *ACompare) String() string { return fmt.Sprintf("%s %s %s", a.L, a.Op, a.R) }
+
+// AMember is a set membership expression x ∈ R.
+type AMember struct {
+	Var string
+	Rel RelRef
+}
+
+func (*AMember) isAtom()          {}
+func (a *AMember) String() string { return fmt.Sprintf("%s in %s", a.Var, a.Rel) }
+
+// ATupleEq is a tuple value comparison x = y from the tuple predicates PT.
+type ATupleEq struct {
+	X, Y string
+}
+
+func (*ATupleEq) isAtom()          {}
+func (a *ATupleEq) String() string { return fmt.Sprintf("%s == %s", a.X, a.Y) }
+
+// Quantifier enumerates the quantifier set Q = {∃, ∀}.
+type Quantifier uint8
+
+// Quantifiers.
+const (
+	Forall Quantifier = iota
+	Exists
+)
+
+// String renders the ASCII keyword used by the CL textual syntax.
+func (q Quantifier) String() string {
+	if q == Forall {
+		return "forall"
+	}
+	return "exists"
+}
+
+// WFF is a well-formed formula (Definition 4.4).
+type WFF interface {
+	isWFF()
+	String() string
+}
+
+// WAtom wraps an atomic formula.
+type WAtom struct {
+	A Atom
+}
+
+func (*WAtom) isWFF()           {}
+func (w *WAtom) String() string { return w.A.String() }
+
+// WNot is negation.
+type WNot struct {
+	X WFF
+}
+
+func (*WNot) isWFF()           {}
+func (w *WNot) String() string { return fmt.Sprintf("not (%s)", w.X) }
+
+// WAnd is conjunction.
+type WAnd struct {
+	L, R WFF
+}
+
+func (*WAnd) isWFF()           {}
+func (w *WAnd) String() string { return fmt.Sprintf("(%s and %s)", w.L, w.R) }
+
+// WOr is disjunction.
+type WOr struct {
+	L, R WFF
+}
+
+func (*WOr) isWFF()           {}
+func (w *WOr) String() string { return fmt.Sprintf("(%s or %s)", w.L, w.R) }
+
+// WImplies is implication.
+type WImplies struct {
+	L, R WFF
+}
+
+func (*WImplies) isWFF()           {}
+func (w *WImplies) String() string { return fmt.Sprintf("(%s implies %s)", w.L, w.R) }
+
+// WQuant is a quantification (q x)(body).
+type WQuant struct {
+	Q    Quantifier
+	Var  string
+	Body WFF
+}
+
+func (*WQuant) isWFF() {}
+func (w *WQuant) String() string {
+	return fmt.Sprintf("(%s %s)(%s)", w.Q, w.Var, w.Body)
+}
+
+// Walk applies fn to every sub-formula of w in pre-order. If fn returns
+// false the subtree below the node is skipped.
+func Walk(w WFF, fn func(WFF) bool) {
+	if w == nil || !fn(w) {
+		return
+	}
+	switch x := w.(type) {
+	case *WNot:
+		Walk(x.X, fn)
+	case *WAnd:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *WOr:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *WImplies:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *WQuant:
+		Walk(x.Body, fn)
+	}
+}
+
+// WalkTerms applies fn to every term appearing in atoms of w.
+func WalkTerms(w WFF, fn func(Term)) {
+	var terms func(t Term)
+	terms = func(t Term) {
+		fn(t)
+		if a, ok := t.(*TArith); ok {
+			terms(a.L)
+			terms(a.R)
+		}
+	}
+	Walk(w, func(n WFF) bool {
+		if at, ok := n.(*WAtom); ok {
+			if c, ok := at.A.(*ACompare); ok {
+				terms(c.L)
+				terms(c.R)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,318 @@
+package calculus
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func testSchema() *schema.Database {
+	r := schema.MustRelation("r",
+		schema.Attribute{Name: "a", Type: value.KindInt},
+		schema.Attribute{Name: "b", Type: value.KindInt},
+	)
+	s := schema.MustRelation("s",
+		schema.Attribute{Name: "k", Type: value.KindInt},
+		schema.Attribute{Name: "v", Type: value.KindString},
+	)
+	return schema.MustDatabase(r, s)
+}
+
+// member builds x in rel.
+func member(v, rel string) WFF {
+	return &WAtom{A: &AMember{Var: v, Rel: RelRef{Name: rel}}}
+}
+
+// cmpAttr builds v.attr op const.
+func cmpAttr(v, attr string, op algebra.CmpOp, c int64) WFF {
+	return &WAtom{A: &ACompare{
+		Op: op,
+		L:  &TAttr{Var: v, Name: attr, Index: -1},
+		R:  &TConst{V: value.Int(c)},
+	}}
+}
+
+func forall(v string, body WFF) WFF { return &WQuant{Q: Forall, Var: v, Body: body} }
+func exists(v string, body WFF) WFF { return &WQuant{Q: Exists, Var: v, Body: body} }
+func implies(l, r WFF) WFF          { return &WImplies{L: l, R: r} }
+func and(l, r WFF) WFF              { return &WAnd{L: l, R: r} }
+
+func TestValidateResolvesAttrNames(t *testing.T) {
+	db := testSchema()
+	w := forall("x", implies(member("x", "r"), cmpAttr("x", "b", algebra.CmpGE, 0)))
+	info, err := Validate(w, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi := info.Vars["x"]
+	if vi == nil || vi.Rel.Name != "r" {
+		t.Fatalf("x typed as %+v", vi)
+	}
+	// The TAttr index must now be resolved to 1 (attribute "b").
+	found := false
+	WalkTerms(w, func(term Term) {
+		if a, ok := term.(*TAttr); ok {
+			found = true
+			if a.Index != 1 {
+				t.Errorf("x.b resolved to index %d, want 1", a.Index)
+			}
+		}
+	})
+	if !found {
+		t.Fatal("no TAttr found")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	db := testSchema()
+	cases := []struct {
+		name string
+		w    WFF
+		want string
+	}{
+		{"free variable", cmpAttr("x", "a", algebra.CmpGE, 0), "free variable"},
+		{"no membership", forall("x", cmpAttr("x", "a", algebra.CmpGE, 0)), "range-restricted"},
+		{"two ranges", forall("x", implies(and(member("x", "r"), member("x", "s")),
+			cmpAttr("x", "a", algebra.CmpGE, 0))), "unique range"},
+		{"shadowing", forall("x", implies(member("x", "r"), forall("x", member("x", "r")))), "shadows"},
+		{"double quantified", and(forall("x", member("x", "r")), forall("x", member("x", "r"))), "more than once"},
+		{"unknown relation", forall("x", member("x", "nope")), "unknown relation"},
+		{"unknown attribute", forall("x", implies(member("x", "r"),
+			cmpAttr("x", "zzz", algebra.CmpGE, 0))), "no attribute"},
+		{"tuple eq arity", forall("x", implies(member("x", "r"),
+			exists("y", and(member("y", "s"), &WAtom{A: &ATupleEq{X: "x", Y: "y"}})))), "incompatible"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Validate(c.w, db)
+			if err == nil {
+				t.Fatalf("Validate accepted %s", c.w)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateAggregateTyping(t *testing.T) {
+	db := testSchema()
+	ok := &WAtom{A: &ACompare{
+		Op: algebra.CmpLE,
+		L:  &TAggr{Func: algebra.AggSum, Rel: RelRef{Name: "r"}, Name: "a", Index: -1},
+		R:  &TConst{V: value.Int(100)},
+	}}
+	if _, err := Validate(ok, db); err != nil {
+		t.Errorf("SUM(r, a) rejected: %v", err)
+	}
+	bad := &WAtom{A: &ACompare{
+		Op: algebra.CmpLE,
+		L:  &TAggr{Func: algebra.AggSum, Rel: RelRef{Name: "s"}, Name: "v", Index: -1},
+		R:  &TConst{V: value.Int(100)},
+	}}
+	if _, err := Validate(bad, db); err == nil {
+		t.Error("SUM over string attribute accepted")
+	}
+	cnt := &WAtom{A: &ACompare{
+		Op: algebra.CmpLE,
+		L:  &TAggr{Func: algebra.AggCnt, Rel: RelRef{Name: "s"}},
+		R:  &TConst{V: value.Int(100)},
+	}}
+	if _, err := Validate(cnt, db); err != nil {
+		t.Errorf("CNT(s) rejected: %v", err)
+	}
+}
+
+// evalEnv adapts plain relations to algebra.Env for evaluator tests.
+type evalEnv map[string]*relation.Relation
+
+func (e evalEnv) Rel(name string, aux algebra.AuxKind) (*relation.Relation, error) {
+	key := name
+	if aux != algebra.AuxCur {
+		key = aux.String() + "(" + name + ")"
+	}
+	if r, ok := e[key]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("no relation %q", key)
+}
+
+func (e evalEnv) Temp(string) (*relation.Relation, error) {
+	return nil, fmt.Errorf("no temps")
+}
+
+func fixtureEnv(t *testing.T) (evalEnv, *schema.Database) {
+	t.Helper()
+	db := testSchema()
+	rs, _ := db.Relation("r")
+	ss, _ := db.Relation("s")
+	env := evalEnv{
+		"r": relation.MustFromTuples(rs,
+			relation.Tuple{value.Int(1), value.Int(10)},
+			relation.Tuple{value.Int(2), value.Int(20)},
+			relation.Tuple{value.Int(3), value.Int(99)},
+		),
+		"s": relation.MustFromTuples(ss,
+			relation.Tuple{value.Int(10), value.String("ten")},
+			relation.Tuple{value.Int(20), value.String("twenty")},
+		),
+	}
+	return env, db
+}
+
+func evalFormula(t *testing.T, w WFF) bool {
+	t.Helper()
+	env, db := fixtureEnv(t)
+	info, err := Validate(w, db)
+	if err != nil {
+		t.Fatalf("Validate(%s): %v", w, err)
+	}
+	got, err := NewEvaluator(info, env).Eval(w)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", w, err)
+	}
+	return got
+}
+
+func TestEvaluatorDomain(t *testing.T) {
+	if !evalFormula(t, forall("x", implies(member("x", "r"), cmpAttr("x", "a", algebra.CmpGE, 1)))) {
+		t.Error("∀x∈r: a≥1 should hold")
+	}
+	if evalFormula(t, forall("x", implies(member("x", "r"), cmpAttr("x", "a", algebra.CmpGE, 2)))) {
+		t.Error("∀x∈r: a≥2 should fail (tuple a=1)")
+	}
+}
+
+func TestEvaluatorReferential(t *testing.T) {
+	ref := func(attr string) WFF {
+		return forall("x", implies(member("x", "r"),
+			exists("y", and(member("y", "s"), &WAtom{A: &ACompare{
+				Op: algebra.CmpEQ,
+				L:  &TAttr{Var: "x", Name: attr, Index: -1},
+				R:  &TAttr{Var: "y", Name: "k", Index: -1},
+			}}))))
+	}
+	// b values {10,20,99}: 99 has no s.k → false.
+	if evalFormula(t, ref("b")) {
+		t.Error("referential over b should fail (99 dangling)")
+	}
+	// a values {1,2,3}: none in s.k → false too; use a narrower r? Instead
+	// check the existential direction below.
+	if !evalFormula(t, exists("y", and(member("y", "s"), cmpAttr("y", "k", algebra.CmpEQ, 10)))) {
+		t.Error("∃y∈s: k=10 should hold")
+	}
+	if evalFormula(t, exists("y", and(member("y", "s"), cmpAttr("y", "k", algebra.CmpEQ, 11)))) {
+		t.Error("∃y∈s: k=11 should fail")
+	}
+}
+
+func TestEvaluatorQuantifierEdgeCases(t *testing.T) {
+	env, db := fixtureEnv(t)
+	rs, _ := db.Relation("r")
+	env["r"] = relation.New(rs) // empty r
+	w := forall("x", implies(member("x", "r"), cmpAttr("x", "a", algebra.CmpGE, 1000)))
+	info, err := Validate(w, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewEvaluator(info, env).Eval(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("∀ over empty range should be true")
+	}
+	e := exists("x", and(member("x", "r"), cmpAttr("x", "a", algebra.CmpGE, 0)))
+	info, err = Validate(e, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = NewEvaluator(info, env).Eval(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("∃ over empty range should be false")
+	}
+}
+
+func TestEvaluatorAggregates(t *testing.T) {
+	// SUM(r, a) = 6, CNT(s) = 2.
+	sum := &WAtom{A: &ACompare{
+		Op: algebra.CmpEQ,
+		L:  &TAggr{Func: algebra.AggSum, Rel: RelRef{Name: "r"}, Name: "a", Index: -1},
+		R:  &TConst{V: value.Int(6)},
+	}}
+	if !evalFormula(t, sum) {
+		t.Error("SUM(r,a) = 6 should hold")
+	}
+	cnt := &WAtom{A: &ACompare{
+		Op: algebra.CmpGT,
+		L:  &TAggr{Func: algebra.AggCnt, Rel: RelRef{Name: "s"}},
+		R:  &TConst{V: value.Int(5)},
+	}}
+	if evalFormula(t, cnt) {
+		t.Error("CNT(s) > 5 should fail")
+	}
+}
+
+func TestEvaluatorConnectives(t *testing.T) {
+	tt := cmpAttrConst(algebra.CmpEQ, 0, 0)
+	ff := cmpAttrConst(algebra.CmpEQ, 0, 1)
+	cases := []struct {
+		w    WFF
+		want bool
+	}{
+		{&WAnd{L: tt, R: tt}, true},
+		{&WAnd{L: tt, R: ff}, false},
+		{&WOr{L: ff, R: tt}, true},
+		{&WOr{L: ff, R: ff}, false},
+		{&WImplies{L: ff, R: ff}, true},
+		{&WImplies{L: tt, R: ff}, false},
+		{&WNot{X: ff}, true},
+	}
+	for _, c := range cases {
+		if got := evalFormula(t, c.w); got != c.want {
+			t.Errorf("%s = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+// cmpAttrConst builds a variable-free comparison (const op const) usable as
+// a truth literal.
+func cmpAttrConst(op algebra.CmpOp, l, r int64) WFF {
+	return &WAtom{A: &ACompare{Op: op, L: &TConst{V: value.Int(l)}, R: &TConst{V: value.Int(r)}}}
+}
+
+func TestStringRendering(t *testing.T) {
+	w := forall("x", implies(member("x", "r"),
+		exists("y", and(member("y", "s"), cmpAttr("y", "k", algebra.CmpGE, 5)))))
+	got := w.String()
+	for _, frag := range []string{"forall x", "exists y", "x in r", "y in s", "y.k >= 5", "implies"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("String() = %q missing %q", got, frag)
+		}
+	}
+}
+
+func TestOldRelRefDistinctFromCurrent(t *testing.T) {
+	db := testSchema()
+	w := forall("x", implies(
+		&WAtom{A: &AMember{Var: "x", Rel: RelRef{Name: "r", Aux: algebra.AuxOld}}},
+		cmpAttr("x", "a", algebra.CmpGE, 0)))
+	info, err := Validate(w, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Vars["x"].Rel.Aux != algebra.AuxOld {
+		t.Error("old() aux lost during validation")
+	}
+	if len(info.Rels) != 1 || info.Rels[0].String() != "old(r)" {
+		t.Errorf("Rels = %v, want [old(r)]", info.Rels)
+	}
+}

@@ -1,0 +1,199 @@
+package calculus
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// Evaluator evaluates validated CL formulas directly against a database
+// state. It is deliberately brute force — quantifiers iterate their range
+// relations — and exists as the semantic oracle: the algebra program
+// produced by the translation must agree with it on every database state.
+type Evaluator struct {
+	info *Info
+	env  algebra.Env
+}
+
+// NewEvaluator builds an evaluator for a formula validated to info, reading
+// relation states from env.
+func NewEvaluator(info *Info, env algebra.Env) *Evaluator {
+	return &Evaluator{info: info, env: env}
+}
+
+// Eval computes the truth value of the (closed) formula w.
+func (e *Evaluator) Eval(w WFF) (bool, error) {
+	return e.eval(w, make(map[string]relation.Tuple))
+}
+
+func (e *Evaluator) eval(w WFF, binding map[string]relation.Tuple) (bool, error) {
+	switch x := w.(type) {
+	case *WAtom:
+		return e.evalAtom(x.A, binding)
+	case *WNot:
+		v, err := e.eval(x.X, binding)
+		return !v, err
+	case *WAnd:
+		l, err := e.eval(x.L, binding)
+		if err != nil || !l {
+			return false, err
+		}
+		return e.eval(x.R, binding)
+	case *WOr:
+		l, err := e.eval(x.L, binding)
+		if err != nil || l {
+			return l, err
+		}
+		return e.eval(x.R, binding)
+	case *WImplies:
+		l, err := e.eval(x.L, binding)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return true, nil
+		}
+		return e.eval(x.R, binding)
+	case *WQuant:
+		vi, ok := e.info.Vars[x.Var]
+		if !ok {
+			return false, fmt.Errorf("calculus: untyped variable %q", x.Var)
+		}
+		rel, err := e.env.Rel(vi.Rel.Name, vi.Rel.Aux)
+		if err != nil {
+			return false, err
+		}
+		result := x.Q == Forall // ∀ over empty range is true, ∃ false
+		stop := fmt.Errorf("calculus: stop")
+		err = rel.ForEach(func(t relation.Tuple) error {
+			binding[x.Var] = t
+			v, err := e.eval(x.Body, binding)
+			if err != nil {
+				return err
+			}
+			if x.Q == Forall && !v {
+				result = false
+				return stop
+			}
+			if x.Q == Exists && v {
+				result = true
+				return stop
+			}
+			return nil
+		})
+		delete(binding, x.Var)
+		if err != nil && err != stop {
+			return false, err
+		}
+		return result, nil
+	default:
+		return false, fmt.Errorf("calculus: unknown formula node %T", w)
+	}
+}
+
+func (e *Evaluator) evalAtom(a Atom, binding map[string]relation.Tuple) (bool, error) {
+	switch x := a.(type) {
+	case *AMember:
+		t, ok := binding[x.Var]
+		if !ok {
+			return false, fmt.Errorf("calculus: unbound variable %q", x.Var)
+		}
+		rel, err := e.env.Rel(x.Rel.Name, x.Rel.Aux)
+		if err != nil {
+			return false, err
+		}
+		if len(t) != rel.Schema().Arity() {
+			return false, nil // wrong arity cannot be a member
+		}
+		return rel.Contains(t), nil
+	case *ATupleEq:
+		tx, ok := binding[x.X]
+		if !ok {
+			return false, fmt.Errorf("calculus: unbound variable %q", x.X)
+		}
+		ty, ok := binding[x.Y]
+		if !ok {
+			return false, fmt.Errorf("calculus: unbound variable %q", x.Y)
+		}
+		return tx.Equal(ty), nil
+	case *ACompare:
+		l, err := e.evalTerm(x.L, binding)
+		if err != nil {
+			return false, err
+		}
+		r, err := e.evalTerm(x.R, binding)
+		if err != nil {
+			return false, err
+		}
+		return compareValues(x.Op, l, r)
+	default:
+		return false, fmt.Errorf("calculus: unknown atom %T", a)
+	}
+}
+
+func (e *Evaluator) evalTerm(t Term, binding map[string]relation.Tuple) (value.Value, error) {
+	switch x := t.(type) {
+	case *TConst:
+		return x.V, nil
+	case *TAttr:
+		tuple, ok := binding[x.Var]
+		if !ok {
+			return value.Null(), fmt.Errorf("calculus: unbound variable %q", x.Var)
+		}
+		if x.Index < 0 || x.Index >= len(tuple) {
+			return value.Null(), fmt.Errorf("calculus: attribute #%d out of range", x.Index+1)
+		}
+		return tuple[x.Index], nil
+	case *TArith:
+		l, err := e.evalTerm(x.L, binding)
+		if err != nil {
+			return value.Null(), err
+		}
+		r, err := e.evalTerm(x.R, binding)
+		if err != nil {
+			return value.Null(), err
+		}
+		return value.Arith(x.Op, l, r)
+	case *TAggr:
+		rel, err := e.env.Rel(x.Rel.Name, x.Rel.Aux)
+		if err != nil {
+			return value.Null(), err
+		}
+		return algebra.ComputeAggregate(rel, x.Func, x.Index)
+	default:
+		return value.Null(), fmt.Errorf("calculus: unknown term %T", t)
+	}
+}
+
+// compareValues applies a CL value predicate with the same two-valued null
+// semantics as the algebra layer: equality is value identity, ordering
+// against null is false.
+func compareValues(op algebra.CmpOp, l, r value.Value) (bool, error) {
+	switch op {
+	case algebra.CmpEQ:
+		return l.Equal(r), nil
+	case algebra.CmpNE:
+		return !l.Equal(r), nil
+	}
+	if l.IsNull() || r.IsNull() {
+		return false, nil
+	}
+	c, err := l.Compare(r)
+	if err != nil {
+		return false, err
+	}
+	switch op {
+	case algebra.CmpLT:
+		return c < 0, nil
+	case algebra.CmpLE:
+		return c <= 0, nil
+	case algebra.CmpGE:
+		return c >= 0, nil
+	case algebra.CmpGT:
+		return c > 0, nil
+	default:
+		return false, fmt.Errorf("calculus: unknown comparison %v", op)
+	}
+}

@@ -1,0 +1,224 @@
+// Package core implements the paper's primary contribution: the transaction
+// modification subsystem. Function ModT (Algorithm 5.1) rewrites an
+// arbitrary user transaction into one that cannot violate the integrity of
+// the database, by recursively appending the enforcement programs of the
+// integrity rules the transaction's statements trigger.
+//
+// Two operating modes are provided, matching Sections 5 and 6.2:
+//
+//   - precompiled (default): rules were translated at definition time into
+//     integrity programs; modification only selects and concatenates
+//     (functions TrigP/SelPS/ConcatP of Algorithm 6.2);
+//   - dynamic: rules are optimized and translated at every modification
+//     (functions SelRS/TrOptRS of Algorithms 5.2-5.3), kept for the
+//     static-vs-dynamic ablation benchmark.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/rules"
+	"repro/internal/translate"
+	"repro/internal/trigger"
+	"repro/internal/txn"
+)
+
+// DefaultMaxDepth bounds the modification recursion. The paper prevents
+// infinite triggering statically via the triggering graph (Section 6.1);
+// the depth guard is a defensive backstop so a semantically incorrect rule
+// set fails with a diagnostic instead of hanging.
+const DefaultMaxDepth = 32
+
+// Options configure a Subsystem.
+type Options struct {
+	// UseDifferential selects the delta-based enforcement programs derived
+	// by the optimizer where available.
+	UseDifferential bool
+	// Dynamic re-translates rules at each modification instead of using the
+	// precompiled integrity programs (Algorithm 5.1 verbatim).
+	Dynamic bool
+	// MaxDepth overrides DefaultMaxDepth when positive.
+	MaxDepth int
+}
+
+// Subsystem is the integrity control subsystem: it holds the rule catalog
+// and modifies transactions before execution.
+type Subsystem struct {
+	cat  *rules.Catalog
+	opts Options
+}
+
+// New returns a subsystem over the catalog.
+func New(cat *rules.Catalog, opts Options) *Subsystem {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = DefaultMaxDepth
+	}
+	return &Subsystem{cat: cat, opts: opts}
+}
+
+// Catalog returns the underlying rule catalog.
+func (s *Subsystem) Catalog() *rules.Catalog { return s.cat }
+
+// Step records one level of the modification recursion for reporting.
+type Step struct {
+	// Triggers raised by the program modified at this level.
+	Triggers trigger.Set
+	// Rules selected at this level, in catalog order.
+	Rules []string
+	// Statements appended at this level.
+	Statements int
+}
+
+// Report describes what the modification did to a transaction.
+type Report struct {
+	Depth          int
+	Steps          []Step
+	OriginalStmts  int
+	FinalStmts     int
+	RulesTriggered map[string]int // rule name → times selected
+}
+
+// String renders a human-readable summary.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "modification: %d -> %d statements, %d level(s)\n", r.OriginalStmts, r.FinalStmts, r.Depth)
+	for i, st := range r.Steps {
+		fmt.Fprintf(&sb, "  level %d: triggers {%s} selected [%s] (+%d stmts)\n",
+			i+1, st.Triggers, strings.Join(st.Rules, ", "), st.Statements)
+	}
+	return sb.String()
+}
+
+// Modify implements ModT: it debrackets the transaction, recursively extends
+// the program with the enforcement programs of triggered rules, and
+// rebrackets (Algorithm 5.1). The input transaction is not mutated.
+func (s *Subsystem) Modify(t *txn.Transaction) (*txn.Transaction, *Report, error) {
+	report := &Report{
+		OriginalStmts:  len(t.Program),
+		RulesTriggered: make(map[string]int),
+	}
+	prog, err := s.modP(t.Debracket(), 0, report)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.FinalStmts = len(prog)
+	out := txn.Bracket(prog)
+	out.Label = t.Label
+	return out, report, nil
+}
+
+// modP implements ModP: P if nothing is triggered, else P ⊕ ModP(TrigP(P)).
+func (s *Subsystem) modP(p algebra.Program, depth int, report *Report) (algebra.Program, error) {
+	if depth >= s.opts.MaxDepth {
+		return nil, fmt.Errorf("core: modification exceeded depth %d; the rule set has a triggering cycle (see the triggering graph analysis in package graph)", s.opts.MaxDepth)
+	}
+	triggered, step, err := s.trigP(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(triggered) == 0 {
+		return p, nil
+	}
+	report.Depth = depth + 1
+	report.Steps = append(report.Steps, step)
+	for _, name := range step.Rules {
+		report.RulesTriggered[name]++
+	}
+	rest, err := s.modP(triggered, depth+1, report)
+	if err != nil {
+		return nil, err
+	}
+	return p.Concat(rest), nil
+}
+
+// trigP implements TrigP: the concatenation of the enforcement programs of
+// the rules whose trigger sets intersect the program's triggers
+// (SelPS/ConcatP of Algorithm 6.2, or SelRS/TrOptRS of Algorithms 5.2-5.3 in
+// dynamic mode).
+func (s *Subsystem) trigP(p algebra.Program) (algebra.Program, Step, error) {
+	raised := s.programTriggers(p)
+	step := Step{Triggers: raised}
+	if raised.IsEmpty() {
+		return nil, step, nil
+	}
+	var out algebra.Program
+	for _, ip := range s.cat.Programs() {
+		if !ip.Triggers.Intersects(raised) {
+			continue
+		}
+		enforcement, err := s.enforcementProgram(ip)
+		if err != nil {
+			return nil, step, err
+		}
+		step.Rules = append(step.Rules, ip.RuleName)
+		step.Statements += len(enforcement)
+		out = out.Concat(enforcement)
+	}
+	return out, step, nil
+}
+
+// programTriggers computes GetTrigPX over a program: statements belonging to
+// a non-triggering rule action raise no triggers. Non-triggering actions are
+// recognized per enforcement-program instance via the nonTriggering marker
+// statements are tagged with when cloned in enforcementProgram.
+func (s *Subsystem) programTriggers(p algebra.Program) trigger.Set {
+	out := trigger.NewSet()
+	for _, st := range p {
+		if nt, ok := st.(*nonTriggeringStmt); ok {
+			_ = nt // declared non-triggering: contributes nothing
+			continue
+		}
+		out.AddAll(trigger.FromStatement(st))
+	}
+	return out
+}
+
+// enforcementProgram returns a fresh copy of the rule's enforcement program,
+// re-translating when the subsystem operates dynamically.
+func (s *Subsystem) enforcementProgram(ip *rules.IntegrityProgram) (algebra.Program, error) {
+	var prog algebra.Program
+	if r, ok := s.cat.Rule(ip.RuleName); s.opts.Dynamic && ok {
+		// Externally added programs (no rule, e.g. view maintenance) have
+		// nothing to re-translate and use the stored form even in dynamic
+		// mode.
+		fresh, err := rules.Compile(&rules.Rule{
+			Name:      r.Name,
+			Triggers:  r.Triggers.Clone(),
+			Condition: r.Condition,
+			Action:    r.Action,
+		}, s.cat.Schema())
+		if err != nil {
+			return nil, err
+		}
+		prog = fresh.Program(s.opts.UseDifferential)
+	} else {
+		prog = algebra.CloneProgram(ip.Program(s.opts.UseDifferential))
+	}
+	if ip.NonTriggering {
+		wrapped := make(algebra.Program, len(prog))
+		for i, st := range prog {
+			wrapped[i] = &nonTriggeringStmt{Stmt: st}
+		}
+		return wrapped, nil
+	}
+	return prog, nil
+}
+
+// nonTriggeringStmt wraps a statement of a non-triggering rule action so the
+// trigger extraction of the next recursion level skips it (GetTrigPX,
+// Definition 6.2). It is transparent for type checking and execution.
+type nonTriggeringStmt struct {
+	algebra.Stmt
+}
+
+// Classes returns the constraint classes enforced by the catalog, for
+// reporting.
+func (s *Subsystem) Classes() map[string][]translate.Class {
+	out := make(map[string][]translate.Class, s.cat.Len())
+	for _, ip := range s.cat.Programs() {
+		out[ip.RuleName] = ip.Classes
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/calculus"
+	"repro/internal/relation"
+	"repro/internal/rules"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// cascadeSchema: a(x int), b(x int).
+func cascadeSchema() *schema.Database {
+	a := schema.MustRelation("a", schema.Attribute{Name: "x", Type: value.KindInt})
+	b := schema.MustRelation("b", schema.Attribute{Name: "x", Type: value.KindInt})
+	return schema.MustDatabase(a, b)
+}
+
+func nonNegCond(rel string) calculus.WFF {
+	return &calculus.WQuant{Q: calculus.Forall, Var: "v", Body: &calculus.WImplies{
+		L: &calculus.WAtom{A: &calculus.AMember{Var: "v", Rel: calculus.RelRef{Name: rel}}},
+		R: &calculus.WAtom{A: &calculus.ACompare{
+			Op: algebra.CmpGE,
+			L:  &calculus.TAttr{Var: "v", Index: 0},
+			R:  &calculus.TConst{V: value.Int(0)},
+		}},
+	}}
+}
+
+// TestRecursiveEnforcementOrdersChecksAfterActions is the essential
+// soundness property of the recursion in Algorithm 5.1: when a compensating
+// action (level 1) performs updates that trigger another rule, that rule's
+// check is appended at level 2 and therefore runs AFTER the action — so
+// integrity violations introduced by compensation are still caught.
+func TestRecursiveEnforcementOrdersChecksAfterActions(t *testing.T) {
+	sch := cascadeSchema()
+	cat := rules.NewCatalog(sch)
+
+	// copyRule: whenever a changes, mirror all of a into b (a crude
+	// compensating action that triggers INS(b) at the next level).
+	copyAction := algebra.Program{
+		&algebra.Insert{Rel: "b", Src: algebra.NewRel("a")},
+	}
+	copyRule := &rules.Rule{
+		Name:      "copyAtoB",
+		Condition: nonNegCond("a"), // condition irrelevant for the cascade; action is what matters
+		Action:    rules.CompensateAction(copyAction, false),
+	}
+	if err := cat.Add(copyRule); err != nil {
+		t.Fatal(err)
+	}
+	// bNonNeg: aborting domain rule on b, triggered by INS(b) — i.e. by the
+	// compensation above, not by the user's statements.
+	bRule := &rules.Rule{Name: "bNonNeg", Condition: nonNegCond("b"), Action: rules.AbortAction()}
+	if err := cat.Add(bRule); err != nil {
+		t.Fatal(err)
+	}
+
+	sub := New(cat, Options{})
+	store := storage.New(sch)
+	exec := txn.NewExecutor(store)
+	aSchema, _ := sch.Relation("a")
+
+	// Inserting a negative value into a: the user transaction only touches
+	// a, so level 1 selects copyAtoB; its action inserts into b, so level 2
+	// selects bNonNeg, whose alarm sees the copied negative tuple.
+	user := txn.New(&algebra.Insert{
+		Rel: "a",
+		Src: algebra.NewLit(aSchema, relation.Tuple{value.Int(-7)}),
+	})
+	modified, report, err := sub.Modify(user)
+	if err != nil {
+		t.Fatalf("Modify: %v", err)
+	}
+	if report.Depth != 2 {
+		t.Fatalf("depth = %d, want 2 (cascade)", report.Depth)
+	}
+	if got := report.RulesTriggered["bNonNeg"]; got != 1 {
+		t.Fatalf("bNonNeg selected %d times, want 1 (triggered by the action, not the user)", got)
+	}
+	// The bNonNeg alarm must appear after the copy action in program order.
+	actionIdx, alarmIdx := -1, -1
+	for i, st := range modified.Program {
+		switch s := st.(type) {
+		case *algebra.Insert:
+			if s.Rel == "b" {
+				actionIdx = i
+			}
+		case *algebra.Alarm:
+			if s.Constraint == "bNonNeg" {
+				alarmIdx = i
+			}
+		}
+	}
+	if actionIdx < 0 || alarmIdx < 0 || alarmIdx < actionIdx {
+		t.Fatalf("level-2 alarm not ordered after level-1 action (action@%d alarm@%d):\n%s",
+			actionIdx, alarmIdx, modified)
+	}
+
+	res, err := exec.Exec(modified)
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if res.Committed {
+		t.Fatal("committed: the level-2 check missed the violation introduced by compensation")
+	}
+	if v := res.Violation(); v == nil || v.Constraint != "bNonNeg" {
+		t.Errorf("violation = %v, want bNonNeg", res.AbortReason)
+	}
+
+	// The positive case: a non-negative insert cascades and commits, with b
+	// mirroring a.
+	user2 := txn.New(&algebra.Insert{
+		Rel: "a",
+		Src: algebra.NewLit(aSchema, relation.Tuple{value.Int(4)}),
+	})
+	modified2, _, err := sub.Modify(user2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = exec.Exec(modified2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("clean cascade aborted: %v", res.AbortReason)
+	}
+	bRel, _ := store.Relation("b")
+	if bRel.Len() != 1 || !bRel.Contains(relation.Tuple{value.Int(4)}) {
+		t.Errorf("b after cascade = %v, want {(4)}", bRel)
+	}
+}
+
+// TestSameRuleSelectedAtMultipleLevels checks the paper's algorithm is
+// followed faithfully: a rule already selected at level 1 is selected again
+// at level 2 when the level-1 actions raise its triggers — the re-check is
+// required for soundness, not a defect.
+func TestSameRuleSelectedAtMultipleLevels(t *testing.T) {
+	sch := cascadeSchema()
+	cat := rules.NewCatalog(sch)
+	// Aborting rule on b.
+	bRule := &rules.Rule{Name: "bNonNeg", Condition: nonNegCond("b"), Action: rules.AbortAction()}
+	if err := cat.Add(bRule); err != nil {
+		t.Fatal(err)
+	}
+	// Compensating rule on a whose action writes b.
+	action := algebra.Program{&algebra.Insert{Rel: "b", Src: algebra.NewRel("a")}}
+	aRule := &rules.Rule{Name: "copy", Condition: nonNegCond("a"), Action: rules.CompensateAction(action, false)}
+	if err := cat.Add(aRule); err != nil {
+		t.Fatal(err)
+	}
+
+	sub := New(cat, Options{})
+	aSchema, _ := sch.Relation("a")
+	user := txn.New(
+		&algebra.Insert{Rel: "a", Src: algebra.NewLit(aSchema, relation.Tuple{value.Int(1)})},
+		&algebra.Insert{Rel: "b", Src: algebra.NewLit(mustRel(sch, "b"), relation.Tuple{value.Int(2)})},
+	)
+	_, report, err := sub.Modify(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bNonNeg fires at level 1 (user writes b) AND at level 2 (copy's action
+	// writes b again).
+	if got := report.RulesTriggered["bNonNeg"]; got != 2 {
+		t.Errorf("bNonNeg selected %d times, want 2 (once per level)", got)
+	}
+}
+
+func mustRel(sch *schema.Database, name string) *schema.Relation {
+	rs, ok := sch.Relation(name)
+	if !ok {
+		panic("missing " + name)
+	}
+	return rs
+}

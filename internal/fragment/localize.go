@@ -1,0 +1,220 @@
+package fragment
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/schema"
+)
+
+// Localizable reports whether an expression can be evaluated independently
+// on every node such that the union of the per-node results equals the
+// global result (witness multiplicity may differ; alarm semantics only needs
+// emptiness). The rules follow the fragmented-relation enforcement scheme of
+// [7]:
+//
+//   - a fragmented base relation is locally evaluable and carries its
+//     fragmentation attribute;
+//   - a replicated relation (or literal) is available in full on every node;
+//   - selection, projection and renaming preserve local evaluability;
+//   - inner joins are local when either side is replicated or the sides are
+//     co-located (equi-joined on their fragmentation attributes);
+//   - semijoins and intersections additionally allow a replicated left side;
+//   - antijoins and differences require a replicated right side or
+//     co-location (a missing match might otherwise live on another node);
+//   - aggregates, counts and temps require a gather.
+func Localizable(e algebra.Expr, sch *schema.Database, placement Placement) bool {
+	clone := algebra.CloneExpr(e)
+	tenv := algebra.NewTypeEnv(sch)
+	if _, err := clone.TypeCheck(tenv); err != nil {
+		return false
+	}
+	info := analyze(clone, placement)
+	return info.ok
+}
+
+// fragInfo describes how an intermediate result is distributed across
+// nodes.
+type fragInfo struct {
+	ok         bool         // evaluable node-locally
+	replicated bool         // every node computes the full result
+	cols       map[int]bool // output columns carrying the fragmentation value
+}
+
+func analyze(e algebra.Expr, placement Placement) fragInfo {
+	switch x := e.(type) {
+	case *algebra.Rel:
+		if col, fragmented := placement[x.Name]; fragmented {
+			return fragInfo{ok: true, cols: map[int]bool{col: true}}
+		}
+		return fragInfo{ok: true, replicated: true}
+	case *algebra.Lit:
+		return fragInfo{ok: true, replicated: true}
+	case *algebra.Temp:
+		return fragInfo{}
+	case *algebra.Select:
+		return analyze(x.In, placement)
+	case *algebra.Rename:
+		return analyze(x.In, placement)
+	case *algebra.Project:
+		in := analyze(x.In, placement)
+		if !in.ok {
+			return fragInfo{}
+		}
+		out := fragInfo{ok: true, replicated: in.replicated, cols: map[int]bool{}}
+		for i, c := range x.Cols {
+			if a, isAttr := c.(*algebra.Attr); isAttr && in.cols[a.Index] {
+				out.cols[i] = true
+			}
+		}
+		return out
+	case *algebra.Join:
+		return analyzeJoin(x, placement)
+	case *algebra.SetExpr:
+		return analyzeSetOp(x, placement)
+	case *algebra.Aggregate:
+		return fragInfo{}
+	default:
+		return fragInfo{}
+	}
+}
+
+func analyzeJoin(j *algebra.Join, placement Placement) fragInfo {
+	l := analyze(j.L, placement)
+	r := analyze(j.R, placement)
+	if !l.ok || !r.ok {
+		return fragInfo{}
+	}
+	lArity := j.L.Schema().Arity()
+	colocated := equiColocated(j, l, r, lArity)
+
+	outCols := func() map[int]bool {
+		cols := map[int]bool{}
+		for c := range l.cols {
+			cols[c] = true
+		}
+		if j.Kind == algebra.JoinInner {
+			for c := range r.cols {
+				cols[c+lArity] = true
+			}
+		}
+		return cols
+	}
+
+	switch j.Kind {
+	case algebra.JoinInner:
+		if r.replicated || l.replicated || colocated {
+			return fragInfo{ok: true, replicated: l.replicated && r.replicated, cols: outCols()}
+		}
+	case algebra.JoinSemi:
+		if r.replicated || l.replicated || colocated {
+			return fragInfo{ok: true, replicated: l.replicated && r.replicated, cols: outCols()}
+		}
+	case algebra.JoinAnti:
+		// A missing match may live on another node unless the right side is
+		// complete per node or matches are co-located.
+		if r.replicated || (!l.replicated && colocated) {
+			return fragInfo{ok: true, replicated: l.replicated && r.replicated, cols: outCols()}
+		}
+	}
+	return fragInfo{}
+}
+
+// equiColocated reports whether the join predicate equates a fragmentation
+// column of the left input with a fragmentation column of the right input,
+// so matching tuples hash to the same node.
+func equiColocated(j *algebra.Join, l, r fragInfo, lArity int) bool {
+	if l.replicated || r.replicated || j.Pred == nil {
+		return false
+	}
+	pairs := equiPairs(j.Pred, lArity)
+	for _, p := range pairs {
+		if l.cols[p[0]] && r.cols[p[1]] {
+			return true
+		}
+	}
+	return false
+}
+
+// equiPairs extracts (leftCol, rightCol) pairs from equality conjuncts of a
+// join predicate over the concatenated schema.
+func equiPairs(pred algebra.Scalar, lArity int) [][2]int {
+	var out [][2]int
+	var walk func(p algebra.Scalar)
+	walk = func(p algebra.Scalar) {
+		switch x := p.(type) {
+		case *algebra.And:
+			walk(x.L)
+			walk(x.R)
+		case *algebra.Cmp:
+			if x.Op != algebra.CmpEQ {
+				return
+			}
+			la, lok := x.L.(*algebra.Attr)
+			ra, rok := x.R.(*algebra.Attr)
+			if !lok || !rok {
+				return
+			}
+			switch {
+			case la.Index < lArity && ra.Index >= lArity:
+				out = append(out, [2]int{la.Index, ra.Index - lArity})
+			case ra.Index < lArity && la.Index >= lArity:
+				out = append(out, [2]int{ra.Index, la.Index - lArity})
+			}
+		}
+	}
+	walk(pred)
+	return out
+}
+
+func analyzeSetOp(s *algebra.SetExpr, placement Placement) fragInfo {
+	l := analyze(s.L, placement)
+	r := analyze(s.R, placement)
+	if !l.ok || !r.ok {
+		return fragInfo{}
+	}
+	aligned := false
+	for c := range l.cols {
+		if r.cols[c] {
+			aligned = true
+			break
+		}
+	}
+	switch s.Op {
+	case algebra.SetUnion:
+		if (l.replicated && r.replicated) || aligned {
+			return fragInfo{ok: true, replicated: l.replicated && r.replicated, cols: intersectCols(l.cols, r.cols)}
+		}
+		// Union of differently-placed fragmented inputs is still a valid
+		// per-node union for emptiness purposes.
+		return fragInfo{ok: true}
+	case algebra.SetDiff:
+		if r.replicated || aligned {
+			return fragInfo{ok: true, replicated: l.replicated && r.replicated, cols: l.cols}
+		}
+	case algebra.SetIntersect:
+		if r.replicated || l.replicated || aligned {
+			return fragInfo{ok: true, replicated: l.replicated && r.replicated, cols: unionCols(l.cols, r.cols)}
+		}
+	}
+	return fragInfo{}
+}
+
+func intersectCols(a, b map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for c := range a {
+		if b[c] {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+func unionCols(a, b map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for c := range a {
+		out[c] = true
+	}
+	for c := range b {
+		out[c] = true
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+// Package optimize implements integrity rule optimization — the paper's
+// OptR/OptC hooks (Algorithm 5.4). The concrete technique implemented is the
+// differential-relation rewrite the paper cites ([18, 5, 7]): enforcement
+// programs are specialized to read the transaction's net insert/delete
+// deltas instead of full relations wherever that is sound for the
+// constraint's class.
+package optimize
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/calculus"
+	"repro/internal/schema"
+	"repro/internal/translate"
+	"repro/internal/value"
+)
+
+// Differential derives a delta-based enforcement program from the translated
+// parts of a constraint condition. It returns the program and whether any
+// part actually gained a differential form; parts that cannot be soundly
+// incrementalized (aggregates, existentials, transition constraints reading
+// old()) keep their full-state check.
+//
+// Soundness argument per class, assuming the constraint held in the
+// pre-transaction state:
+//
+//   - domain: the condition is per-tuple, so only net-inserted tuples can
+//     violate it — check σ_γ(ins R).
+//   - referential: a violation needs either a new left tuple with no match
+//     (check antijoin(σ_γ(ins R), σ_δ(S), ψ)) or an old left tuple whose
+//     matches were all deleted (check
+//     antijoin(semijoin(σ_γ(R), σ_δ(del S), ψ), σ_δ(S), ψ)).
+//   - pair: a violating pair must involve a net-inserted tuple on at least
+//     one side — check semijoin(σ_γ(ins R), σ_δ(S), v) and
+//     semijoin(σ_γ(R), σ_δ(ins S), v).
+//   - existential / aggregate / mixed: the witness structure is global;
+//     recheck in full.
+func Differential(parts []*translate.Part, db *schema.Database, constraint string) (algebra.Program, bool) {
+	var prog algebra.Program
+	improved := false
+	for _, p := range parts {
+		dp, ok := differentialPart(p, db, constraint)
+		if ok {
+			improved = true
+			prog = prog.Concat(dp)
+		} else {
+			prog = prog.Concat(algebra.CloneProgram(p.Program))
+		}
+	}
+	return prog, improved
+}
+
+func differentialPart(p *translate.Part, db *schema.Database, constraint string) (algebra.Program, bool) {
+	switch p.Class {
+	case translate.ClassDomain:
+		if p.Rel.Aux != algebra.AuxCur || p.HasAggs {
+			return nil, false
+		}
+		expr := guarded(algebra.NewAuxRel(p.Rel.Name, algebra.AuxIns), p.Guard)
+		expr = algebra.NewSelect(expr, &algebra.Not{X: algebra.CloneScalar(p.Cond)})
+		return alarmProgram(expr, db, constraint)
+
+	case translate.ClassReferential:
+		if p.Rel.Aux != algebra.AuxCur || p.Other.Aux != algebra.AuxCur {
+			return nil, false
+		}
+		// New left tuples must find a match in the current right state.
+		left1 := guarded(algebra.NewAuxRel(p.Rel.Name, algebra.AuxIns), p.Guard)
+		right := guarded(algebra.NewAuxRel(p.Other.Name, algebra.AuxCur), p.OtherGuard)
+		check1 := algebra.NewAntiJoin(left1, right, cloneOrNil(p.JoinPred))
+
+		// Old left tuples that referenced deleted right tuples must still
+		// find a match.
+		delRight := guarded(algebra.NewAuxRel(p.Other.Name, algebra.AuxDel), p.OtherGuard)
+		affected := algebra.NewSemiJoin(
+			guarded(algebra.NewRel(p.Rel.Name), p.Guard),
+			delRight,
+			cloneOrNil(p.JoinPred),
+		)
+		right2 := guarded(algebra.NewAuxRel(p.Other.Name, algebra.AuxCur), p.OtherGuard)
+		check2 := algebra.NewAntiJoin(affected, right2, cloneOrNil(p.JoinPred))
+
+		prog1, ok := alarmProgram(check1, db, constraint)
+		if !ok {
+			return nil, false
+		}
+		prog2, ok := alarmProgram(check2, db, constraint)
+		if !ok {
+			return nil, false
+		}
+		return prog1.Concat(prog2), true
+
+	case translate.ClassPair:
+		if p.Rel.Aux != algebra.AuxCur || p.Other.Aux != algebra.AuxCur {
+			return nil, false
+		}
+		// Violating pairs involving a new left tuple.
+		check1 := algebra.NewSemiJoin(
+			guarded(algebra.NewAuxRel(p.Rel.Name, algebra.AuxIns), p.Guard),
+			guarded(algebra.NewRel(p.Other.Name), p.OtherGuard),
+			cloneOrNil(p.JoinPred),
+		)
+		// Violating pairs involving a new right tuple.
+		check2 := algebra.NewSemiJoin(
+			guarded(algebra.NewRel(p.Rel.Name), p.Guard),
+			guarded(algebra.NewAuxRel(p.Other.Name, algebra.AuxIns), p.OtherGuard),
+			cloneOrNil(p.JoinPred),
+		)
+		prog1, ok := alarmProgram(check1, db, constraint)
+		if !ok {
+			return nil, false
+		}
+		prog2, ok := alarmProgram(check2, db, constraint)
+		if !ok {
+			return nil, false
+		}
+		return prog1.Concat(prog2), true
+
+	default:
+		return nil, false
+	}
+}
+
+func guarded(e algebra.Expr, guard algebra.Scalar) algebra.Expr {
+	if guard == nil {
+		return e
+	}
+	return algebra.NewSelect(e, algebra.CloneScalar(guard))
+}
+
+func cloneOrNil(s algebra.Scalar) algebra.Scalar {
+	if s == nil {
+		return nil
+	}
+	return algebra.CloneScalar(s)
+}
+
+func alarmProgram(e algebra.Expr, db *schema.Database, constraint string) (algebra.Program, bool) {
+	tenv := algebra.NewTypeEnv(db)
+	if _, err := e.TypeCheck(tenv); err != nil {
+		return nil, false
+	}
+	return algebra.Program{&algebra.Alarm{Expr: e, Constraint: constraint}}, true
+}
+
+// SimplifyCondition applies cheap semantics-preserving rewrites to a CL
+// condition before translation — the syntactic-manipulation slot of OptC
+// ([14, 11]): double-negation elimination and constant folding of
+// comparisons between constants.
+func SimplifyCondition(w calculus.WFF) calculus.WFF {
+	switch x := w.(type) {
+	case *calculus.WNot:
+		inner := SimplifyCondition(x.X)
+		if n, ok := inner.(*calculus.WNot); ok {
+			return n.X
+		}
+		return &calculus.WNot{X: inner}
+	case *calculus.WAnd:
+		return &calculus.WAnd{L: SimplifyCondition(x.L), R: SimplifyCondition(x.R)}
+	case *calculus.WOr:
+		return &calculus.WOr{L: SimplifyCondition(x.L), R: SimplifyCondition(x.R)}
+	case *calculus.WImplies:
+		return &calculus.WImplies{L: SimplifyCondition(x.L), R: SimplifyCondition(x.R)}
+	case *calculus.WQuant:
+		return &calculus.WQuant{Q: x.Q, Var: x.Var, Body: SimplifyCondition(x.Body)}
+	case *calculus.WAtom:
+		if c, ok := x.A.(*calculus.ACompare); ok {
+			if folded, ok := foldConstCompare(c); ok {
+				return folded
+			}
+		}
+		return x
+	default:
+		return w
+	}
+}
+
+// foldConstCompare folds comparisons between two constants into a canonical
+// always-true/false atom (expressed as 0=0 or 0=1 so the AST stays within
+// CL).
+func foldConstCompare(c *calculus.ACompare) (calculus.WFF, bool) {
+	lc, lok := c.L.(*calculus.TConst)
+	rc, rok := c.R.(*calculus.TConst)
+	if !lok || !rok {
+		return nil, false
+	}
+	var truth bool
+	switch c.Op {
+	case algebra.CmpEQ:
+		truth = lc.V.Equal(rc.V)
+	case algebra.CmpNE:
+		truth = !lc.V.Equal(rc.V)
+	default:
+		cmp, err := lc.V.Compare(rc.V)
+		if err != nil {
+			return nil, false
+		}
+		switch c.Op {
+		case algebra.CmpLT:
+			truth = cmp < 0
+		case algebra.CmpLE:
+			truth = cmp <= 0
+		case algebra.CmpGE:
+			truth = cmp >= 0
+		case algebra.CmpGT:
+			truth = cmp > 0
+		}
+	}
+	rhs := int64(1)
+	if truth {
+		rhs = 0
+	}
+	return &calculus.WAtom{A: &calculus.ACompare{
+		Op: algebra.CmpEQ,
+		L:  &calculus.TConst{V: value.Int(0)},
+		R:  &calculus.TConst{V: value.Int(rhs)},
+	}}, true
+}

@@ -1,0 +1,245 @@
+// Package relation implements relation instances with set semantics
+// (Definition 2.1): deduplicated collections of tuples over a relation
+// schema. Relations are the unit of data the algebra evaluator, the storage
+// layer and the fragmentation layer all exchange.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Tuple is an ordered list of values conforming to a relation schema.
+type Tuple []value.Value
+
+// Key returns the canonical byte-string identity of the tuple; two tuples
+// have equal keys iff they are equal as set elements.
+func (t Tuple) Key() string {
+	buf := make([]byte, 0, 16*len(t))
+	for _, v := range t {
+		buf = v.AppendKey(buf)
+	}
+	return string(buf)
+}
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Concat returns the concatenation t ++ o as a new tuple.
+func (t Tuple) Concat(o Tuple) Tuple {
+	c := make(Tuple, 0, len(t)+len(o))
+	c = append(c, t...)
+	return append(c, o...)
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Less orders tuples lexicographically by value.Sort; used for deterministic
+// display and test assertions.
+func (t Tuple) Less(o Tuple) bool {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := value.Sort(t[i], o[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(t) < len(o)
+}
+
+// Relation is a set of tuples over a schema. The zero value is not usable;
+// construct with New.
+type Relation struct {
+	schema *schema.Relation
+	tuples map[string]Tuple
+}
+
+// New returns an empty relation instance of the given schema.
+func New(s *schema.Relation) *Relation {
+	return &Relation{schema: s, tuples: make(map[string]Tuple)}
+}
+
+// FromTuples builds a relation from the given tuples, deduplicating. Tuples
+// whose arity does not match the schema are rejected.
+func FromTuples(s *schema.Relation, tuples ...Tuple) (*Relation, error) {
+	r := New(s)
+	for _, t := range tuples {
+		if err := r.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// MustFromTuples is FromTuples that panics on error; for tests and examples.
+func MustFromTuples(s *schema.Relation, tuples ...Tuple) *Relation {
+	r, err := FromTuples(s, tuples...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *schema.Relation { return r.schema }
+
+// Len returns the cardinality of the relation.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// IsEmpty reports whether the relation has no tuples.
+func (r *Relation) IsEmpty() bool { return len(r.tuples) == 0 }
+
+// Insert adds t to the set; inserting a duplicate is a silent no-op per set
+// semantics. The tuple arity must match the schema.
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != r.schema.Arity() {
+		return fmt.Errorf("relation %s: tuple arity %d, want %d", r.schema.Name, len(t), r.schema.Arity())
+	}
+	r.tuples[t.Key()] = t
+	return nil
+}
+
+// InsertUnchecked adds t without arity validation; for internal operators
+// that construct tuples of a known shape.
+func (r *Relation) InsertUnchecked(t Tuple) {
+	r.tuples[t.Key()] = t
+}
+
+// Delete removes t from the set, reporting whether it was present.
+func (r *Relation) Delete(t Tuple) bool {
+	k := t.Key()
+	if _, ok := r.tuples[k]; ok {
+		delete(r.tuples, k)
+		return true
+	}
+	return false
+}
+
+// Contains reports set membership of t.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.tuples[t.Key()]
+	return ok
+}
+
+// ForEach invokes fn for every tuple; iteration stops early if fn returns a
+// non-nil error, which is propagated. Iteration order is unspecified.
+func (r *Relation) ForEach(fn func(Tuple) error) error {
+	for _, t := range r.tuples {
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tuples returns all tuples in unspecified order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	return out
+}
+
+// SortedTuples returns all tuples in deterministic lexicographic order.
+func (r *Relation) SortedTuples() []Tuple {
+	out := r.Tuples()
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Clone returns a deep-enough copy: the tuple map is copied, tuples
+// themselves are immutable by convention and shared.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{schema: r.schema, tuples: make(map[string]Tuple, len(r.tuples))}
+	for k, t := range r.tuples {
+		c.tuples[k] = t
+	}
+	return c
+}
+
+// CloneAs is Clone with the schema renamed; used for auxiliary relations
+// such as pre-transaction states.
+func (r *Relation) CloneAs(name string) *Relation {
+	c := r.Clone()
+	c.schema = r.schema.Clone(name)
+	return c
+}
+
+// Equal reports whether two relations contain exactly the same tuple set.
+func (r *Relation) Equal(o *Relation) bool {
+	if len(r.tuples) != len(o.tuples) {
+		return false
+	}
+	for k := range r.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionInPlace inserts every tuple of o into r.
+func (r *Relation) UnionInPlace(o *Relation) {
+	for k, t := range o.tuples {
+		r.tuples[k] = t
+	}
+}
+
+// DiffInPlace removes every tuple of o from r.
+func (r *Relation) DiffInPlace(o *Relation) {
+	for k := range o.tuples {
+		delete(r.tuples, k)
+	}
+}
+
+// String renders the relation with its schema header and sorted tuples, for
+// debugging and golden tests.
+func (r *Relation) String() string {
+	var sb strings.Builder
+	sb.WriteString(r.schema.String())
+	sb.WriteString(" {")
+	for i, t := range r.SortedTuples() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.String())
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

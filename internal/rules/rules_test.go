@@ -1,0 +1,192 @@
+package rules_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/rules"
+	"repro/internal/schema"
+	"repro/internal/translate"
+	"repro/internal/value"
+)
+
+func ruleSchema() *schema.Database {
+	r := schema.MustRelation("r",
+		schema.Attribute{Name: "a", Type: value.KindInt},
+		schema.Attribute{Name: "b", Type: value.KindInt},
+	)
+	s := schema.MustRelation("s",
+		schema.Attribute{Name: "k", Type: value.KindInt},
+		schema.Attribute{Name: "v", Type: value.KindInt},
+	)
+	return schema.MustDatabase(r, s)
+}
+
+func parseRule(t *testing.T, db *schema.Database, name, src string) *rules.Rule {
+	t.Helper()
+	r, err := lang.ParseRule(name, src, db)
+	if err != nil {
+		t.Fatalf("parse rule %s: %v", name, err)
+	}
+	return r
+}
+
+func TestCompileAbortingRule(t *testing.T) {
+	db := ruleSchema()
+	r := parseRule(t, db, "R", `if not forall x (x in r implies x.a >= 0) then abort`)
+	ip, err := rules.Compile(r, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.RuleName != "R" {
+		t.Errorf("name = %q", ip.RuleName)
+	}
+	if got := ip.Triggers.String(); got != "INS(r)" {
+		t.Errorf("generated triggers = %q, want INS(r)", got)
+	}
+	if len(ip.Classes) != 1 || ip.Classes[0] != translate.ClassDomain {
+		t.Errorf("classes = %v", ip.Classes)
+	}
+	if ip.Differential == nil {
+		t.Error("domain rule has no differential program")
+	}
+	if ip.Program(false).String() == ip.Program(true).String() {
+		t.Error("full and differential programs identical")
+	}
+	// Fallback: a rule without differential returns Full for both.
+	r2 := parseRule(t, db, "E", `if not exists x (x in r and x.a = 0) then abort`)
+	ip2, err := rules.Compile(r2, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip2.Differential != nil {
+		t.Error("existential rule gained a differential program")
+	}
+	if ip2.Program(true).String() != ip2.Full.String() {
+		t.Error("Program(true) did not fall back to Full")
+	}
+}
+
+func TestCompileCompensatingRule(t *testing.T) {
+	db := ruleSchema()
+	r := parseRule(t, db, "C", `
+		if not forall x (x in r implies exists y (y in s and x.b = y.k))
+		then insert(s, project(antijoin(r, s, b = k), b as k, 0 as v))`)
+	ip, err := rules.Compile(r, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ip.Triggers.String(); got != "INS(r), DEL(s)" {
+		t.Errorf("triggers = %q", got)
+	}
+	if !strings.Contains(ip.Full.String(), "insert(s") {
+		t.Errorf("compensating program lost: %s", ip.Full)
+	}
+	if ip.NonTriggering {
+		t.Error("rule marked non-triggering without declaration")
+	}
+}
+
+func TestCompileRejections(t *testing.T) {
+	db := ruleSchema()
+	cases := []struct {
+		name string
+		rule *rules.Rule
+		want string
+	}{
+		{"no name", &rules.Rule{}, "name"},
+		{"no condition", &rules.Rule{Name: "X", Action: rules.AbortAction()}, "condition"},
+	}
+	for _, c := range cases {
+		if _, err := rules.Compile(c.rule, db); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+	// Ill-typed action.
+	r := parseRule(t, db, "Bad", `
+		if not forall x (x in r implies x.a >= 0)
+		then insert(s, r)`) // r has incompatible schema? r(a,b) int,int vs s(k,v) int,int — compatible!
+	if _, err := rules.Compile(r, db); err != nil {
+		t.Errorf("schema-compatible action rejected: %v", err)
+	}
+	r2 := parseRule(t, db, "Bad2", `
+		if not forall x (x in r implies x.a >= 0)
+		then insert(s, project(r, a))`) // arity mismatch
+	if _, err := rules.Compile(r2, db); err == nil {
+		t.Error("arity-mismatched action compiled")
+	}
+	// Condition outside the supported fragment.
+	r3 := parseRule(t, db, "Bad3",
+		`if not forall x (x in r implies exists y (y in s and exists z (z in r and z.a = y.k and z.b = x.b))) then abort`)
+	if _, err := rules.Compile(r3, db); err == nil {
+		t.Error("three-level condition compiled")
+	}
+}
+
+func TestCatalogLifecycle(t *testing.T) {
+	db := ruleSchema()
+	cat := rules.NewCatalog(db)
+	r1 := parseRule(t, db, "R1", `if not forall x (x in r implies x.a >= 0) then abort`)
+	r2 := parseRule(t, db, "R2", `if not CNT(s) <= 100 then abort`)
+	if err := cat.Add(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add(r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add(parseRule(t, db, "R1", `if not CNT(r) <= 1 then abort`)); err == nil {
+		t.Error("duplicate rule name accepted")
+	}
+	if cat.Len() != 2 {
+		t.Errorf("Len = %d", cat.Len())
+	}
+	progs := cat.Programs()
+	if len(progs) != 2 || progs[0].RuleName != "R1" || progs[1].RuleName != "R2" {
+		t.Errorf("Programs order = %v", []string{progs[0].RuleName, progs[1].RuleName})
+	}
+	if _, ok := cat.Rule("R2"); !ok {
+		t.Error("Rule(R2) missing")
+	}
+	if _, ok := cat.Program("R2"); !ok {
+		t.Error("Program(R2) missing")
+	}
+	if err := cat.Remove("R1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Remove("R1"); err == nil {
+		t.Error("double remove succeeded")
+	}
+	if cat.Len() != 1 || cat.Programs()[0].RuleName != "R2" {
+		t.Errorf("catalog after remove: %v", cat.Names())
+	}
+}
+
+func TestExplicitTriggersPreserved(t *testing.T) {
+	db := ruleSchema()
+	r := parseRule(t, db, "R", `
+		when DEL(r)
+		if not forall x (x in r implies x.a >= 0)
+		then abort`)
+	ip, err := rules.Compile(r, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ip.Triggers.String(); got != "DEL(r)" {
+		t.Errorf("explicit trigger set overwritten: %q", got)
+	}
+}
+
+func TestRuleStringRendering(t *testing.T) {
+	db := ruleSchema()
+	r := parseRule(t, db, "R", `if not forall x (x in r implies x.a >= 0) then abort`)
+	if _, err := rules.Compile(r, db); err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	for _, frag := range []string{"WHEN INS(r)", "IF NOT", "THEN abort"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rule text %q missing %q", s, frag)
+		}
+	}
+}

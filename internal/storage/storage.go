@@ -1,0 +1,108 @@
+// Package storage implements the main-memory database store: named relation
+// instances over a database schema, with a logical clock counting committed
+// transitions (Definition 2.3). It plays the role PRISMA/DB's storage layer
+// plays in the paper — transactions execute against it through the overlay
+// in package txn.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+// Database is a database state D of a database schema (Definition 2.2) plus
+// a logical clock. It is not safe for concurrent mutation; the transaction
+// executor serializes access.
+type Database struct {
+	sch  *schema.Database
+	rels map[string]*relation.Relation
+	time uint64
+}
+
+// New returns an empty database state (all relations empty, logical time 0)
+// for the given schema.
+func New(sch *schema.Database) *Database {
+	db := &Database{sch: sch, rels: make(map[string]*relation.Relation, sch.Len())}
+	for _, name := range sch.Names() {
+		rs, _ := sch.Relation(name)
+		db.rels[name] = relation.New(rs)
+	}
+	return db
+}
+
+// Schema returns the database schema.
+func (d *Database) Schema() *schema.Database { return d.sch }
+
+// Time returns the logical time of the current state.
+func (d *Database) Time() uint64 { return d.time }
+
+// Relation returns the current instance of the named relation.
+func (d *Database) Relation(name string) (*relation.Relation, error) {
+	r, ok := d.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// AddRelation registers a new relation schema after creation, with an empty
+// instance. The schema must already be present in the database schema (the
+// caller updates both in step); duplicate instances are rejected.
+func (d *Database) AddRelation(rs *schema.Relation) error {
+	if _, ok := d.rels[rs.Name]; ok {
+		return fmt.Errorf("storage: relation %q already exists", rs.Name)
+	}
+	if _, ok := d.sch.Relation(rs.Name); !ok {
+		return fmt.Errorf("storage: relation %q missing from database schema", rs.Name)
+	}
+	d.rels[rs.Name] = relation.New(rs)
+	return nil
+}
+
+// Load bulk-replaces the instance of a relation; intended for test fixtures
+// and workload generators, outside any transaction. The logical clock is not
+// advanced.
+func (d *Database) Load(r *relation.Relation) error {
+	name := r.Schema().Name
+	if _, ok := d.rels[name]; !ok {
+		return fmt.Errorf("storage: unknown relation %q", name)
+	}
+	d.rels[name] = r
+	return nil
+}
+
+// ApplyCommit installs the changed relations as the next database state and
+// advances the logical clock: D^t becomes D^{t+1}.
+func (d *Database) ApplyCommit(changed map[string]*relation.Relation) error {
+	for name := range changed {
+		if _, ok := d.rels[name]; !ok {
+			return fmt.Errorf("storage: commit touches unknown relation %q", name)
+		}
+	}
+	for name, r := range changed {
+		d.rels[name] = r
+	}
+	d.time++
+	return nil
+}
+
+// Clone returns an independent copy of the database state (relations are
+// copied; tuples are shared as they are immutable by convention).
+func (d *Database) Clone() *Database {
+	c := &Database{sch: d.sch, rels: make(map[string]*relation.Relation, len(d.rels)), time: d.time}
+	for name, r := range d.rels {
+		c.rels[name] = r.Clone()
+	}
+	return c
+}
+
+// TotalTuples returns the sum of all relation cardinalities, for reporting.
+func (d *Database) TotalTuples() int {
+	n := 0
+	for _, r := range d.rels {
+		n += r.Len()
+	}
+	return n
+}

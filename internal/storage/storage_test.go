@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func storageSchema() *schema.Database {
+	r := schema.MustRelation("r", schema.Attribute{Name: "a", Type: value.KindInt})
+	return schema.MustDatabase(r)
+}
+
+func TestNewDatabaseStartsEmptyAtTimeZero(t *testing.T) {
+	db := New(storageSchema())
+	if db.Time() != 0 {
+		t.Errorf("Time = %d", db.Time())
+	}
+	r, err := db.Relation("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("fresh relation has %d tuples", r.Len())
+	}
+	if _, err := db.Relation("nope"); err == nil {
+		t.Error("unknown relation lookup succeeded")
+	}
+}
+
+func TestApplyCommitAdvancesTime(t *testing.T) {
+	db := New(storageSchema())
+	rs, _ := storageSchema().Relation("r")
+	next := relation.MustFromTuples(rs, relation.Tuple{value.Int(1)})
+	if err := db.ApplyCommit(map[string]*relation.Relation{"r": next}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Time() != 1 {
+		t.Errorf("Time = %d, want 1", db.Time())
+	}
+	r, _ := db.Relation("r")
+	if r.Len() != 1 {
+		t.Errorf("r has %d tuples", r.Len())
+	}
+	if err := db.ApplyCommit(map[string]*relation.Relation{"zzz": next}); err == nil {
+		t.Error("commit touching unknown relation accepted")
+	}
+	if db.Time() != 1 {
+		t.Error("failed commit advanced the clock")
+	}
+}
+
+func TestLoadReplacesInstance(t *testing.T) {
+	sch := storageSchema()
+	db := New(sch)
+	rs, _ := sch.Relation("r")
+	if err := db.Load(relation.MustFromTuples(rs, relation.Tuple{value.Int(1)}, relation.Tuple{value.Int(2)})); err != nil {
+		t.Fatal(err)
+	}
+	if db.TotalTuples() != 2 {
+		t.Errorf("TotalTuples = %d", db.TotalTuples())
+	}
+	if db.Time() != 0 {
+		t.Error("Load advanced the clock")
+	}
+	other := schema.MustRelation("x", schema.Attribute{Name: "a", Type: value.KindInt})
+	if err := db.Load(relation.New(other)); err == nil {
+		t.Error("Load of unknown relation accepted")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	sch := storageSchema()
+	db := New(sch)
+	rs, _ := sch.Relation("r")
+	if err := db.Load(relation.MustFromTuples(rs, relation.Tuple{value.Int(1)})); err != nil {
+		t.Fatal(err)
+	}
+	clone := db.Clone()
+	next := relation.MustFromTuples(rs, relation.Tuple{value.Int(9)})
+	if err := clone.ApplyCommit(map[string]*relation.Relation{"r": next}); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := db.Relation("r")
+	if orig.Len() != 1 || !orig.Contains(relation.Tuple{value.Int(1)}) {
+		t.Error("clone commit leaked into original")
+	}
+	if db.Time() != 0 || clone.Time() != 1 {
+		t.Errorf("times: orig=%d clone=%d", db.Time(), clone.Time())
+	}
+}
+
+func TestAddRelationDynamic(t *testing.T) {
+	sch := storageSchema()
+	db := New(sch)
+	extra := schema.MustRelation("extra", schema.Attribute{Name: "z", Type: value.KindString})
+	// Must be registered in the schema first.
+	if err := db.AddRelation(extra); err == nil {
+		t.Error("AddRelation accepted schema-less relation")
+	}
+	if err := sch.Add(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRelation(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRelation(extra); err == nil {
+		t.Error("duplicate AddRelation accepted")
+	}
+	r, err := db.Relation("extra")
+	if err != nil || r.Len() != 0 {
+		t.Errorf("extra relation = %v, %v", r, err)
+	}
+}

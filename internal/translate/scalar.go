@@ -1,0 +1,246 @@
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/calculus"
+	"repro/internal/schema"
+)
+
+// scalarCtx carries the positional layout under which a quantifier-free CL
+// condition is translated to a scalar expression: where each tuple
+// variable's attributes start in the (possibly concatenated) input tuple,
+// and at which column each aggregate term has been materialized.
+type scalarCtx struct {
+	vars    map[string]varBind
+	aggCols map[string]int
+}
+
+type varBind struct {
+	offset int
+	rel    calculus.RelRef
+	sch    *schema.Relation
+}
+
+func newScalarCtx() *scalarCtx {
+	return &scalarCtx{vars: make(map[string]varBind), aggCols: make(map[string]int)}
+}
+
+func (c *scalarCtx) bindVar(name string, offset int, rel calculus.RelRef, sch *schema.Relation) {
+	c.vars[name] = varBind{offset: offset, rel: rel, sch: sch}
+}
+
+func aggKey(t *calculus.TAggr) string { return t.String() }
+
+// collectAggs returns the distinct aggregate terms of w in first-appearance
+// order.
+func collectAggs(w calculus.WFF) []*calculus.TAggr {
+	var out []*calculus.TAggr
+	seen := make(map[string]bool)
+	calculus.WalkTerms(w, func(t calculus.Term) {
+		if a, ok := t.(*calculus.TAggr); ok {
+			k := aggKey(a)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, a)
+			}
+		}
+	})
+	return out
+}
+
+// appendAggJoins extends base with one single-tuple aggregate relation per
+// distinct aggregate term in w (a Cartesian product with a 1-tuple relation
+// per term), recording each term's absolute column in ctx. startCol is the
+// arity of base. When base is nil the first aggregate relation becomes the
+// base itself (pure aggregate constraints).
+func appendAggJoins(base algebra.Expr, w calculus.WFF, startCol int, ctx *scalarCtx) (algebra.Expr, error) {
+	aggs := collectAggs(w)
+	col := startCol
+	for _, a := range aggs {
+		var e algebra.Expr
+		rel := algebra.NewAuxRel(a.Rel.Name, a.Rel.Aux)
+		if a.Func == algebra.AggCnt {
+			e = algebra.NewCount(rel)
+		} else {
+			e = algebra.NewAggregate(rel, a.Func, algebra.AttrByIndex(a.Index), "")
+		}
+		if base == nil {
+			base = e
+		} else {
+			base = algebra.NewJoin(base, e, nil)
+		}
+		ctx.aggCols[aggKey(a)] = col
+		col++
+	}
+	return base, nil
+}
+
+// translateScalar converts a quantifier-free CL sub-formula into an algebra
+// scalar over the layout described by ctx. Membership atoms that restate a
+// variable's own range are constant-true; any other membership atom is
+// outside the supported fragment.
+func translateScalar(w calculus.WFF, ctx *scalarCtx) (algebra.Scalar, error) {
+	switch x := w.(type) {
+	case *calculus.WAtom:
+		return translateAtom(x.A, ctx)
+	case *calculus.WNot:
+		inner, err := translateScalar(x.X, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Not{X: inner}, nil
+	case *calculus.WAnd:
+		l, err := translateScalar(x.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := translateScalar(x.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.And{L: l, R: r}, nil
+	case *calculus.WOr:
+		l, err := translateScalar(x.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := translateScalar(x.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Or{L: l, R: r}, nil
+	case *calculus.WImplies:
+		l, err := translateScalar(x.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := translateScalar(x.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Or{L: &algebra.Not{X: l}, R: r}, nil
+	default:
+		return nil, fmt.Errorf("quantifier inside a per-tuple condition is not supported")
+	}
+}
+
+func translateAtom(a calculus.Atom, ctx *scalarCtx) (algebra.Scalar, error) {
+	switch x := a.(type) {
+	case *calculus.ACompare:
+		l, err := translateTerm(x.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := translateTerm(x.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Cmp{Op: x.Op, L: l, R: r}, nil
+	case *calculus.ATupleEq:
+		xb, ok := ctx.vars[x.X]
+		if !ok {
+			return nil, fmt.Errorf("tuple comparison on unbound variable %q", x.X)
+		}
+		yb, ok := ctx.vars[x.Y]
+		if !ok {
+			return nil, fmt.Errorf("tuple comparison on unbound variable %q", x.Y)
+		}
+		var conj []algebra.Scalar
+		for i := 0; i < xb.sch.Arity(); i++ {
+			conj = append(conj, &algebra.Cmp{
+				Op: algebra.CmpEQ,
+				L:  algebra.AttrByIndex(xb.offset + i),
+				R:  algebra.AttrByIndex(yb.offset + i),
+			})
+		}
+		return algebra.AndAll(conj...), nil
+	case *calculus.AMember:
+		b, ok := ctx.vars[x.Var]
+		if !ok {
+			return nil, fmt.Errorf("membership atom on unbound variable %q", x.Var)
+		}
+		if b.rel == x.Rel {
+			return algebra.TrueScalar(), nil // restates the variable's range
+		}
+		return nil, fmt.Errorf("membership %s in %s inside a condition is not supported; use an explicit existential witness (exists y)(y in %s and y == %s)",
+			x.Var, x.Rel, x.Rel.Name, x.Var)
+	default:
+		return nil, fmt.Errorf("unknown atom %T", a)
+	}
+}
+
+func translateTerm(t calculus.Term, ctx *scalarCtx) (algebra.Scalar, error) {
+	switch x := t.(type) {
+	case *calculus.TConst:
+		return &algebra.Const{V: x.V}, nil
+	case *calculus.TAttr:
+		b, ok := ctx.vars[x.Var]
+		if !ok {
+			return nil, fmt.Errorf("attribute selection on unbound variable %q", x.Var)
+		}
+		return algebra.AttrByIndex(b.offset + x.Index), nil
+	case *calculus.TArith:
+		l, err := translateTerm(x.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := translateTerm(x.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Arith{Op: x.Op, L: l, R: r}, nil
+	case *calculus.TAggr:
+		col, ok := ctx.aggCols[aggKey(x)]
+		if !ok {
+			return nil, fmt.Errorf("aggregate %s not materialized for this condition", x)
+		}
+		return algebra.AttrByIndex(col), nil
+	default:
+		return nil, fmt.Errorf("unknown term %T", t)
+	}
+}
+
+// flattenAnd splits nested conjunctions into a flat list.
+func flattenAnd(w calculus.WFF) []calculus.WFF {
+	if a, ok := w.(*calculus.WAnd); ok {
+		return append(flattenAnd(a.L), flattenAnd(a.R)...)
+	}
+	return []calculus.WFF{w}
+}
+
+// usesOnlyVars reports whether every variable referenced by w (attribute
+// selections, memberships, tuple comparisons) is in the allowed set.
+func usesOnlyVars(w calculus.WFF, allowed map[string]bool) bool {
+	ok := true
+	calculus.Walk(w, func(n calculus.WFF) bool {
+		at, isAtom := n.(*calculus.WAtom)
+		if !isAtom {
+			return ok
+		}
+		switch a := at.A.(type) {
+		case *calculus.AMember:
+			if !allowed[a.Var] {
+				ok = false
+			}
+		case *calculus.ATupleEq:
+			if !allowed[a.X] || !allowed[a.Y] {
+				ok = false
+			}
+		}
+		return ok
+	})
+	if !ok {
+		return false
+	}
+	calculus.WalkTerms(w, func(t calculus.Term) {
+		if a, isAttr := t.(*calculus.TAttr); isAttr && !allowed[a.Var] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// hasAggs reports whether w contains aggregate or counting terms.
+func hasAggs(w calculus.WFF) bool { return len(collectAggs(w)) > 0 }

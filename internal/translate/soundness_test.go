@@ -1,0 +1,192 @@
+package translate_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/calculus"
+	"repro/internal/lang"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/translate"
+	"repro/internal/value"
+)
+
+// oracleEnv adapts plain relations to algebra.Env (current state only —
+// these tests exercise state constraints).
+type oracleEnv map[string]*relation.Relation
+
+func (e oracleEnv) Rel(name string, aux algebra.AuxKind) (*relation.Relation, error) {
+	if aux != algebra.AuxCur {
+		return nil, fmt.Errorf("oracleEnv: no %v incarnation", aux)
+	}
+	if r, ok := e[name]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("oracleEnv: no relation %q", name)
+}
+
+func (e oracleEnv) Temp(string) (*relation.Relation, error) {
+	return nil, fmt.Errorf("oracleEnv: no temps")
+}
+
+// randState builds random instances of r(a,b) and s(k,v) with small values,
+// so both verdicts occur frequently.
+func randState(rng *rand.Rand, db *schema.Database) oracleEnv {
+	env := oracleEnv{}
+	for _, name := range db.Names() {
+		rs, _ := db.Relation(name)
+		rel := relation.New(rs)
+		n := rng.Intn(9)
+		for i := 0; i < n; i++ {
+			t := make(relation.Tuple, rs.Arity())
+			for j := range t {
+				t[j] = value.Int(int64(rng.Intn(7) - 3))
+			}
+			rel.InsertUnchecked(t)
+		}
+		env[name] = rel
+	}
+	return env
+}
+
+var cmpOps = []string{"<", "<=", "=", "<>", ">=", ">"}
+
+// randConstraint draws a constraint source from the supported classes.
+func randConstraint(rng *rand.Rand) string {
+	cmp := func() string { return cmpOps[rng.Intn(len(cmpOps))] }
+	k := func() int { return rng.Intn(7) - 3 }
+	switch rng.Intn(12) {
+	case 0:
+		return fmt.Sprintf(`forall x (x in r implies x.a %s %d)`, cmp(), k())
+	case 1:
+		return fmt.Sprintf(`forall x ((x in r and x.b > %d) implies x.a %s %d)`, k(), cmp(), k())
+	case 2:
+		return `forall x (x in r implies exists y (y in s and x.b = y.k))`
+	case 3:
+		return fmt.Sprintf(`forall x (x in r implies exists y (y in s and x.b = y.k and y.v %s %d))`, cmp(), k())
+	case 4:
+		return fmt.Sprintf(`forall x (x in r implies forall y (y in s implies x.a %s y.k))`, cmp())
+	case 5:
+		return fmt.Sprintf(`forall x, y ((x in r and y in s and x.a = y.k) implies x.b %s y.v)`, cmp())
+	case 6:
+		return fmt.Sprintf(`exists x (x in r and x.a %s %d)`, cmp(), k())
+	case 7:
+		return fmt.Sprintf(`SUM(r, a) %s %d`, cmp(), k())
+	case 8:
+		return fmt.Sprintf(`CNT(s) %s %d`, cmp(), k()+3)
+	case 9:
+		return fmt.Sprintf(`SUM(r, a) %s CNT(r) * %d`, cmp(), k())
+	case 10:
+		return fmt.Sprintf(`forall x (x in r implies (x.a %s %d and x.b %s %d))`, cmp(), k(), cmp(), k())
+	default:
+		return fmt.Sprintf(`forall x (x in r implies (x.a < %d or exists y (y in s and x.b = y.k)))`, k())
+	}
+}
+
+// programViolated runs the translated alarms against the state and reports
+// whether any fired.
+func programViolated(t *testing.T, prog algebra.Program, env algebra.Env) bool {
+	t.Helper()
+	for _, st := range prog {
+		al, ok := st.(*algebra.Alarm)
+		if !ok {
+			t.Fatalf("non-alarm statement %T in aborting program", st)
+		}
+		r, err := al.Expr.Eval(env)
+		if err != nil {
+			t.Fatalf("alarm eval: %v", err)
+		}
+		if !r.IsEmpty() {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTranslationSoundness is the oracle property referenced by
+// EXPERIMENTS.md: for random database states and random constraints from
+// every supported class, the translated algebra program raises an alarm iff
+// the brute-force calculus evaluator says the condition is false.
+func TestTranslationSoundness(t *testing.T) {
+	db := testSchema()
+	rng := rand.New(rand.NewSource(42))
+	const trials = 4000
+	classesSeen := map[translate.Class]int{}
+	verdicts := map[bool]int{}
+
+	for i := 0; i < trials; i++ {
+		src := randConstraint(rng)
+		w, err := lang.ParseConstraint(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		info, err := calculus.Validate(w, db)
+		if err != nil {
+			t.Fatalf("validate %q: %v", src, err)
+		}
+		res, err := translate.Condition(w, info, db, "C")
+		if err != nil {
+			t.Fatalf("translate %q: %v", src, err)
+		}
+		env := randState(rng, db)
+
+		holds, err := calculus.NewEvaluator(info, env).Eval(w)
+		if err != nil {
+			t.Fatalf("oracle %q: %v", src, err)
+		}
+		violated := programViolated(t, res.Program, env)
+		if holds == violated {
+			t.Fatalf("soundness violated for %q\n  oracle holds=%v, program violated=%v\n  r=%s\n  s=%s\n  program:\n%s",
+				src, holds, violated, env["r"], env["s"], res.Program)
+		}
+		for _, p := range res.Parts {
+			classesSeen[p.Class]++
+		}
+		verdicts[holds]++
+	}
+
+	// The trial mix must actually exercise both verdicts and all classes.
+	if verdicts[true] == 0 || verdicts[false] == 0 {
+		t.Errorf("degenerate verdict mix: %v", verdicts)
+	}
+	for _, cl := range []translate.Class{
+		translate.ClassDomain, translate.ClassReferential, translate.ClassPair,
+		translate.ClassExistential, translate.ClassAggregate,
+	} {
+		if classesSeen[cl] == 0 {
+			t.Errorf("class %s never exercised", cl)
+		}
+	}
+}
+
+// TestTranslationDeterministic checks that translating the same condition
+// twice yields the same program text (no hidden state in the translator).
+func TestTranslationDeterministic(t *testing.T) {
+	db := testSchema()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		src := randConstraint(rng)
+		texts := make([]string, 2)
+		for j := 0; j < 2; j++ {
+			w, err := lang.ParseConstraint(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, err := calculus.Validate(w, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := translate.Condition(w, info, db, "C")
+			if err != nil {
+				t.Fatal(err)
+			}
+			texts[j] = res.Program.String()
+		}
+		if texts[0] != texts[1] {
+			t.Fatalf("translation of %q not deterministic:\n%s\nvs\n%s", src, texts[0], texts[1])
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package trigger
+
+import (
+	"repro/internal/calculus"
+)
+
+// varSet tracks which tuple variables are currently "universal-like" (Vu)
+// and which are "existential-like" (Ve) as the generator descends through
+// the formula. Polarity is handled by flipping which set a quantifier's
+// variable lands in, exactly as in Algorithm 5.7.
+type varSet map[string]struct{}
+
+func (v varSet) with(x string) varSet {
+	out := make(varSet, len(v)+1)
+	for k := range v {
+		out[k] = struct{}{}
+	}
+	out[x] = struct{}{}
+	return out
+}
+
+func (v varSet) has(x string) bool {
+	_, ok := v[x]
+	return ok
+}
+
+// GenTrigC generates the trigger set of an integrity rule condition
+// (Algorithm 5.7). The intuition: a membership atom x ∈ R with x behaving
+// universally means new R tuples can violate the condition (INS(R)); with x
+// behaving existentially, removing R tuples can (DEL(R)); aggregate and
+// counting terms over R are sensitive to both.
+func GenTrigC(w calculus.WFF) Set {
+	return genTrigW(w, varSet{}, varSet{})
+}
+
+// genTrigW handles positive polarity (the paper's GenTrigW).
+func genTrigW(w calculus.WFF, vu, ve varSet) Set {
+	switch x := w.(type) {
+	case *calculus.WQuant:
+		if x.Q == calculus.Forall {
+			return genTrigW(x.Body, vu.with(x.Var), ve)
+		}
+		return genTrigW(x.Body, vu, ve.with(x.Var))
+	case *calculus.WAnd:
+		return genTrigW(x.L, vu, ve).Union(genTrigW(x.R, vu, ve))
+	case *calculus.WOr:
+		return genTrigW(x.L, vu, ve).Union(genTrigW(x.R, vu, ve))
+	case *calculus.WImplies:
+		return genTrigN(x.L, vu, ve).Union(genTrigW(x.R, vu, ve))
+	case *calculus.WNot:
+		return genTrigN(x.X, vu, ve)
+	case *calculus.WAtom:
+		return genTrigA(x.A, vu, ve)
+	default:
+		return NewSet()
+	}
+}
+
+// genTrigN handles negative polarity (the paper's GenTrigN): quantifiers
+// flip which variable set they extend, implication and negation flip the
+// polarity of their negative-position operands back to positive.
+func genTrigN(w calculus.WFF, vu, ve varSet) Set {
+	switch x := w.(type) {
+	case *calculus.WQuant:
+		if x.Q == calculus.Forall {
+			return genTrigN(x.Body, vu, ve.with(x.Var))
+		}
+		return genTrigN(x.Body, vu.with(x.Var), ve)
+	case *calculus.WAnd:
+		return genTrigN(x.L, vu, ve).Union(genTrigN(x.R, vu, ve))
+	case *calculus.WOr:
+		return genTrigN(x.L, vu, ve).Union(genTrigN(x.R, vu, ve))
+	case *calculus.WImplies:
+		return genTrigW(x.L, vu, ve).Union(genTrigN(x.R, vu, ve))
+	case *calculus.WNot:
+		return genTrigW(x.X, vu, ve)
+	case *calculus.WAtom:
+		return genTrigA(x.A, vu, ve)
+	default:
+		return NewSet()
+	}
+}
+
+// genTrigA handles atomic formulas (the paper's GenTrigA).
+func genTrigA(a calculus.Atom, vu, ve varSet) Set {
+	switch x := a.(type) {
+	case *calculus.ACompare:
+		return genTrigT(x.L).Union(genTrigT(x.R))
+	case *calculus.AMember:
+		switch {
+		case vu.has(x.Var):
+			return NewSet(Trigger{INS, x.Rel.Name})
+		case ve.has(x.Var):
+			return NewSet(Trigger{DEL, x.Rel.Name})
+		default:
+			return NewSet()
+		}
+	default:
+		return NewSet()
+	}
+}
+
+// genTrigT handles terms (the paper's GenTrigT): aggregate and counting
+// function applications over R are sensitive to both INS(R) and DEL(R).
+func genTrigT(t calculus.Term) Set {
+	switch x := t.(type) {
+	case *calculus.TAggr:
+		return NewSet(Trigger{INS, x.Rel.Name}, Trigger{DEL, x.Rel.Name})
+	case *calculus.TArith:
+		return genTrigT(x.L).Union(genTrigT(x.R))
+	default:
+		return NewSet()
+	}
+}

@@ -1,0 +1,203 @@
+package trigger
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/calculus"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(Trigger{INS, "a"}, Trigger{DEL, "b"})
+	if !s.Contains(Trigger{INS, "a"}) || s.Contains(Trigger{DEL, "a"}) {
+		t.Error("Contains wrong")
+	}
+	if s.IsEmpty() {
+		t.Error("non-empty set reports empty")
+	}
+	if got, want := s.String(), "INS(a), DEL(b)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	u := s.Union(NewSet(Trigger{INS, "a"}, Trigger{INS, "c"}))
+	if len(u) != 3 {
+		t.Errorf("union size = %d, want 3", len(u))
+	}
+	if !s.Intersects(NewSet(Trigger{DEL, "b"})) {
+		t.Error("Intersects false negative")
+	}
+	if s.Intersects(NewSet(Trigger{DEL, "z"})) {
+		t.Error("Intersects false positive")
+	}
+	c := s.Clone()
+	c.Add(Trigger{INS, "z"})
+	if s.Contains(Trigger{INS, "z"}) {
+		t.Error("Clone not independent")
+	}
+}
+
+func relS() *schema.Relation {
+	return schema.MustRelation("t", schema.Attribute{Name: "a", Type: value.KindInt})
+}
+
+func TestFromStatement(t *testing.T) {
+	lit := algebra.NewLit(relS(), relation.Tuple{value.Int(1)})
+	cases := []struct {
+		stmt algebra.Stmt
+		want string
+	}{
+		{&algebra.Insert{Rel: "t", Src: lit}, "INS(t)"},
+		{&algebra.Delete{Rel: "t", Src: lit}, "DEL(t)"},
+		{&algebra.Update{Rel: "t", Sets: []algebra.SetClause{{Attr: "a", Expr: &algebra.Const{V: value.Int(1)}}}}, "INS(t), DEL(t)"},
+		{&algebra.Assign{Temp: "x", Expr: algebra.NewRel("t")}, ""},
+		{&algebra.Alarm{Expr: algebra.NewRel("t"), Constraint: "c"}, ""},
+		{&algebra.Abort{Constraint: "c"}, ""},
+	}
+	for _, c := range cases {
+		if got := FromStatement(c.stmt).String(); got != c.want {
+			t.Errorf("FromStatement(%T) = %q, want %q", c.stmt, got, c.want)
+		}
+	}
+}
+
+func TestFromProgramX(t *testing.T) {
+	lit := algebra.NewLit(relS(), relation.Tuple{value.Int(1)})
+	prog := algebra.Program{
+		&algebra.Insert{Rel: "t", Src: lit},
+		&algebra.Delete{Rel: "u", Src: lit},
+	}
+	if got := FromProgram(prog).String(); got != "INS(t), DEL(u)" {
+		t.Errorf("FromProgram = %q", got)
+	}
+	if got := FromProgramX(prog, true); !got.IsEmpty() {
+		t.Errorf("non-triggering program raised %s", got)
+	}
+	if got := FromProgramX(prog, false).String(); got != "INS(t), DEL(u)" {
+		t.Errorf("FromProgramX(false) = %q", got)
+	}
+}
+
+// --- GenTrigC (Algorithm 5.7) ---
+
+func member(v, rel string) calculus.WFF {
+	return &calculus.WAtom{A: &calculus.AMember{Var: v, Rel: calculus.RelRef{Name: rel}}}
+}
+
+func attrGE(v string, c int64) calculus.WFF {
+	return &calculus.WAtom{A: &calculus.ACompare{
+		Op: algebra.CmpGE,
+		L:  &calculus.TAttr{Var: v, Index: 0},
+		R:  &calculus.TConst{V: value.Int(c)},
+	}}
+}
+
+func TestGenTrigCDomainRule(t *testing.T) {
+	// (∀x)(x∈beer ⇒ x.1 ≥ 0) → INS(beer)   [paper rule R1]
+	w := &calculus.WQuant{Q: calculus.Forall, Var: "x",
+		Body: &calculus.WImplies{L: member("x", "beer"), R: attrGE("x", 0)}}
+	if got := GenTrigC(w).String(); got != "INS(beer)" {
+		t.Errorf("triggers = %q, want INS(beer)", got)
+	}
+}
+
+func TestGenTrigCReferentialRule(t *testing.T) {
+	// (∀x)(x∈beer ⇒ (∃y)(y∈brewery ∧ ...)) → INS(beer), DEL(brewery)  [R2]
+	w := &calculus.WQuant{Q: calculus.Forall, Var: "x",
+		Body: &calculus.WImplies{
+			L: member("x", "beer"),
+			R: &calculus.WQuant{Q: calculus.Exists, Var: "y",
+				Body: &calculus.WAnd{L: member("y", "brewery"), R: attrGE("y", 0)}},
+		}}
+	if got := GenTrigC(w).String(); got != "INS(beer), DEL(brewery)" {
+		t.Errorf("triggers = %q, want INS(beer), DEL(brewery)", got)
+	}
+}
+
+func TestGenTrigCNegationFlipsPolarity(t *testing.T) {
+	// ¬(∃y)(y∈s ∧ ...) in positive context: y behaves universally → INS(s).
+	w := &calculus.WNot{X: &calculus.WQuant{Q: calculus.Exists, Var: "y",
+		Body: &calculus.WAnd{L: member("y", "s"), R: attrGE("y", 0)}}}
+	if got := GenTrigC(w).String(); got != "INS(s)" {
+		t.Errorf("triggers = %q, want INS(s)", got)
+	}
+	// ¬(∀y)(y∈s ⇒ ...) : y behaves existentially → DEL(s) from the guard;
+	// the guard itself is in the antecedent of the inner implication, which
+	// flips back to positive... the outcome per Algorithm 5.7:
+	w2 := &calculus.WNot{X: &calculus.WQuant{Q: calculus.Forall, Var: "y",
+		Body: &calculus.WImplies{L: member("y", "s"), R: attrGE("y", 0)}}}
+	if got := GenTrigC(w2).String(); got != "DEL(s)" {
+		t.Errorf("triggers = %q, want DEL(s)", got)
+	}
+}
+
+func TestGenTrigCAggregatesTriggerBoth(t *testing.T) {
+	w := &calculus.WAtom{A: &calculus.ACompare{
+		Op: algebra.CmpLE,
+		L:  &calculus.TAggr{Func: algebra.AggSum, Rel: calculus.RelRef{Name: "acc"}, Index: 1},
+		R:  &calculus.TConst{V: value.Int(100)},
+	}}
+	if got := GenTrigC(w).String(); got != "INS(acc), DEL(acc)" {
+		t.Errorf("triggers = %q, want INS(acc), DEL(acc)", got)
+	}
+	// Aggregates nested in arithmetic terms are found too.
+	w2 := &calculus.WAtom{A: &calculus.ACompare{
+		Op: algebra.CmpLE,
+		L: &calculus.TArith{Op: value.OpMul,
+			L: &calculus.TAggr{Func: algebra.AggCnt, Rel: calculus.RelRef{Name: "c"}},
+			R: &calculus.TConst{V: value.Int(2)}},
+		R: &calculus.TConst{V: value.Int(100)},
+	}}
+	if got := GenTrigC(w2).String(); got != "INS(c), DEL(c)" {
+		t.Errorf("nested aggregate triggers = %q", got)
+	}
+}
+
+func TestGenTrigCTransitionConstraint(t *testing.T) {
+	// (∀x)(x∈emp ⇒ (∀y)(y∈old(emp) ⇒ ...)): both memberships are
+	// universal → INS on both incarnations; old(emp) shares the base name,
+	// so the set collapses to INS(emp) — old states never change, the
+	// trigger on the base relation is what matters.
+	w := &calculus.WQuant{Q: calculus.Forall, Var: "x",
+		Body: &calculus.WImplies{
+			L: member("x", "emp"),
+			R: &calculus.WQuant{Q: calculus.Forall, Var: "y",
+				Body: &calculus.WImplies{
+					L: &calculus.WAtom{A: &calculus.AMember{Var: "y", Rel: calculus.RelRef{Name: "emp", Aux: algebra.AuxOld}}},
+					R: attrGE("x", 0),
+				}},
+		}}
+	if got := GenTrigC(w).String(); got != "INS(emp)" {
+		t.Errorf("triggers = %q, want INS(emp)", got)
+	}
+}
+
+func TestGenTrigCDisjunctionAndImplicationMix(t *testing.T) {
+	// (∀x)(x∈r ⇒ (x.1≥0 ∨ ¬(∃y)(y∈s ∧ ...)))
+	// The inner ∃ sits under ¬ inside a positive consequent: y flips to
+	// universal → INS(s); the guard x∈r gives INS(r).
+	w := &calculus.WQuant{Q: calculus.Forall, Var: "x",
+		Body: &calculus.WImplies{
+			L: member("x", "r"),
+			R: &calculus.WOr{
+				L: attrGE("x", 0),
+				R: &calculus.WNot{X: &calculus.WQuant{Q: calculus.Exists, Var: "y",
+					Body: &calculus.WAnd{L: member("y", "s"), R: attrGE("y", 0)}}},
+			},
+		}}
+	if got := GenTrigC(w).String(); got != "INS(r), INS(s)" {
+		t.Errorf("triggers = %q, want INS(r), INS(s)", got)
+	}
+}
+
+func TestSortedDeterministic(t *testing.T) {
+	s := NewSet(Trigger{DEL, "b"}, Trigger{INS, "b"}, Trigger{INS, "a"})
+	got := s.Sorted()
+	want := []Trigger{{INS, "a"}, {INS, "b"}, {DEL, "b"}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/storage"
+)
+
+// Stats counts the observable work a transaction performed.
+type Stats struct {
+	Statements     int
+	TuplesInserted int
+	TuplesDeleted  int
+}
+
+// Result reports the outcome of executing a transaction. When Committed is
+// false, AbortReason holds the cause — an *algebra.ViolationError when an
+// alarm fired, or any runtime evaluation error.
+type Result struct {
+	Committed   bool
+	AbortReason error
+	Stats       Stats
+}
+
+// Violation returns the integrity violation that aborted the transaction,
+// or nil if the transaction committed or aborted for another reason.
+func (r *Result) Violation() *algebra.ViolationError {
+	var v *algebra.ViolationError
+	if errors.As(r.AbortReason, &v) {
+		return v
+	}
+	return nil
+}
+
+// Executor runs transactions against a database with atomicity: either the
+// whole program's effects are installed as the next database state, or the
+// database is left untouched (Section 2.2).
+type Executor struct {
+	db *storage.Database
+}
+
+// NewExecutor returns an executor over db.
+func NewExecutor(db *storage.Database) *Executor { return &Executor{db: db} }
+
+// DB returns the underlying database.
+func (e *Executor) DB() *storage.Database { return e.db }
+
+// Exec type-checks and runs t. A type error rejects the transaction before
+// any statement runs and is returned as the error. Runtime failures —
+// including integrity violations signalled by alarm statements — abort the
+// transaction and are reported in the Result.
+func (e *Executor) Exec(t *Transaction) (*Result, error) {
+	return e.ExecWithCheck(t, nil)
+}
+
+// PostCheck is a hook run after the transaction's program but before commit,
+// against the transaction's working state. A non-nil error aborts the
+// transaction. It is how the post-hoc baseline checker (package baseline)
+// attaches itself; transaction modification needs no hook because its checks
+// are statements inside the program.
+type PostCheck func(env algebra.Env) error
+
+// ExecWithCheck is Exec with a pre-commit hook.
+func (e *Executor) ExecWithCheck(t *Transaction, check PostCheck) (*Result, error) {
+	tenv := algebra.NewTypeEnv(e.db.Schema())
+	if err := t.Program.TypeCheck(tenv); err != nil {
+		return nil, fmt.Errorf("txn: transaction rejected: %w", err)
+	}
+
+	ov := NewOverlay(e.db)
+	for _, stmt := range t.Program {
+		ov.stats.Statements++
+		if err := stmt.Exec(ov); err != nil {
+			// Abort: the overlay is discarded, D^t remains installed.
+			return &Result{Committed: false, AbortReason: err, Stats: *ov.stats}, nil
+		}
+	}
+	if check != nil {
+		if err := check(ov); err != nil {
+			return &Result{Committed: false, AbortReason: err, Stats: *ov.stats}, nil
+		}
+	}
+	// End bracket: temporary relations vanish with the overlay and the
+	// working state is installed as D^{t+1}.
+	if err := e.db.ApplyCommit(ov.Changed()); err != nil {
+		return nil, fmt.Errorf("txn: commit failed: %w", err)
+	}
+	return &Result{Committed: true, Stats: *ov.stats}, nil
+}

@@ -1,0 +1,167 @@
+package txn
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Overlay is the transaction-local view of the database: a copy-on-write
+// working state over the pre-transaction state, plus temp relations and the
+// maintained differential relations (net inserted / net deleted tuples per
+// base relation). It implements algebra.ExecEnv.
+//
+// Differential maintenance follows the delete-before-insert cancellation
+// discipline: re-inserting a tuple deleted earlier in the same transaction
+// removes it from the delete delta rather than adding it to the insert
+// delta, so ins(R) and del(R) always describe the net transition from the
+// pre-transaction state to the current working state.
+type Overlay struct {
+	db      *storage.Database
+	working map[string]*relation.Relation
+	ins     map[string]*relation.Relation
+	del     map[string]*relation.Relation
+	temps   map[string]*relation.Relation
+	stats   *Stats
+}
+
+// NewOverlay creates a fresh overlay over the current state of db.
+func NewOverlay(db *storage.Database) *Overlay {
+	return &Overlay{
+		db:      db,
+		working: make(map[string]*relation.Relation),
+		ins:     make(map[string]*relation.Relation),
+		del:     make(map[string]*relation.Relation),
+		temps:   make(map[string]*relation.Relation),
+		stats:   &Stats{},
+	}
+}
+
+// Rel implements algebra.Env.
+func (o *Overlay) Rel(name string, aux algebra.AuxKind) (*relation.Relation, error) {
+	switch aux {
+	case algebra.AuxCur:
+		if w, ok := o.working[name]; ok {
+			return w, nil
+		}
+		return o.db.Relation(name)
+	case algebra.AuxOld:
+		return o.db.Relation(name) // the store still holds D^t until commit
+	case algebra.AuxIns:
+		return o.delta(o.ins, name)
+	case algebra.AuxDel:
+		return o.delta(o.del, name)
+	default:
+		return nil, fmt.Errorf("txn: unknown auxiliary kind %v", aux)
+	}
+}
+
+func (o *Overlay) delta(m map[string]*relation.Relation, name string) (*relation.Relation, error) {
+	if d, ok := m[name]; ok {
+		return d, nil
+	}
+	base, err := o.db.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	d := relation.New(base.Schema())
+	m[name] = d
+	return d, nil
+}
+
+// Temp implements algebra.Env.
+func (o *Overlay) Temp(name string) (*relation.Relation, error) {
+	if t, ok := o.temps[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("txn: unknown temporary relation %q", name)
+}
+
+// SetTemp implements algebra.ExecEnv.
+func (o *Overlay) SetTemp(name string, r *relation.Relation) error {
+	o.temps[name] = r
+	return nil
+}
+
+// mutable returns the copy-on-write working instance of a base relation.
+func (o *Overlay) mutable(name string) (*relation.Relation, error) {
+	if w, ok := o.working[name]; ok {
+		return w, nil
+	}
+	base, err := o.db.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	w := base.Clone()
+	o.working[name] = w
+	return w, nil
+}
+
+// InsertTuples implements algebra.ExecEnv.
+func (o *Overlay) InsertTuples(rel string, src *relation.Relation) error {
+	w, err := o.mutable(rel)
+	if err != nil {
+		return err
+	}
+	insD, err := o.delta(o.ins, rel)
+	if err != nil {
+		return err
+	}
+	delD, err := o.delta(o.del, rel)
+	if err != nil {
+		return err
+	}
+	return src.ForEach(func(t relation.Tuple) error {
+		if len(t) != w.Schema().Arity() {
+			return fmt.Errorf("txn: insert into %s: tuple arity %d, want %d", rel, len(t), w.Schema().Arity())
+		}
+		if w.Contains(t) {
+			return nil // set semantics: duplicate insert is a no-op
+		}
+		w.InsertUnchecked(t)
+		o.stats.TuplesInserted++
+		if delD.Contains(t) {
+			delD.Delete(t) // cancelled a prior delete: net no-op
+		} else {
+			insD.InsertUnchecked(t)
+		}
+		return nil
+	})
+}
+
+// DeleteTuples implements algebra.ExecEnv.
+func (o *Overlay) DeleteTuples(rel string, src *relation.Relation) error {
+	w, err := o.mutable(rel)
+	if err != nil {
+		return err
+	}
+	insD, err := o.delta(o.ins, rel)
+	if err != nil {
+		return err
+	}
+	delD, err := o.delta(o.del, rel)
+	if err != nil {
+		return err
+	}
+	return src.ForEach(func(t relation.Tuple) error {
+		if !w.Delete(t) {
+			return nil // deleting an absent tuple is a no-op
+		}
+		o.stats.TuplesDeleted++
+		if insD.Contains(t) {
+			insD.Delete(t) // cancelled a prior insert: net no-op
+		} else {
+			delD.InsertUnchecked(t)
+		}
+		return nil
+	})
+}
+
+// Changed returns the working copies of the relations the transaction
+// touched, ready for ApplyCommit.
+func (o *Overlay) Changed() map[string]*relation.Relation { return o.working }
+
+// Stats returns the mutation counters accumulated so far.
+func (o *Overlay) Stats() *Stats { return o.stats }

@@ -1,0 +1,320 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func itemSchema() *schema.Relation {
+	return schema.MustRelation("item",
+		schema.Attribute{Name: "id", Type: value.KindInt},
+		schema.Attribute{Name: "qty", Type: value.KindInt},
+	)
+}
+
+func item(id, qty int64) relation.Tuple {
+	return relation.Tuple{value.Int(id), value.Int(qty)}
+}
+
+func newStore(t testing.TB, seed ...relation.Tuple) *storage.Database {
+	t.Helper()
+	sch := schema.MustDatabase(itemSchema())
+	db := storage.New(sch)
+	if len(seed) > 0 {
+		if err := db.Load(relation.MustFromTuples(itemSchema(), seed...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func lit(rows ...relation.Tuple) algebra.Expr {
+	return algebra.NewLit(itemSchema(), rows...)
+}
+
+func TestCommitInstallsNextState(t *testing.T) {
+	db := newStore(t, item(1, 10))
+	exec := NewExecutor(db)
+	res, err := exec.Exec(New(&algebra.Insert{Rel: "item", Src: lit(item(2, 20))}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("aborted: %v", res.AbortReason)
+	}
+	if db.Time() != 1 {
+		t.Errorf("logical time = %d, want 1", db.Time())
+	}
+	r, _ := db.Relation("item")
+	if r.Len() != 2 {
+		t.Errorf("item count = %d, want 2", r.Len())
+	}
+	if res.Stats.TuplesInserted != 1 {
+		t.Errorf("stats inserted = %d, want 1", res.Stats.TuplesInserted)
+	}
+}
+
+func TestAbortLeavesStateUntouched(t *testing.T) {
+	db := newStore(t, item(1, 10))
+	exec := NewExecutor(db)
+	res, err := exec.Exec(New(
+		&algebra.Insert{Rel: "item", Src: lit(item(2, 20))},
+		&algebra.Abort{Constraint: "why"},
+		&algebra.Insert{Rel: "item", Src: lit(item(3, 30))}, // never runs
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("committed through an abort statement")
+	}
+	v := res.Violation()
+	if v == nil || v.Constraint != "why" {
+		t.Errorf("violation = %v", res.AbortReason)
+	}
+	r, _ := db.Relation("item")
+	if r.Len() != 1 || db.Time() != 0 {
+		t.Errorf("state changed after abort: len=%d time=%d", r.Len(), db.Time())
+	}
+	if res.Stats.Statements != 2 {
+		t.Errorf("statements run = %d, want 2 (third never executes)", res.Stats.Statements)
+	}
+}
+
+func TestAlarmFiresOnlyWhenNonEmpty(t *testing.T) {
+	db := newStore(t, item(1, 10), item(2, -5))
+	exec := NewExecutor(db)
+	negative := algebra.NewSelect(algebra.NewRel("item"),
+		&algebra.Cmp{Op: algebra.CmpLT, L: algebra.AttrByName("qty"), R: &algebra.Const{V: value.Int(0)}})
+	res, err := exec.Exec(New(&algebra.Alarm{Expr: negative, Constraint: "nonneg"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("alarm with witnesses did not abort")
+	}
+	if v := res.Violation(); v == nil || v.Witnesses != 1 {
+		t.Errorf("violation = %v, want 1 witness", res.AbortReason)
+	}
+
+	// Remove the offender; the same alarm now passes.
+	db2 := newStore(t, item(1, 10))
+	exec2 := NewExecutor(db2)
+	res, err = exec2.Exec(New(&algebra.Alarm{Expr: algebra.CloneExpr(negative), Constraint: "nonneg"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("clean alarm aborted: %v", res.AbortReason)
+	}
+}
+
+func TestTypeErrorRejectsBeforeExecution(t *testing.T) {
+	db := newStore(t, item(1, 10))
+	exec := NewExecutor(db)
+	_, err := exec.Exec(New(&algebra.Insert{Rel: "missing", Src: lit(item(1, 1))}))
+	if err == nil {
+		t.Fatal("transaction against unknown relation accepted")
+	}
+	r, _ := db.Relation("item")
+	if r.Len() != 1 {
+		t.Error("rejected transaction changed state")
+	}
+}
+
+func TestTempsAreTransactionLocal(t *testing.T) {
+	db := newStore(t, item(1, 10))
+	exec := NewExecutor(db)
+	res, err := exec.Exec(New(
+		&algebra.Assign{Temp: "snapshot", Expr: algebra.NewRel("item")},
+		&algebra.Insert{Rel: "item", Src: algebra.NewTemp("snapshot")}, // no-op: same tuples
+	))
+	if err != nil || !res.Committed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	// A later transaction must not see the temp.
+	_, err = exec.Exec(New(&algebra.Insert{Rel: "item", Src: algebra.NewTemp("snapshot")}))
+	if err == nil {
+		t.Error("temp relation survived across transactions")
+	}
+}
+
+func TestOldStateVisibleDuringTransaction(t *testing.T) {
+	db := newStore(t, item(1, 10))
+	exec := NewExecutor(db)
+	// Delete everything, then alarm if old(item) and item differ in count —
+	// old must still show the pre-transaction tuple.
+	oldMinusCur := algebra.NewDiff(
+		algebra.NewAuxRel("item", algebra.AuxOld),
+		algebra.NewRel("item"),
+	)
+	res, err := exec.Exec(New(
+		&algebra.Delete{Rel: "item", Src: algebra.NewRel("item")},
+		&algebra.Alarm{Expr: oldMinusCur, Constraint: "old-differs"},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("old(item) − item was empty after delete; pre-state not visible")
+	}
+}
+
+func TestUpdateStatement(t *testing.T) {
+	db := newStore(t, item(1, 10), item(2, 20))
+	exec := NewExecutor(db)
+	res, err := exec.Exec(New(&algebra.Update{
+		Rel:   "item",
+		Where: &algebra.Cmp{Op: algebra.CmpEQ, L: algebra.AttrByName("id"), R: &algebra.Const{V: value.Int(1)}},
+		Sets: []algebra.SetClause{{
+			Attr: "qty",
+			Expr: &algebra.Arith{Op: value.OpAdd, L: algebra.AttrByName("qty"), R: &algebra.Const{V: value.Int(5)}},
+		}},
+	}))
+	if err != nil || !res.Committed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	r, _ := db.Relation("item")
+	if !r.Contains(item(1, 15)) || r.Contains(item(1, 10)) {
+		t.Errorf("update result wrong: %v", r)
+	}
+	if r.Len() != 2 {
+		t.Errorf("update changed cardinality: %d", r.Len())
+	}
+}
+
+func TestDeltasTrackNetEffect(t *testing.T) {
+	db := newStore(t, item(1, 10))
+	ov := NewOverlay(db)
+	ins := relation.MustFromTuples(itemSchema(), item(2, 20))
+	if err := ov.InsertTuples("item", ins); err != nil {
+		t.Fatal(err)
+	}
+	del := relation.MustFromTuples(itemSchema(), item(2, 20))
+	if err := ov.DeleteTuples("item", del); err != nil {
+		t.Fatal(err)
+	}
+	insD, _ := ov.Rel("item", algebra.AuxIns)
+	delD, _ := ov.Rel("item", algebra.AuxDel)
+	if insD.Len() != 0 || delD.Len() != 0 {
+		t.Errorf("insert-then-delete left deltas ins=%d del=%d, want 0/0", insD.Len(), delD.Len())
+	}
+
+	// Delete a pre-existing tuple then re-insert it: also net zero.
+	pre := relation.MustFromTuples(itemSchema(), item(1, 10))
+	if err := ov.DeleteTuples("item", pre); err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.InsertTuples("item", pre); err != nil {
+		t.Fatal(err)
+	}
+	insD, _ = ov.Rel("item", algebra.AuxIns)
+	delD, _ = ov.Rel("item", algebra.AuxDel)
+	if insD.Len() != 0 || delD.Len() != 0 {
+		t.Errorf("delete-then-reinsert left deltas ins=%d del=%d, want 0/0", insD.Len(), delD.Len())
+	}
+}
+
+// TestDeltaInvariant is the central overlay property: after any sequence of
+// inserts/deletes, cur = (old − del) ∪ ins, with ins ∩ del = ∅, ins ∩ old =
+// ∅ and del ⊆ old.
+func TestDeltaInvariant(t *testing.T) {
+	prop := func(ops []int16) bool {
+		db := newStore(t, item(1, 1), item(2, 2), item(3, 3))
+		ov := NewOverlay(db)
+		for _, op := range ops {
+			id := int64(op) % 6
+			if id < 0 {
+				id = -id
+			}
+			tup := relation.MustFromTuples(itemSchema(), item(id, id))
+			if op%2 == 0 {
+				if err := ov.InsertTuples("item", tup); err != nil {
+					return false
+				}
+			} else {
+				if err := ov.DeleteTuples("item", tup); err != nil {
+					return false
+				}
+			}
+		}
+		cur, _ := ov.Rel("item", algebra.AuxCur)
+		old, _ := ov.Rel("item", algebra.AuxOld)
+		ins, _ := ov.Rel("item", algebra.AuxIns)
+		del, _ := ov.Rel("item", algebra.AuxDel)
+
+		rebuilt := old.Clone()
+		rebuilt.DiffInPlace(del)
+		rebuilt.UnionInPlace(ins)
+		if !rebuilt.Equal(cur) {
+			return false
+		}
+		disjoint := true
+		ins.ForEach(func(tp relation.Tuple) error {
+			if del.Contains(tp) || old.Contains(tp) {
+				disjoint = false
+			}
+			return nil
+		})
+		del.ForEach(func(tp relation.Tuple) error {
+			if !old.Contains(tp) {
+				disjoint = false
+			}
+			return nil
+		})
+		return disjoint
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPostCheckHookAborts(t *testing.T) {
+	db := newStore(t)
+	exec := NewExecutor(db)
+	boom := errors.New("post-check says no")
+	res, err := exec.ExecWithCheck(
+		New(&algebra.Insert{Rel: "item", Src: lit(item(1, 1))}),
+		func(algebra.Env) error { return boom },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("committed despite failing post-check")
+	}
+	r, _ := db.Relation("item")
+	if r.Len() != 0 {
+		t.Error("post-check abort leaked state")
+	}
+}
+
+func TestTransactionHelpers(t *testing.T) {
+	tx := New(&algebra.Abort{Constraint: "x"})
+	if tx.HasUpdates() {
+		t.Error("abort-only transaction reports updates")
+	}
+	tx2 := New(&algebra.Insert{Rel: "item", Src: lit(item(1, 1))})
+	if !tx2.HasUpdates() {
+		t.Error("insert transaction reports no updates")
+	}
+	p := tx2.Debracket()
+	if len(p) != 1 {
+		t.Errorf("Debracket len = %d", len(p))
+	}
+	rebracketed := Bracket(p)
+	if len(rebracketed.Program) != 1 {
+		t.Error("Bracket lost statements")
+	}
+	clone := tx2.Clone()
+	if clone.String() != tx2.String() {
+		t.Error("Clone differs from original")
+	}
+}

@@ -1,0 +1,329 @@
+// Package value implements the typed scalar values that populate relation
+// tuples: integers, floats, strings, booleans and null. It provides the
+// comparison, arithmetic and key-encoding primitives the rest of the engine
+// builds on.
+//
+// Logic is two-valued (see DESIGN.md): null equals null, null is not ordered
+// against non-null values, and arithmetic involving null yields null.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind uint8
+
+// The value kinds supported by the engine.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the lower-case name of the kind, e.g. "int".
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable tagged scalar. The zero Value is null.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It panics if v is not an int; use Kind
+// first when the kind is not statically known.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic("value: AsInt on " + v.kind.String())
+	}
+	return v.i
+}
+
+// AsFloat returns the float payload, converting from int if necessary.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		panic("value: AsFloat on " + v.kind.String())
+	}
+}
+
+// AsString returns the string payload. It panics if v is not a string.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("value: AsString on " + v.kind.String())
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload. It panics if v is not a bool.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic("value: AsBool on " + v.kind.String())
+	}
+	return v.b
+}
+
+// numeric reports whether v is an int or a float.
+func (v Value) numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Equal reports whether two values are identical for set-membership purposes.
+// Numeric values of different kinds compare by numeric value, so Int(1) equals
+// Float(1.0); null equals null.
+func (v Value) Equal(w Value) bool {
+	if v.kind == w.kind {
+		switch v.kind {
+		case KindNull:
+			return true
+		case KindInt:
+			return v.i == w.i
+		case KindFloat:
+			return v.f == w.f
+		case KindString:
+			return v.s == w.s
+		case KindBool:
+			return v.b == w.b
+		}
+	}
+	if v.numeric() && w.numeric() {
+		return v.AsFloat() == w.AsFloat()
+	}
+	return false
+}
+
+// Compare orders v against w, returning -1, 0 or +1. It reports an error for
+// incomparable kinds (e.g. string vs int, or any ordering involving null
+// other than null against null, which is 0).
+func (v Value) Compare(w Value) (int, error) {
+	switch {
+	case v.kind == KindNull && w.kind == KindNull:
+		return 0, nil
+	case v.kind == KindNull || w.kind == KindNull:
+		return 0, fmt.Errorf("value: cannot order %s against %s", v.kind, w.kind)
+	case v.numeric() && w.numeric():
+		a, b := v.AsFloat(), w.AsFloat()
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case v.kind == KindString && w.kind == KindString:
+		switch {
+		case v.s < w.s:
+			return -1, nil
+		case v.s > w.s:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case v.kind == KindBool && w.kind == KindBool:
+		a, b := 0, 0
+		if v.b {
+			a = 1
+		}
+		if w.b {
+			b = 1
+		}
+		return a - b, nil
+	default:
+		return 0, fmt.Errorf("value: cannot order %s against %s", v.kind, w.kind)
+	}
+}
+
+// ArithOp identifies a binary arithmetic operator from the paper's FV set.
+type ArithOp uint8
+
+// The arithmetic operators of the CL value function set FV = {+,-,*,/}.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+// String returns the operator symbol.
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	default:
+		return fmt.Sprintf("arith(%d)", uint8(op))
+	}
+}
+
+// Arith applies op to two values. Null operands propagate null. Integer
+// operands stay integral except for division, which promotes to float when
+// the quotient is not exact; division by zero is an error.
+func Arith(op ArithOp, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), nil
+	}
+	if !a.numeric() || !b.numeric() {
+		return Null(), fmt.Errorf("value: arithmetic %s on %s and %s", op, a.kind, b.kind)
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		x, y := a.i, b.i
+		switch op {
+		case OpAdd:
+			return Int(x + y), nil
+		case OpSub:
+			return Int(x - y), nil
+		case OpMul:
+			return Int(x * y), nil
+		case OpDiv:
+			if y == 0 {
+				return Null(), fmt.Errorf("value: division by zero")
+			}
+			if x%y == 0 {
+				return Int(x / y), nil
+			}
+			return Float(float64(x) / float64(y)), nil
+		}
+	}
+	x, y := a.AsFloat(), b.AsFloat()
+	switch op {
+	case OpAdd:
+		return Float(x + y), nil
+	case OpSub:
+		return Float(x - y), nil
+	case OpMul:
+		return Float(x * y), nil
+	case OpDiv:
+		if y == 0 {
+			return Null(), fmt.Errorf("value: division by zero")
+		}
+		return Float(x / y), nil
+	}
+	return Null(), fmt.Errorf("value: unknown arithmetic operator %v", op)
+}
+
+// AppendKey appends a canonical binary encoding of v to dst. Two values have
+// the same key bytes iff they are Equal, which makes the encoding usable as a
+// hash/dedup key. Numeric values encode through their float64 image so that
+// Int(1) and Float(1.0) share a key.
+func (v Value) AppendKey(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 'N')
+	case KindInt, KindFloat:
+		bits := math.Float64bits(v.AsFloat())
+		dst = append(dst, 'F')
+		return append(dst,
+			byte(bits>>56), byte(bits>>48), byte(bits>>40), byte(bits>>32),
+			byte(bits>>24), byte(bits>>16), byte(bits>>8), byte(bits))
+	case KindString:
+		dst = append(dst, 'S')
+		n := len(v.s)
+		dst = append(dst, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+		return append(dst, v.s...)
+	case KindBool:
+		if v.b {
+			return append(dst, 'T')
+		}
+		return append(dst, 'f')
+	default:
+		return append(dst, '?')
+	}
+}
+
+// String renders v for display: strings are quoted, null prints as "null".
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "?"
+	}
+}
+
+// Sort orders arbitrary values deterministically for display and tests:
+// first by kind rank (null < bool < numeric < string), then by payload.
+func Sort(a, b Value) int {
+	ra, rb := sortRank(a), sortRank(b)
+	if ra != rb {
+		return ra - rb
+	}
+	c, err := a.Compare(b)
+	if err != nil {
+		return 0
+	}
+	return c
+}
+
+func sortRank(v Value) int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	case KindString:
+		return 3
+	default:
+		return 4
+	}
+}

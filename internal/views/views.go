@@ -1,0 +1,225 @@
+// Package views implements materialized view maintenance through
+// transaction modification — the application beyond integrity control the
+// paper's conclusions point at ("transaction modification can be used for
+// purposes other than integrity control as well, like materialized view
+// maintenance [8]").
+//
+// A materialized view is a stored relation defined by an algebra expression
+// over base relations. The maintenance program is attached to the rule
+// catalog as a non-triggering integrity program whose trigger set is derived
+// from the relations the definition reads: any transaction that updates a
+// source relation gets the maintenance statements appended by the ordinary
+// modification algorithm, so the view is consistent at every transaction
+// boundary — exactly the guarantee integrity enforcement receives.
+//
+// Two maintenance strategies are provided:
+//
+//   - recompute: delete the view contents and re-evaluate the definition
+//     (always applicable);
+//   - incremental: for definitions of the select/project-over-one-relation
+//     shape, apply σ/π to the transaction's ins/del deltas instead (the
+//     view-side analogue of the differential constraint checks).
+package views
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/rules"
+	"repro/internal/schema"
+	"repro/internal/trigger"
+)
+
+// Strategy selects how a view is maintained.
+type Strategy uint8
+
+// Maintenance strategies.
+const (
+	// Recompute re-evaluates the definition from scratch on every
+	// triggering transaction.
+	Recompute Strategy = iota
+	// Incremental applies the definition to the transaction's deltas; it
+	// falls back to Recompute when the definition is not delta-closed.
+	Incremental
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == Incremental {
+		return "incremental"
+	}
+	return "recompute"
+}
+
+// View is a materialized view definition.
+type View struct {
+	Name       string
+	Definition algebra.Expr
+	Strategy   Strategy
+
+	schema      *schema.Relation
+	incremental bool
+}
+
+// Schema returns the view's output schema (available after Define).
+func (v *View) Schema() *schema.Relation { return v.schema }
+
+// IsIncremental reports whether the compiled maintenance program uses
+// delta-based statements.
+func (v *View) IsIncremental() bool { return v.incremental }
+
+// Define compiles a materialized view against the database schema, registers
+// the view's backing relation in the schema, and installs the maintenance
+// program into the catalog. The caller must also create the backing relation
+// instance in its store (the facade does both). existingViews names the
+// already-defined views: definitions may read base relations only — stacking
+// views would require maintenance-order analysis the subsystem does not do.
+func Define(v *View, db *schema.Database, cat *rules.Catalog, existingViews map[string]bool) (*schema.Relation, error) {
+	if v.Name == "" {
+		return nil, fmt.Errorf("views: view must have a name")
+	}
+	if _, exists := db.Relation(v.Name); exists {
+		return nil, fmt.Errorf("views: relation %q already exists", v.Name)
+	}
+	for tr := range sourceTriggers(v.Definition) {
+		if existingViews[tr.Rel] {
+			return nil, fmt.Errorf("views: view %s reads view %s; views over views are not supported", v.Name, tr.Rel)
+		}
+	}
+	def := algebra.CloneExpr(v.Definition)
+	tenv := algebra.NewTypeEnv(db)
+	out, err := def.TypeCheck(tenv)
+	if err != nil {
+		return nil, fmt.Errorf("views: view %s: %w", v.Name, err)
+	}
+	backing := out.Clone(v.Name)
+	if err := db.Add(backing); err != nil {
+		return nil, err
+	}
+	v.schema = backing
+
+	triggers := sourceTriggers(v.Definition)
+	if triggers.IsEmpty() {
+		db.Remove(v.Name)
+		return nil, fmt.Errorf("views: view %s reads no base relations", v.Name)
+	}
+
+	prog := v.recomputeProgram()
+	if v.Strategy == Incremental {
+		if inc, ok := v.incrementalProgram(); ok {
+			prog = inc
+			v.incremental = true
+		}
+	}
+	tenv2 := algebra.NewTypeEnv(db)
+	if err := prog.TypeCheck(tenv2); err != nil {
+		db.Remove(v.Name)
+		return nil, fmt.Errorf("views: view %s: maintenance program: %w", v.Name, err)
+	}
+
+	ip := &rules.IntegrityProgram{
+		RuleName:      "view:" + v.Name,
+		Triggers:      triggers,
+		Full:          prog,
+		NonTriggering: true, // writes only the backing relation
+	}
+	if err := cat.AddProgram(ip); err != nil {
+		db.Remove(v.Name)
+		return nil, err
+	}
+	return backing, nil
+}
+
+// recomputeProgram is: delete(view, view); insert(view, definition).
+func (v *View) recomputeProgram() algebra.Program {
+	return algebra.Program{
+		&algebra.Delete{Rel: v.Name, Src: algebra.NewRel(v.Name)},
+		&algebra.Insert{Rel: v.Name, Src: algebra.CloneExpr(v.Definition)},
+	}
+}
+
+// incrementalProgram derives delta maintenance for select/project chains
+// over a single base relation: inserted source tuples are pushed through
+// the definition and added, deleted ones are pushed through and removed.
+// Projection makes deletion conservative (a projected tuple may have other
+// witnesses), so projection chains additionally re-insert the definition
+// image to restore any tuple removed too eagerly — still cheaper than a
+// full recompute only for selection-only chains; projections therefore fall
+// back to recompute.
+func (v *View) incrementalProgram() (algebra.Program, bool) {
+	base, ok := selectionChainBase(v.Definition)
+	if !ok {
+		return nil, false
+	}
+	insImage := rewriteBaseAux(algebra.CloneExpr(v.Definition), base, algebra.AuxIns)
+	delImage := rewriteBaseAux(algebra.CloneExpr(v.Definition), base, algebra.AuxDel)
+	return algebra.Program{
+		&algebra.Delete{Rel: v.Name, Src: delImage},
+		&algebra.Insert{Rel: v.Name, Src: insImage},
+	}, true
+}
+
+// selectionChainBase reports whether e is a chain of selections over one
+// base relation reference and returns that relation's name.
+func selectionChainBase(e algebra.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *algebra.Rel:
+		if x.Aux != algebra.AuxCur {
+			return "", false
+		}
+		return x.Name, true
+	case *algebra.Select:
+		return selectionChainBase(x.In)
+	default:
+		return "", false
+	}
+}
+
+// rewriteBaseAux replaces the base relation reference at the bottom of a
+// selection chain with the given auxiliary incarnation.
+func rewriteBaseAux(e algebra.Expr, base string, aux algebra.AuxKind) algebra.Expr {
+	switch x := e.(type) {
+	case *algebra.Rel:
+		if x.Name == base {
+			return algebra.NewAuxRel(base, aux)
+		}
+		return x
+	case *algebra.Select:
+		x.In = rewriteBaseAux(x.In, base, aux)
+		return x
+	default:
+		return e
+	}
+}
+
+// sourceTriggers derives the trigger set of a view definition: INS and DEL
+// of every base relation it reads in its current incarnation.
+func sourceTriggers(e algebra.Expr) trigger.Set {
+	out := trigger.NewSet()
+	var walk func(algebra.Expr)
+	walk = func(e algebra.Expr) {
+		switch x := e.(type) {
+		case *algebra.Rel:
+			if x.Aux == algebra.AuxCur {
+				out.Add(trigger.Trigger{Update: trigger.INS, Rel: x.Name})
+				out.Add(trigger.Trigger{Update: trigger.DEL, Rel: x.Name})
+			}
+		case *algebra.Select:
+			walk(x.In)
+		case *algebra.Project:
+			walk(x.In)
+		case *algebra.Rename:
+			walk(x.In)
+		case *algebra.Join:
+			walk(x.L)
+			walk(x.R)
+		case *algebra.SetExpr:
+			walk(x.L)
+			walk(x.R)
+		case *algebra.Aggregate:
+			walk(x.In)
+		}
+	}
+	walk(e)
+	return out
+}

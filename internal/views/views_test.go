@@ -1,0 +1,185 @@
+package views_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func newViewDB(t *testing.T, incremental bool) *repro.DB {
+	t.Helper()
+	db := repro.Open(nil)
+	db.MustCreateRelation(`relation beer(name string, brewery string, alcohol int)`)
+	db.MustCreateRelation(`relation brewery(name string, country string)`)
+	db.MustDefineView("strong", `select(beer, alcohol >= 8)`, incremental)
+	return db
+}
+
+func viewRows(t *testing.T, db *repro.DB, name string) int {
+	t.Helper()
+	n, err := db.Count(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestViewMaintainedAcrossTransactions(t *testing.T) {
+	for _, incremental := range []bool{false, true} {
+		name := "recompute"
+		if incremental {
+			name = "incremental"
+		}
+		t.Run(name, func(t *testing.T) {
+			db := newViewDB(t, incremental)
+			if res, err := db.Submit(`begin
+				insert(beer, values[("quad", "x", 10), ("pils", "y", 5), ("imperial", "z", 9)]);
+			end`); err != nil || !res.Committed {
+				t.Fatalf("insert: res=%+v err=%v", res, err)
+			}
+			if got := viewRows(t, db, "strong"); got != 2 {
+				t.Errorf("strong after inserts = %d, want 2", got)
+			}
+			if res, err := db.Submit(`begin
+				delete(beer, select(beer, name = "quad"));
+			end`); err != nil || !res.Committed {
+				t.Fatalf("delete: res=%+v err=%v", res, err)
+			}
+			if got := viewRows(t, db, "strong"); got != 1 {
+				t.Errorf("strong after delete = %d, want 1", got)
+			}
+			if res, err := db.Submit(`begin
+				update(beer, name = "pils", [alcohol = 12]);
+			end`); err != nil || !res.Committed {
+				t.Fatalf("update: res=%+v err=%v", res, err)
+			}
+			if got := viewRows(t, db, "strong"); got != 2 {
+				t.Errorf("strong after update = %d, want 2", got)
+			}
+		})
+	}
+}
+
+func TestViewInitialMaterialization(t *testing.T) {
+	db := repro.Open(nil)
+	db.MustCreateRelation(`relation beer(name string, brewery string, alcohol int)`)
+	if res, err := db.Submit(`begin
+		insert(beer, values[("quad", "x", 10)]);
+	end`); err != nil || !res.Committed {
+		t.Fatalf("seed: res=%+v err=%v", res, err)
+	}
+	db.MustDefineView("strong", `select(beer, alcohol >= 8)`, false)
+	if got := viewRows(t, db, "strong"); got != 1 {
+		t.Errorf("view not materialized from existing data: %d rows", got)
+	}
+}
+
+func TestJoinViewRecomputed(t *testing.T) {
+	db := newViewDB(t, false)
+	db.MustDefineView("located", `project(join(beer, brewery, #2 = #4), #1 as beer, #5 as country)`, true)
+	// Incremental was requested but a join definition must fall back.
+	if res, err := db.Submit(`begin
+		insert(brewery, values[("x", "be")]);
+		insert(beer, values[("quad", "x", 10)]);
+	end`); err != nil || !res.Committed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	rows, err := db.Query(`located`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][1] != "be" {
+		t.Errorf("located = %v", rows.Data)
+	}
+}
+
+func TestViewAbortRollsBackWithTransaction(t *testing.T) {
+	db := newViewDB(t, true)
+	db.MustDefineConstraint("pos", `forall x (x in beer implies x.alcohol >= 0)`)
+	res, err := db.Submit(`begin
+		insert(beer, values[("ghost", "g", 9)]);
+		insert(beer, values[("bad", "g", -1)]);
+	end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("violating transaction committed")
+	}
+	if got := viewRows(t, db, "strong"); got != 0 {
+		t.Errorf("view kept aborted tuples: %d", got)
+	}
+}
+
+func TestViewValidationErrors(t *testing.T) {
+	db := newViewDB(t, false)
+	if err := db.DefineView("strong", `beer`, false); err == nil {
+		t.Error("duplicate view name accepted")
+	}
+	if err := db.DefineView("meta", `select(strong, alcohol > 9)`, false); err == nil ||
+		!strings.Contains(err.Error(), "views over views") {
+		t.Errorf("view over view accepted or wrong error: %v", err)
+	}
+	if err := db.DefineView("vv", `select(nosuch, #1 > 0)`, false); err == nil {
+		t.Error("view over unknown relation accepted")
+	}
+}
+
+// TestIncrementalEqualsRecompute is the maintenance equivalence property:
+// under a random transaction stream, the incremental and the recomputed view
+// always hold the same contents as evaluating the definition directly.
+func TestIncrementalEqualsRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	dbs := map[string]*repro.DB{
+		"recompute":   newViewDB(t, false),
+		"incremental": newViewDB(t, true),
+	}
+	names := []string{"a", "b", "c", "d", "e"}
+	for step := 0; step < 120; step++ {
+		var stmt string
+		switch rng.Intn(3) {
+		case 0, 1:
+			stmt = `insert(beer, values[("` + names[rng.Intn(len(names))] + `", "x", ` + itoa(rng.Intn(14)) + `)]);`
+		case 2:
+			stmt = `delete(beer, select(beer, name = "` + names[rng.Intn(len(names))] + `"));`
+		}
+		src := "begin " + stmt + " end"
+		for which, db := range dbs {
+			res, err := db.Submit(src)
+			if err != nil {
+				t.Fatalf("%s step %d: %v", which, step, err)
+			}
+			if !res.Committed {
+				t.Fatalf("%s step %d aborted: %s", which, step, res.Reason)
+			}
+		}
+		// Both views must equal the definition evaluated fresh.
+		for which, db := range dbs {
+			want, err := db.Query(`select(beer, alcohol >= 8)`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := db.Query(`strong`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want.Data) != len(got.Data) {
+				t.Fatalf("%s step %d: view has %d rows, definition %d", which, step, len(got.Data), len(want.Data))
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := ""
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return digits
+}

@@ -1,0 +1,532 @@
+// Package repro is a main-memory relational database engine with a
+// declarative integrity control subsystem based on transaction modification,
+// reproducing Grefen's VLDB 1993 design (PRISMA/DB): every submitted
+// transaction is rewritten — extended with alarm checks and compensating
+// statements derived from declaratively specified integrity rules — so that
+// its execution cannot violate the integrity of the database.
+//
+// The core workflow:
+//
+//	db := repro.Open(nil)
+//	db.CreateRelation(`relation beer(name string, type string, brewery string, alcohol int)`)
+//	db.CreateRelation(`relation brewery(name string, city string, country string)`)
+//	db.DefineConstraint("R1", `forall x (x in beer implies x.alcohol >= 0)`)
+//	db.DefineRule("R2", `
+//	    if not forall x (x in beer implies
+//	        exists y (y in brewery and x.brewery = y.name))
+//	    then
+//	        temp := diff(project(beer, brewery), project(brewery, name));
+//	        insert(brewery, project(temp, #1 as name, null as city, null as country))`)
+//	res, err := db.Submit(`begin
+//	    insert(beer, values[("exportgold", "stout", "guineken", 6)]);
+//	end`)
+//
+// Constraints are written in CL, a tuple relational calculus with aggregates
+// (Section 4.1 of the paper); rules in RL, "WHEN triggers IF NOT condition
+// THEN action" (Definition 4.7). Trigger sets are generated from conditions
+// automatically (Algorithm 5.7) unless specified. Rules compile at
+// definition time into integrity programs (Definition 6.3); transaction
+// modification then only selects and concatenates (Algorithm 6.2).
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lang"
+	"repro/internal/relation"
+	"repro/internal/rules"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/value"
+	"repro/internal/views"
+)
+
+// Options configure a database's integrity control subsystem.
+type Options struct {
+	// UseDifferential enables the delta-based enforcement programs derived
+	// by the rule optimizer (checks read ins(R)/del(R) instead of full
+	// relations where sound).
+	UseDifferential bool
+	// DynamicTranslation re-translates rules at every modification
+	// (Algorithm 5.1 verbatim) instead of using precompiled integrity
+	// programs (Algorithm 6.2). Slower; exists for the ablation.
+	DynamicTranslation bool
+	// MaxModificationDepth bounds the modification recursion; 0 means the
+	// default (32).
+	MaxModificationDepth int
+}
+
+// DB is a main-memory database with integrity control. It is not safe for
+// concurrent use; callers serialize access as PRISMA/DB's transaction
+// manager would.
+type DB struct {
+	sch   *schema.Database
+	store *storage.Database
+	exec  *txn.Executor
+	cat   *rules.Catalog
+	sub   *core.Subsystem
+	opts  Options
+
+	viewNames map[string]bool
+}
+
+// Open creates an empty database. A nil opts selects the defaults
+// (precompiled rules, full-state checks).
+func Open(opts *Options) *DB {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	sch := schema.MustDatabase()
+	store := storage.New(sch)
+	cat := rules.NewCatalog(sch)
+	db := &DB{
+		sch:   sch,
+		store: store,
+		exec:  txn.NewExecutor(store),
+		cat:   cat,
+		opts:  o,
+	}
+	db.sub = core.New(cat, db.coreOptions())
+	return db
+}
+
+func (db *DB) coreOptions() core.Options {
+	return core.Options{
+		UseDifferential: db.opts.UseDifferential,
+		Dynamic:         db.opts.DynamicTranslation,
+		MaxDepth:        db.opts.MaxModificationDepth,
+	}
+}
+
+// CreateRelation declares a relation from DDL text:
+// "relation beer(name string, type string, brewery string, alcohol int)".
+// Types: int, float, string, bool.
+func (db *DB) CreateRelation(ddl string) error {
+	rs, err := lang.ParseRelationSchema(ddl)
+	if err != nil {
+		return err
+	}
+	if err := db.sch.Add(rs); err != nil {
+		return err
+	}
+	return db.store.AddRelation(rs)
+}
+
+// MustCreateRelation is CreateRelation that panics on error; for examples
+// and tests.
+func (db *DB) MustCreateRelation(ddl string) {
+	if err := db.CreateRelation(ddl); err != nil {
+		panic(err)
+	}
+}
+
+// DefineConstraint registers a bare CL constraint with the default aborting
+// response (the paper's "default way" of Section 4). The trigger set is
+// generated from the condition.
+func (db *DB) DefineConstraint(name, condition string) error {
+	r, err := lang.ParseConstraintRule(name, condition)
+	if err != nil {
+		return err
+	}
+	return db.cat.Add(r)
+}
+
+// MustDefineConstraint panics on error.
+func (db *DB) MustDefineConstraint(name, condition string) {
+	if err := db.DefineConstraint(name, condition); err != nil {
+		panic(err)
+	}
+}
+
+// DefineRule registers a full RL integrity rule:
+//
+//	[when INS(r), DEL(s)]
+//	if not <CL condition>
+//	then abort | [nontriggering] <program>
+func (db *DB) DefineRule(name, rl string) error {
+	r, err := lang.ParseRule(name, rl, db.sch)
+	if err != nil {
+		return err
+	}
+	return db.cat.Add(r)
+}
+
+// MustDefineRule panics on error.
+func (db *DB) MustDefineRule(name, rl string) {
+	if err := db.DefineRule(name, rl); err != nil {
+		panic(err)
+	}
+}
+
+// DropRule removes a rule by name.
+func (db *DB) DropRule(name string) error { return db.cat.Remove(name) }
+
+// DefineView creates a materialized view maintained through transaction
+// modification (the paper's cited application beyond integrity control):
+// any transaction updating a source relation is extended with the view's
+// maintenance statements, so the view is consistent at every transaction
+// boundary. With incremental=true, selection-only definitions over one base
+// relation are maintained from the transaction's deltas; everything else is
+// recomputed.
+//
+//	db.DefineView("cheap", `select(beer, alcohol < 3)`, true)
+func (db *DB) DefineView(name, exprSrc string, incremental bool) error {
+	prog, err := lang.ParseProgram("q := "+exprSrc, db.sch)
+	if err != nil {
+		return err
+	}
+	assign, ok := prog[0].(*algebra.Assign)
+	if !ok || len(prog) != 1 {
+		return fmt.Errorf("repro: view definition must be a single expression")
+	}
+	strategy := views.Recompute
+	if incremental {
+		strategy = views.Incremental
+	}
+	v := &views.View{Name: name, Definition: assign.Expr, Strategy: strategy}
+	backing, err := views.Define(v, db.sch, db.cat, db.viewNames)
+	if err != nil {
+		return err
+	}
+	if err := db.store.AddRelation(backing); err != nil {
+		db.sch.Remove(name)
+		_ = db.cat.Remove("view:" + name)
+		return err
+	}
+	if db.viewNames == nil {
+		db.viewNames = make(map[string]bool)
+	}
+	db.viewNames[name] = true
+	// Materialize the initial contents (sources may already hold data).
+	refresh := algebra.Program{&algebra.Insert{Rel: name, Src: algebra.CloneExpr(assign.Expr)}}
+	res, err := db.exec.Exec(txn.Bracket(refresh))
+	if err != nil {
+		return err
+	}
+	if !res.Committed {
+		return fmt.Errorf("repro: initial view materialization aborted: %v", res.AbortReason)
+	}
+	return nil
+}
+
+// MustDefineView panics on error.
+func (db *DB) MustDefineView(name, exprSrc string, incremental bool) {
+	if err := db.DefineView(name, exprSrc, incremental); err != nil {
+		panic(err)
+	}
+}
+
+// Views returns the names of the defined materialized views, sorted.
+func (db *DB) Views() []string {
+	out := make([]string, 0, len(db.viewNames))
+	for n := range db.viewNames {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RuleNames returns the defined rule names, sorted.
+func (db *DB) RuleNames() []string { return db.cat.Names() }
+
+// RuleTriggers returns the (possibly generated) trigger set of a rule as a
+// display string, e.g. "INS(beer), DEL(brewery)".
+func (db *DB) RuleTriggers(name string) (string, error) {
+	ip, ok := db.cat.Program(name)
+	if !ok {
+		return "", fmt.Errorf("repro: unknown rule %q", name)
+	}
+	return ip.Triggers.String(), nil
+}
+
+// EnforcementProgram returns the compiled enforcement program text of a rule
+// under the database's current strategy, for inspection.
+func (db *DB) EnforcementProgram(name string) (string, error) {
+	ip, ok := db.cat.Program(name)
+	if !ok {
+		return "", fmt.Errorf("repro: unknown rule %q", name)
+	}
+	return ip.Program(db.opts.UseDifferential).String(), nil
+}
+
+// ValidateRules analyzes the triggering graph (Definition 6.1) and returns
+// an error describing any cycles — rule sets that could trigger forever.
+func (db *DB) ValidateRules() error {
+	return graph.Build(db.cat.Programs()).Validate()
+}
+
+// TriggeringGraphDOT renders the triggering graph in Graphviz DOT format.
+func (db *DB) TriggeringGraphDOT() string {
+	return graph.Build(db.cat.Programs()).DOT()
+}
+
+// ModReport summarizes what transaction modification did.
+type ModReport struct {
+	Depth          int
+	OriginalStmts  int
+	FinalStmts     int
+	RulesTriggered map[string]int
+	ModifiedText   string
+}
+
+// Result reports the outcome of a submitted transaction.
+type Result struct {
+	Committed  bool
+	Constraint string // violated constraint name when integrity aborted
+	Reason     string // abort reason text, empty on commit
+	Report     *ModReport
+	Inserted   int
+	Deleted    int
+}
+
+// Submit parses "begin ... end" transaction text, modifies it under the
+// defined rules, and executes it atomically. Integrity violations abort the
+// transaction and are reported in the Result (not as an error); errors are
+// reserved for malformed input.
+func (db *DB) Submit(src string) (*Result, error) {
+	prog, err := lang.ParseTransaction(src, db.sch)
+	if err != nil {
+		return nil, err
+	}
+	return db.submit(txn.Bracket(prog), true)
+}
+
+// SubmitUnchecked executes transaction text without integrity control; the
+// cost floor used by benchmarks, and deliberately dangerous otherwise.
+func (db *DB) SubmitUnchecked(src string) (*Result, error) {
+	prog, err := lang.ParseTransaction(src, db.sch)
+	if err != nil {
+		return nil, err
+	}
+	return db.submit(txn.Bracket(prog), false)
+}
+
+// SubmitPostHoc executes transaction text with the post-hoc baseline: the
+// transaction runs unmodified and every aborting rule is checked in full
+// against the pre-commit state. Compensating rules are rejected (their
+// corrective updates only exist under transaction modification).
+func (db *DB) SubmitPostHoc(src string, triggerAware bool) (*Result, error) {
+	prog, err := lang.ParseTransaction(src, db.sch)
+	if err != nil {
+		return nil, err
+	}
+	res, err := baseline.NewPostHoc(db.cat, triggerAware).Exec(db.exec, txn.Bracket(prog))
+	if err != nil {
+		return nil, err
+	}
+	return db.toResult(res, nil), nil
+}
+
+func (db *DB) submit(t *txn.Transaction, withIntegrity bool) (*Result, error) {
+	var report *core.Report
+	if withIntegrity {
+		modified, rep, err := db.sub.Modify(t)
+		if err != nil {
+			return nil, err
+		}
+		t = modified
+		report = rep
+	}
+	res, err := db.exec.Exec(t)
+	if err != nil {
+		return nil, err
+	}
+	out := db.toResult(res, report)
+	if report != nil {
+		out.Report.ModifiedText = t.String()
+	}
+	return out, nil
+}
+
+func (db *DB) toResult(res *txn.Result, report *core.Report) *Result {
+	out := &Result{
+		Committed: res.Committed,
+		Inserted:  res.Stats.TuplesInserted,
+		Deleted:   res.Stats.TuplesDeleted,
+	}
+	if res.AbortReason != nil {
+		out.Reason = res.AbortReason.Error()
+		var v *algebra.ViolationError
+		if errors.As(res.AbortReason, &v) {
+			out.Constraint = v.Constraint
+		}
+	}
+	if report != nil {
+		out.Report = &ModReport{
+			Depth:          report.Depth,
+			OriginalStmts:  report.OriginalStmts,
+			FinalStmts:     report.FinalStmts,
+			RulesTriggered: report.RulesTriggered,
+		}
+	}
+	return out
+}
+
+// Explain returns the modified form of a transaction without executing it.
+func (db *DB) Explain(src string) (string, *ModReport, error) {
+	prog, err := lang.ParseTransaction(src, db.sch)
+	if err != nil {
+		return "", nil, err
+	}
+	modified, rep, err := db.sub.Modify(txn.Bracket(prog))
+	if err != nil {
+		return "", nil, err
+	}
+	return modified.String(), &ModReport{
+		Depth:          rep.Depth,
+		OriginalStmts:  rep.OriginalStmts,
+		FinalStmts:     rep.FinalStmts,
+		RulesTriggered: rep.RulesTriggered,
+	}, nil
+}
+
+// Rows is a query result: column names plus row data as native Go values
+// (int64, float64, string, bool, nil).
+type Rows struct {
+	Columns []string
+	Data    [][]any
+}
+
+// Query evaluates a relational algebra expression against the current
+// database state, e.g. "select(beer, alcohol > 5)".
+func (db *DB) Query(exprSrc string) (*Rows, error) {
+	prog, err := lang.ParseProgram("q := "+exprSrc, db.sch)
+	if err != nil {
+		return nil, err
+	}
+	assign, ok := prog[0].(*algebra.Assign)
+	if !ok || len(prog) != 1 {
+		return nil, fmt.Errorf("repro: query must be a single expression")
+	}
+	tenv := algebra.NewTypeEnv(db.sch)
+	out, err := assign.Expr.TypeCheck(tenv)
+	if err != nil {
+		return nil, err
+	}
+	ov := txn.NewOverlay(db.store)
+	rel, err := assign.Expr.Eval(ov)
+	if err != nil {
+		return nil, err
+	}
+	rows := &Rows{Columns: out.AttrNames()}
+	for _, t := range rel.SortedTuples() {
+		row := make([]any, len(t))
+		for i, v := range t {
+			row[i] = fromValue(v)
+		}
+		rows.Data = append(rows.Data, row)
+	}
+	return rows, nil
+}
+
+// Count returns the cardinality of a relation.
+func (db *DB) Count(rel string) (int, error) {
+	r, err := db.store.Relation(rel)
+	if err != nil {
+		return 0, err
+	}
+	return r.Len(), nil
+}
+
+// Relations returns the declared relation names, sorted.
+func (db *DB) Relations() []string { return db.sch.Names() }
+
+// LogicalTime returns the number of committed transactions.
+func (db *DB) LogicalTime() uint64 { return db.store.Time() }
+
+// Load bulk-inserts rows into a relation without integrity control or
+// transactional bookkeeping; intended for fixtures and benchmark data. Rows
+// use native Go values (int/int64, float64, string, bool, nil).
+func (db *DB) Load(rel string, rows [][]any) error {
+	rs, err := db.sch.MustFind(rel)
+	if err != nil {
+		return err
+	}
+	cur, err := db.store.Relation(rel)
+	if err != nil {
+		return err
+	}
+	next := cur.Clone()
+	for _, row := range rows {
+		if len(row) != rs.Arity() {
+			return fmt.Errorf("repro: row arity %d, want %d", len(row), rs.Arity())
+		}
+		t := make(relation.Tuple, len(row))
+		for i, v := range row {
+			tv, err := toValue(v)
+			if err != nil {
+				return fmt.Errorf("repro: column %s: %w", rs.Attrs[i].Name, err)
+			}
+			t[i] = tv
+		}
+		next.InsertUnchecked(t)
+	}
+	return db.store.Load(next)
+}
+
+// String renders a summary of the database: relations with cardinalities and
+// rule names.
+func (db *DB) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "database at t=%d\n", db.store.Time())
+	for _, name := range db.sch.Names() {
+		r, _ := db.store.Relation(name)
+		rs, _ := db.sch.Relation(name)
+		fmt.Fprintf(&sb, "  %s: %d tuples\n", rs, r.Len())
+	}
+	names := db.cat.Names()
+	sort.Strings(names)
+	fmt.Fprintf(&sb, "  rules: %s\n", strings.Join(names, ", "))
+	return sb.String()
+}
+
+// toValue converts a native Go value to an engine value.
+func toValue(v any) (value.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return value.Null(), nil
+	case int:
+		return value.Int(int64(x)), nil
+	case int32:
+		return value.Int(int64(x)), nil
+	case int64:
+		return value.Int(x), nil
+	case float32:
+		return value.Float(float64(x)), nil
+	case float64:
+		return value.Float(x), nil
+	case string:
+		return value.String(x), nil
+	case bool:
+		return value.Bool(x), nil
+	default:
+		return value.Null(), fmt.Errorf("unsupported value type %T", v)
+	}
+}
+
+// fromValue converts an engine value to a native Go value.
+func fromValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindInt:
+		return v.AsInt()
+	case value.KindFloat:
+		return v.AsFloat()
+	case value.KindString:
+		return v.AsString()
+	case value.KindBool:
+		return v.AsBool()
+	default:
+		return nil
+	}
+}
