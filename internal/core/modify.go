@@ -1,17 +1,3 @@
-// Package core implements the paper's primary contribution: the transaction
-// modification subsystem. Function ModT (Algorithm 5.1) rewrites an
-// arbitrary user transaction into one that cannot violate the integrity of
-// the database, by recursively appending the enforcement programs of the
-// integrity rules the transaction's statements trigger.
-//
-// Two operating modes are provided, matching Sections 5 and 6.2:
-//
-//   - precompiled (default): rules were translated at definition time into
-//     integrity programs; modification only selects and concatenates
-//     (functions TrigP/SelPS/ConcatP of Algorithm 6.2);
-//   - dynamic: rules are optimized and translated at every modification
-//     (functions SelRS/TrOptRS of Algorithms 5.2-5.3), kept for the
-//     static-vs-dynamic ablation benchmark.
 package core
 
 import (

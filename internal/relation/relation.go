@@ -84,9 +84,16 @@ func (t Tuple) Less(o Tuple) bool {
 
 // Relation is a set of tuples over a schema. The zero value is not usable;
 // construct with New.
+//
+// A relation starts mutable; Seal freezes it permanently. Sealed relations
+// are the unit of copy-on-write sharing in the storage layer: a committed
+// database snapshot holds only sealed instances, so snapshots can be handed
+// to concurrent readers without copying, and writers must Clone (yielding a
+// fresh mutable instance) before changing anything.
 type Relation struct {
 	schema *schema.Relation
 	tuples map[string]Tuple
+	sealed bool
 }
 
 // New returns an empty relation instance of the given schema.
@@ -118,6 +125,24 @@ func MustFromTuples(s *schema.Relation, tuples ...Tuple) *Relation {
 // Schema returns the relation's schema.
 func (r *Relation) Schema() *schema.Relation { return r.schema }
 
+// Seal marks the relation immutable and returns it. Any later mutation
+// panics: sealed instances are shared between database snapshots, and a
+// write through a stale pointer would corrupt every state that shares the
+// instance. Sealing is idempotent; Clone of a sealed relation is mutable.
+func (r *Relation) Seal() *Relation {
+	r.sealed = true
+	return r
+}
+
+// Sealed reports whether the relation has been frozen by Seal.
+func (r *Relation) Sealed() bool { return r.sealed }
+
+func (r *Relation) checkMutable() {
+	if r.sealed {
+		panic(fmt.Sprintf("relation %s: mutation of sealed (committed) instance", r.schema.Name))
+	}
+}
+
 // Len returns the cardinality of the relation.
 func (r *Relation) Len() int { return len(r.tuples) }
 
@@ -127,6 +152,7 @@ func (r *Relation) IsEmpty() bool { return len(r.tuples) == 0 }
 // Insert adds t to the set; inserting a duplicate is a silent no-op per set
 // semantics. The tuple arity must match the schema.
 func (r *Relation) Insert(t Tuple) error {
+	r.checkMutable()
 	if len(t) != r.schema.Arity() {
 		return fmt.Errorf("relation %s: tuple arity %d, want %d", r.schema.Name, len(t), r.schema.Arity())
 	}
@@ -137,11 +163,13 @@ func (r *Relation) Insert(t Tuple) error {
 // InsertUnchecked adds t without arity validation; for internal operators
 // that construct tuples of a known shape.
 func (r *Relation) InsertUnchecked(t Tuple) {
+	r.checkMutable()
 	r.tuples[t.Key()] = t
 }
 
 // Delete removes t from the set, reporting whether it was present.
 func (r *Relation) Delete(t Tuple) bool {
+	r.checkMutable()
 	k := t.Key()
 	if _, ok := r.tuples[k]; ok {
 		delete(r.tuples, k)
@@ -216,6 +244,7 @@ func (r *Relation) Equal(o *Relation) bool {
 
 // UnionInPlace inserts every tuple of o into r.
 func (r *Relation) UnionInPlace(o *Relation) {
+	r.checkMutable()
 	for k, t := range o.tuples {
 		r.tuples[k] = t
 	}
@@ -223,6 +252,7 @@ func (r *Relation) UnionInPlace(o *Relation) {
 
 // DiffInPlace removes every tuple of o from r.
 func (r *Relation) DiffInPlace(o *Relation) {
+	r.checkMutable()
 	for k := range o.tuples {
 		delete(r.tuples, k)
 	}

@@ -199,3 +199,45 @@ func TestStringRendering(t *testing.T) {
 		t.Errorf("String() = %q, want %q", got, want)
 	}
 }
+
+// TestSealFreezesRelation: sealed (committed) instances reject every
+// mutation, while clones taken from them stay mutable — the copy-on-write
+// contract the storage snapshots rely on.
+func TestSealFreezesRelation(t *testing.T) {
+	r := MustFromTuples(twoColSchema(t), tup(1, "x"))
+	if r.Sealed() {
+		t.Fatal("fresh relation reports sealed")
+	}
+	r.Seal()
+	if !r.Sealed() {
+		t.Fatal("Seal did not stick")
+	}
+	mutations := map[string]func(){
+		"Insert":          func() { _ = r.Insert(tup(2, "y")) },
+		"InsertUnchecked": func() { r.InsertUnchecked(tup(2, "y")) },
+		"Delete":          func() { r.Delete(tup(1, "x")) },
+		"UnionInPlace":    func() { r.UnionInPlace(MustFromTuples(twoColSchema(t), tup(3, "z"))) },
+		"DiffInPlace":     func() { r.DiffInPlace(MustFromTuples(twoColSchema(t), tup(1, "x"))) },
+	}
+	for name, fn := range mutations {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on sealed relation did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+
+	c := r.Clone()
+	if c.Sealed() {
+		t.Fatal("Clone of sealed relation is sealed")
+	}
+	if err := c.Insert(tup(2, "y")); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Errorf("lens after clone mutation: sealed=%d clone=%d", r.Len(), c.Len())
+	}
+}

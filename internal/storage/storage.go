@@ -3,106 +3,316 @@
 // transitions (Definition 2.3). It plays the role PRISMA/DB's storage layer
 // plays in the paper — transactions execute against it through the overlay
 // in package txn.
+//
+// The store is snapshot-isolated: the committed state is an immutable
+// Snapshot behind an atomically swapped pointer, so any number of readers
+// (and transaction overlays) can pin a consistent state without locking.
+// Commits go through CommitValidated, which serializes installation under a
+// mutex, performs first-committer-wins validation against a commit log of
+// per-transaction deltas keyed by logical time, and publishes the next
+// snapshot with a single pointer store.
 package storage
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 	"repro/internal/schema"
 )
 
-// Database is a database state D of a database schema (Definition 2.2) plus
-// a logical clock. It is not safe for concurrent mutation; the transaction
-// executor serializes access.
-type Database struct {
+// maxLogDeltas bounds the commit log. Older deltas are discarded; a commit
+// whose base snapshot predates the retained window can no longer be
+// validated and is reported as a conflict, forcing a retry from a fresh
+// snapshot.
+const maxLogDeltas = 4096
+
+// Snapshot is an immutable database state D^t (Definition 2.2) at a logical
+// time: a set of sealed relation instances. Snapshots are shared freely
+// between goroutines; they never change after publication.
+type Snapshot struct {
 	sch  *schema.Database
 	rels map[string]*relation.Relation
 	time uint64
 }
 
-// New returns an empty database state (all relations empty, logical time 0)
-// for the given schema.
-func New(sch *schema.Database) *Database {
-	db := &Database{sch: sch, rels: make(map[string]*relation.Relation, sch.Len())}
-	for _, name := range sch.Names() {
-		rs, _ := sch.Relation(name)
-		db.rels[name] = relation.New(rs)
-	}
-	return db
-}
+// Schema returns the database schema the snapshot instantiates.
+func (s *Snapshot) Schema() *schema.Database { return s.sch }
 
-// Schema returns the database schema.
-func (d *Database) Schema() *schema.Database { return d.sch }
+// Time returns the logical time of the state.
+func (s *Snapshot) Time() uint64 { return s.time }
 
-// Time returns the logical time of the current state.
-func (d *Database) Time() uint64 { return d.time }
-
-// Relation returns the current instance of the named relation.
-func (d *Database) Relation(name string) (*relation.Relation, error) {
-	r, ok := d.rels[name]
+// Relation returns the named relation instance. The instance is sealed;
+// callers needing a mutable copy must Clone it.
+func (s *Snapshot) Relation(name string) (*relation.Relation, error) {
+	r, ok := s.rels[name]
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown relation %q", name)
 	}
 	return r, nil
 }
 
+// TotalTuples returns the sum of all relation cardinalities, for reporting.
+func (s *Snapshot) TotalTuples() int {
+	n := 0
+	for _, r := range s.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Delta is the commit-log record of one committed transaction: the net
+// inserted and net deleted tuples per relation (the transaction's
+// differential relations at commit), keyed by the logical time of the state
+// the commit produced. Ins and Del are sealed; either map may be nil for
+// commits recorded without tuple-level detail. Retaining the tuples pins
+// up to maxLogDeltas commits' worth of differentials in memory; today only
+// the relation-name write set drives validation, but the tuple detail is
+// what a future tuple-granular validator (see ROADMAP) probes, so it is
+// kept rather than recomputed.
+type Delta struct {
+	Time uint64
+	Ins  map[string]*relation.Relation
+	Del  map[string]*relation.Relation
+
+	writes map[string]bool
+}
+
+// Touches reports whether the committed transaction wrote the named
+// relation.
+func (d *Delta) Touches(name string) bool { return d.writes[name] }
+
+// Writes returns the names of the relations the commit wrote, sorted.
+func (d *Delta) Writes() []string {
+	out := make([]string, 0, len(d.writes))
+	for name := range d.writes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Commit is a validated commit request: the outcome of a transaction that
+// executed against the snapshot at BaseTime, read the relations in ReadSet,
+// and wants to install the instances in Changed with the net differentials
+// Ins/Del.
+type Commit struct {
+	BaseTime uint64
+	ReadSet  map[string]bool
+	Changed  map[string]*relation.Relation
+	Ins      map[string]*relation.Relation
+	Del      map[string]*relation.Relation
+}
+
+// Conflict explains a failed first-committer-wins validation: a transaction
+// that committed at Time — after the requester's base snapshot — wrote
+// Relation, which the requester read. Relation is empty when the commit log
+// no longer covers the requester's base time and validation was refused
+// conservatively.
+type Conflict struct {
+	Time     uint64
+	Relation string
+}
+
+func (c *Conflict) String() string {
+	if c.Relation == "" {
+		return fmt.Sprintf("base snapshot predates the retained commit log (oldest validated time %d)", c.Time)
+	}
+	return fmt.Sprintf("relation %q written by commit at t=%d", c.Relation, c.Time)
+}
+
+// Database is a database state D of a database schema (Definition 2.2) plus
+// a logical clock. Reads (Snapshot, Relation, Time) are lock-free and safe
+// for any number of concurrent goroutines; commits and schema changes
+// serialize internally.
+type Database struct {
+	sch  *schema.Database
+	mu   sync.Mutex // serializes commits, loads and schema changes
+	snap atomic.Pointer[Snapshot]
+	log  []*Delta
+}
+
+// New returns an empty database state (all relations empty, logical time 0)
+// for the given schema.
+func New(sch *schema.Database) *Database {
+	rels := make(map[string]*relation.Relation, sch.Len())
+	for _, name := range sch.Names() {
+		rs, _ := sch.Relation(name)
+		rels[name] = relation.New(rs).Seal()
+	}
+	db := &Database{sch: sch}
+	db.snap.Store(&Snapshot{sch: sch, rels: rels})
+	return db
+}
+
+// Schema returns the database schema.
+func (d *Database) Schema() *schema.Database { return d.sch }
+
+// Snapshot returns the current committed state. The call is lock-free; the
+// returned snapshot is immutable and stays valid (pinned by the caller)
+// regardless of later commits.
+func (d *Database) Snapshot() *Snapshot { return d.snap.Load() }
+
+// Time returns the logical time of the current state.
+func (d *Database) Time() uint64 { return d.Snapshot().time }
+
+// Relation returns the current instance of the named relation. The instance
+// is sealed; callers needing a mutable copy must Clone it.
+func (d *Database) Relation(name string) (*relation.Relation, error) {
+	return d.Snapshot().Relation(name)
+}
+
 // AddRelation registers a new relation schema after creation, with an empty
 // instance. The schema must already be present in the database schema (the
 // caller updates both in step); duplicate instances are rejected.
 func (d *Database) AddRelation(rs *schema.Relation) error {
-	if _, ok := d.rels[rs.Name]; ok {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.snap.Load()
+	if _, ok := cur.rels[rs.Name]; ok {
 		return fmt.Errorf("storage: relation %q already exists", rs.Name)
 	}
 	if _, ok := d.sch.Relation(rs.Name); !ok {
 		return fmt.Errorf("storage: relation %q missing from database schema", rs.Name)
 	}
-	d.rels[rs.Name] = relation.New(rs)
+	next := cur.withInstalled(map[string]*relation.Relation{rs.Name: relation.New(rs)}, cur.time)
+	d.snap.Store(next)
 	return nil
 }
 
 // Load bulk-replaces the instance of a relation; intended for test fixtures
-// and workload generators, outside any transaction. The logical clock is not
-// advanced.
+// and workload generators, outside any transaction. The relation is sealed
+// by the call. The logical clock is not advanced and no commit-log record
+// is written.
 func (d *Database) Load(r *relation.Relation) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.snap.Load()
 	name := r.Schema().Name
-	if _, ok := d.rels[name]; !ok {
+	if _, ok := cur.rels[name]; !ok {
 		return fmt.Errorf("storage: unknown relation %q", name)
 	}
-	d.rels[name] = r
+	d.snap.Store(cur.withInstalled(map[string]*relation.Relation{name: r}, cur.time))
 	return nil
 }
 
 // ApplyCommit installs the changed relations as the next database state and
-// advances the logical clock: D^t becomes D^{t+1}.
+// advances the logical clock: D^t becomes D^{t+1}. It performs no conflict
+// validation (the caller owns serialization) and records the commit in the
+// log with relation-name granularity only.
 func (d *Database) ApplyCommit(changed map[string]*relation.Relation) error {
-	for name := range changed {
-		if _, ok := d.rels[name]; !ok {
-			return fmt.Errorf("storage: commit touches unknown relation %q", name)
-		}
+	_, conflict, err := d.CommitValidated(Commit{BaseTime: d.Time(), Changed: changed})
+	if err != nil {
+		return err
 	}
-	for name, r := range changed {
-		d.rels[name] = r
+	if conflict != nil {
+		// Unreachable: an empty read set cannot conflict.
+		return fmt.Errorf("storage: unexpected conflict: %s", conflict)
 	}
-	d.time++
 	return nil
 }
 
-// Clone returns an independent copy of the database state (relations are
-// copied; tuples are shared as they are immutable by convention).
-func (d *Database) Clone() *Database {
-	c := &Database{sch: d.sch, rels: make(map[string]*relation.Relation, len(d.rels)), time: d.time}
-	for name, r := range d.rels {
-		c.rels[name] = r.Clone()
+// CommitValidated is the optimistic commit point: under the store mutex it
+// checks, first-committer-wins, that no transaction committed after
+// c.BaseTime wrote a relation in c.ReadSet, then installs c.Changed as the
+// next snapshot, appends the delta to the commit log and advances the
+// clock. A non-nil Conflict (with nil error) means validation failed and
+// the caller should re-execute against a fresh snapshot; errors are
+// reserved for malformed commits, which leave the state untouched.
+func (d *Database) CommitValidated(c Commit) (uint64, *Conflict, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.snap.Load()
+	for name := range c.Changed {
+		if _, ok := cur.rels[name]; !ok {
+			return 0, nil, fmt.Errorf("storage: commit touches unknown relation %q", name)
+		}
 	}
+	if c.BaseTime > cur.time {
+		return 0, nil, fmt.Errorf("storage: commit base time %d is ahead of the store (t=%d)", c.BaseTime, cur.time)
+	}
+	if c.BaseTime < cur.time && len(c.ReadSet) > 0 {
+		if len(d.log) == 0 || d.log[0].Time > c.BaseTime+1 {
+			// The log no longer covers the base snapshot; refuse
+			// conservatively rather than risk a missed conflict.
+			oldest := cur.time
+			if len(d.log) > 0 {
+				oldest = d.log[0].Time
+			}
+			return 0, &Conflict{Time: oldest}, nil
+		}
+		// Delta times ascend, so the relevant suffix starts at the first
+		// delta past the base time; this scan runs under the commit mutex
+		// and must not walk the skipped prefix.
+		first := sort.Search(len(d.log), func(i int) bool { return d.log[i].Time > c.BaseTime })
+		for _, delta := range d.log[first:] {
+			for name := range delta.writes {
+				if c.ReadSet[name] {
+					return 0, &Conflict{Time: delta.Time, Relation: name}, nil
+				}
+			}
+		}
+	}
+
+	next := cur.withInstalled(c.Changed, cur.time+1)
+	writes := make(map[string]bool, len(c.Changed))
+	for name := range c.Changed {
+		writes[name] = true
+	}
+	for _, m := range []map[string]*relation.Relation{c.Ins, c.Del} {
+		for _, r := range m {
+			r.Seal()
+		}
+	}
+	d.log = append(d.log, &Delta{Time: next.time, Ins: c.Ins, Del: c.Del, writes: writes})
+	if len(d.log) > maxLogDeltas {
+		d.log = append(d.log[:0:0], d.log[len(d.log)-maxLogDeltas:]...)
+	}
+	d.snap.Store(next)
+	return next.time, nil, nil
+}
+
+// withInstalled builds the successor snapshot: the receiver's relation map
+// with the given instances (sealed on the way in) swapped, at logical time
+// t. Unchanged relations are shared by pointer — the copy is O(relations),
+// not O(tuples).
+func (s *Snapshot) withInstalled(changed map[string]*relation.Relation, t uint64) *Snapshot {
+	rels := make(map[string]*relation.Relation, len(s.rels)+len(changed))
+	for name, r := range s.rels {
+		rels[name] = r
+	}
+	for name, r := range changed {
+		rels[name] = r.Seal()
+	}
+	return &Snapshot{sch: s.sch, rels: rels, time: t}
+}
+
+// DeltasSince returns the retained commit-log records with Time > t, oldest
+// first, for introspection and tests.
+func (d *Database) DeltasSince(t uint64) []*Delta {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Delta, 0, len(d.log))
+	for _, delta := range d.log {
+		if delta.Time > t {
+			out = append(out, delta)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent database seeded with the current snapshot.
+// Because snapshots are immutable the relations are shared, making Clone
+// O(relations); commits to either database never affect the other. The
+// clone starts with an empty commit log.
+func (d *Database) Clone() *Database {
+	cur := d.Snapshot()
+	c := &Database{sch: d.sch}
+	c.snap.Store(&Snapshot{sch: cur.sch, rels: cur.rels, time: cur.time})
 	return c
 }
 
 // TotalTuples returns the sum of all relation cardinalities, for reporting.
-func (d *Database) TotalTuples() int {
-	n := 0
-	for _, r := range d.rels {
-		n += r.Len()
-	}
-	return n
-}
+func (d *Database) TotalTuples() int { return d.Snapshot().TotalTuples() }

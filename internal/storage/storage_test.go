@@ -114,3 +114,127 @@ func TestAddRelationDynamic(t *testing.T) {
 		t.Errorf("extra relation = %v, %v", r, err)
 	}
 }
+
+// TestSnapshotIsPinned: a snapshot taken before a commit keeps showing the
+// old state after the commit installs a new one.
+func TestSnapshotIsPinned(t *testing.T) {
+	sch := storageSchema()
+	db := New(sch)
+	rs, _ := sch.Relation("r")
+	before := db.Snapshot()
+	next := relation.MustFromTuples(rs, relation.Tuple{value.Int(7)})
+	if err := db.ApplyCommit(map[string]*relation.Relation{"r": next}); err != nil {
+		t.Fatal(err)
+	}
+	old, err := before.Relation("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Len() != 0 || before.Time() != 0 {
+		t.Errorf("pinned snapshot changed: len=%d time=%d", old.Len(), before.Time())
+	}
+	cur, _ := db.Relation("r")
+	if cur.Len() != 1 || db.Time() != 1 {
+		t.Errorf("current state wrong: len=%d time=%d", cur.Len(), db.Time())
+	}
+	if !cur.Sealed() {
+		t.Error("committed relation not sealed")
+	}
+}
+
+// TestCommitValidatedFirstCommitterWins: two commits based on the same
+// snapshot; the second read a relation the first wrote, so it must be
+// reported as a conflict and install nothing.
+func TestCommitValidatedFirstCommitterWins(t *testing.T) {
+	sch := storageSchema()
+	db := New(sch)
+	rs, _ := sch.Relation("r")
+	base := db.Time()
+	mk := func(v int64) map[string]*relation.Relation {
+		return map[string]*relation.Relation{"r": relation.MustFromTuples(rs, relation.Tuple{value.Int(v)})}
+	}
+
+	ct, conflict, err := db.CommitValidated(Commit{BaseTime: base, ReadSet: map[string]bool{"r": true}, Changed: mk(1), Ins: mk(1)})
+	if err != nil || conflict != nil {
+		t.Fatalf("first commit: time=%d conflict=%v err=%v", ct, conflict, err)
+	}
+	if ct != 1 {
+		t.Errorf("first commit time = %d, want 1", ct)
+	}
+
+	_, conflict, err = db.CommitValidated(Commit{BaseTime: base, ReadSet: map[string]bool{"r": true}, Changed: mk(2), Ins: mk(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict == nil {
+		t.Fatal("second committer's stale read set validated")
+	}
+	if conflict.Time != 1 || conflict.Relation != "r" {
+		t.Errorf("conflict = %+v, want t=1 relation=r", conflict)
+	}
+	cur, _ := db.Relation("r")
+	if db.Time() != 1 || !cur.Contains(relation.Tuple{value.Int(1)}) {
+		t.Error("conflicting commit leaked state")
+	}
+
+	// A commit from the same stale base that read nothing the winner wrote
+	// is independent and must pass.
+	_, conflict, err = db.CommitValidated(Commit{BaseTime: base, ReadSet: map[string]bool{"other": true}})
+	if err != nil || conflict != nil {
+		t.Fatalf("independent commit rejected: conflict=%v err=%v", conflict, err)
+	}
+}
+
+// TestCommitLogKeyedByTime: deltas land in the log under the commit time
+// and carry the write set.
+func TestCommitLogKeyedByTime(t *testing.T) {
+	sch := storageSchema()
+	db := New(sch)
+	rs, _ := sch.Relation("r")
+	for i := int64(1); i <= 3; i++ {
+		ins := map[string]*relation.Relation{"r": relation.MustFromTuples(rs, relation.Tuple{value.Int(i)})}
+		if _, conflict, err := db.CommitValidated(Commit{BaseTime: db.Time(), Changed: ins, Ins: ins}); err != nil || conflict != nil {
+			t.Fatalf("commit %d: conflict=%v err=%v", i, conflict, err)
+		}
+	}
+	deltas := db.DeltasSince(1)
+	if len(deltas) != 2 {
+		t.Fatalf("DeltasSince(1) returned %d deltas, want 2", len(deltas))
+	}
+	for i, d := range deltas {
+		if want := uint64(i + 2); d.Time != want {
+			t.Errorf("delta %d has time %d, want %d", i, d.Time, want)
+		}
+		if !d.Touches("r") || len(d.Writes()) != 1 {
+			t.Errorf("delta %d writes = %v, want [r]", i, d.Writes())
+		}
+		if d.Ins["r"] == nil || !d.Ins["r"].Sealed() {
+			t.Errorf("delta %d ins not recorded/sealed", i)
+		}
+	}
+}
+
+// TestCommitValidatedRefusesTruncatedLog: a base snapshot older than the
+// retained log cannot be validated and must read as a conflict, never as a
+// silent success.
+func TestCommitValidatedRefusesTruncatedLog(t *testing.T) {
+	sch := storageSchema()
+	db := New(sch)
+	// Simulate truncation: commit twice, then clear the log the way a long
+	// run would age it out.
+	for i := 0; i < 2; i++ {
+		if err := db.ApplyCommit(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.mu.Lock()
+	db.log = nil
+	db.mu.Unlock()
+	_, conflict, err := db.CommitValidated(Commit{BaseTime: 0, ReadSet: map[string]bool{"r": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict == nil {
+		t.Fatal("commit validated against a truncated log")
+	}
+}

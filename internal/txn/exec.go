@@ -17,11 +17,18 @@ type Stats struct {
 
 // Result reports the outcome of executing a transaction. When Committed is
 // false, AbortReason holds the cause — an *algebra.ViolationError when an
-// alarm fired, or any runtime evaluation error.
+// alarm fired, ErrRetriesExhausted when optimistic validation kept losing,
+// or any runtime evaluation error.
 type Result struct {
 	Committed   bool
 	AbortReason error
 	Stats       Stats
+	// Retries counts conflict-induced re-executions: 0 means the first
+	// attempt committed (or aborted on its own merits).
+	Retries int
+	// CommitTime is the logical time of the installed state; 0 when the
+	// transaction did not commit.
+	CommitTime uint64
 }
 
 // Violation returns the integrity violation that aborted the transaction,
@@ -36,13 +43,18 @@ func (r *Result) Violation() *algebra.ViolationError {
 
 // Executor runs transactions against a database with atomicity: either the
 // whole program's effects are installed as the next database state, or the
-// database is left untouched (Section 2.2).
+// database is left untouched (Section 2.2). Each execution pins a snapshot
+// and commits through the sequencer, so one executor may be shared by any
+// number of goroutines.
 type Executor struct {
-	db *storage.Database
+	db  *storage.Database
+	seq *Sequencer
 }
 
 // NewExecutor returns an executor over db.
-func NewExecutor(db *storage.Database) *Executor { return &Executor{db: db} }
+func NewExecutor(db *storage.Database) *Executor {
+	return &Executor{db: db, seq: NewSequencer(db)}
+}
 
 // DB returns the underlying database.
 func (e *Executor) DB() *storage.Database { return e.db }
@@ -52,7 +64,7 @@ func (e *Executor) DB() *storage.Database { return e.db }
 // including integrity violations signalled by alarm statements — abort the
 // transaction and are reported in the Result.
 func (e *Executor) Exec(t *Transaction) (*Result, error) {
-	return e.ExecWithCheck(t, nil)
+	return e.ExecOptimistic(t, nil, DefaultMaxRetries)
 }
 
 // PostCheck is a hook run after the transaction's program but before commit,
@@ -64,28 +76,73 @@ type PostCheck func(env algebra.Env) error
 
 // ExecWithCheck is Exec with a pre-commit hook.
 func (e *Executor) ExecWithCheck(t *Transaction, check PostCheck) (*Result, error) {
+	return e.ExecOptimistic(t, check, DefaultMaxRetries)
+}
+
+// ExecOptimistic executes t under snapshot isolation with optimistic commit
+// validation: the program runs against a pinned snapshot, and the sequencer
+// installs the result iff no concurrently committed transaction wrote a
+// relation this one read. On conflict the transaction is re-executed from
+// scratch against a fresh snapshot — alarm checks embedded by transaction
+// modification re-run too, so a retried commit is exactly as safe as a
+// first-attempt one — up to maxRetries times (negative means
+// DefaultMaxRetries). Exhausting the budget reports an aborted Result
+// wrapping ErrRetriesExhausted, never a half-installed state.
+func (e *Executor) ExecOptimistic(t *Transaction, check PostCheck, maxRetries int) (*Result, error) {
+	if maxRetries < 0 {
+		maxRetries = DefaultMaxRetries
+	}
 	tenv := algebra.NewTypeEnv(e.db.Schema())
 	if err := t.Program.TypeCheck(tenv); err != nil {
 		return nil, fmt.Errorf("txn: transaction rejected: %w", err)
 	}
 
-	ov := NewOverlay(e.db)
+	for attempt := 0; ; attempt++ {
+		ov := NewOverlay(e.db)
+		res, done, err := e.attempt(t, check, ov)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			res.Retries = attempt
+			return res, nil
+		}
+		ct, conflict, err := e.seq.TryCommit(ov)
+		if err != nil {
+			return nil, err
+		}
+		if conflict == nil {
+			return &Result{Committed: true, Stats: *ov.stats, Retries: attempt, CommitTime: ct}, nil
+		}
+		if attempt >= maxRetries {
+			return &Result{
+				Committed:   false,
+				AbortReason: fmt.Errorf("%w after %d attempts (last conflict: %s)", ErrRetriesExhausted, attempt+1, conflict),
+				Stats:       *ov.stats,
+				Retries:     attempt,
+			}, nil
+		}
+	}
+}
+
+// attempt runs the program once against ov. done=true means the outcome is
+// final (the transaction aborted on its own: alarm, runtime error or failed
+// post-check) and no commit should be tried.
+func (e *Executor) attempt(t *Transaction, check PostCheck, ov *Overlay) (res *Result, done bool, err error) {
 	for _, stmt := range t.Program {
 		ov.stats.Statements++
 		if err := stmt.Exec(ov); err != nil {
-			// Abort: the overlay is discarded, D^t remains installed.
-			return &Result{Committed: false, AbortReason: err, Stats: *ov.stats}, nil
+			// Abort: the overlay is discarded, the pinned snapshot remains
+			// the committed state.
+			return &Result{Committed: false, AbortReason: err, Stats: *ov.stats}, true, nil
 		}
 	}
 	if check != nil {
 		if err := check(ov); err != nil {
-			return &Result{Committed: false, AbortReason: err, Stats: *ov.stats}, nil
+			return &Result{Committed: false, AbortReason: err, Stats: *ov.stats}, true, nil
 		}
 	}
-	// End bracket: temporary relations vanish with the overlay and the
-	// working state is installed as D^{t+1}.
-	if err := e.db.ApplyCommit(ov.Changed()); err != nil {
-		return nil, fmt.Errorf("txn: commit failed: %w", err)
-	}
-	return &Result{Committed: true, Stats: *ov.stats}, nil
+	// End bracket: temporary relations vanish with the overlay; the caller
+	// hands the working state to the sequencer for validation + install.
+	return nil, false, nil
 }

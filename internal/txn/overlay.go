@@ -13,42 +13,64 @@ import (
 // maintained differential relations (net inserted / net deleted tuples per
 // base relation). It implements algebra.ExecEnv.
 //
+// The overlay is pinned to the database snapshot it was created from: every
+// base-relation read resolves against that snapshot for the overlay's whole
+// life, so a transaction sees one consistent state regardless of concurrent
+// commits (snapshot isolation). The overlay also records its read set — the
+// base relations touched through Rel or mutated — which the commit
+// sequencer uses for first-committer-wins validation.
+//
 // Differential maintenance follows the delete-before-insert cancellation
 // discipline: re-inserting a tuple deleted earlier in the same transaction
 // removes it from the delete delta rather than adding it to the insert
 // delta, so ins(R) and del(R) always describe the net transition from the
 // pre-transaction state to the current working state.
 type Overlay struct {
-	db      *storage.Database
+	base    *storage.Snapshot
 	working map[string]*relation.Relation
 	ins     map[string]*relation.Relation
 	del     map[string]*relation.Relation
 	temps   map[string]*relation.Relation
+	reads   map[string]bool
 	stats   *Stats
 }
 
-// NewOverlay creates a fresh overlay over the current state of db.
+// NewOverlay creates a fresh overlay pinned to the current snapshot of db.
 func NewOverlay(db *storage.Database) *Overlay {
+	return NewOverlayAt(db.Snapshot())
+}
+
+// NewOverlayAt creates a fresh overlay pinned to the given snapshot.
+func NewOverlayAt(snap *storage.Snapshot) *Overlay {
 	return &Overlay{
-		db:      db,
+		base:    snap,
 		working: make(map[string]*relation.Relation),
 		ins:     make(map[string]*relation.Relation),
 		del:     make(map[string]*relation.Relation),
 		temps:   make(map[string]*relation.Relation),
+		reads:   make(map[string]bool),
 		stats:   &Stats{},
 	}
 }
 
+// Base returns the snapshot the overlay is pinned to.
+func (o *Overlay) Base() *storage.Snapshot { return o.base }
+
+// ReadSet returns the names of the base relations the transaction touched,
+// in any incarnation. The map is live; callers must not mutate it.
+func (o *Overlay) ReadSet() map[string]bool { return o.reads }
+
 // Rel implements algebra.Env.
 func (o *Overlay) Rel(name string, aux algebra.AuxKind) (*relation.Relation, error) {
+	o.reads[name] = true
 	switch aux {
 	case algebra.AuxCur:
 		if w, ok := o.working[name]; ok {
 			return w, nil
 		}
-		return o.db.Relation(name)
+		return o.base.Relation(name)
 	case algebra.AuxOld:
-		return o.db.Relation(name) // the store still holds D^t until commit
+		return o.base.Relation(name) // the pinned snapshot is D^t
 	case algebra.AuxIns:
 		return o.delta(o.ins, name)
 	case algebra.AuxDel:
@@ -62,7 +84,7 @@ func (o *Overlay) delta(m map[string]*relation.Relation, name string) (*relation
 	if d, ok := m[name]; ok {
 		return d, nil
 	}
-	base, err := o.db.Relation(name)
+	base, err := o.base.Relation(name)
 	if err != nil {
 		return nil, err
 	}
@@ -86,14 +108,18 @@ func (o *Overlay) SetTemp(name string, r *relation.Relation) error {
 }
 
 // mutable returns the copy-on-write working instance of a base relation.
+// Writes count as reads: the working copy is cloned from the pinned
+// snapshot, so installing it overwrites whatever the relation held — a
+// concurrent commit to the same relation must therefore invalidate us.
 func (o *Overlay) mutable(name string) (*relation.Relation, error) {
 	if w, ok := o.working[name]; ok {
 		return w, nil
 	}
-	base, err := o.db.Relation(name)
+	base, err := o.base.Relation(name)
 	if err != nil {
 		return nil, err
 	}
+	o.reads[name] = true
 	w := base.Clone()
 	o.working[name] = w
 	return w, nil
@@ -162,6 +188,38 @@ func (o *Overlay) DeleteTuples(rel string, src *relation.Relation) error {
 // Changed returns the working copies of the relations the transaction
 // touched, ready for ApplyCommit.
 func (o *Overlay) Changed() map[string]*relation.Relation { return o.working }
+
+// CommitRecord packages the overlay's outcome for CommitValidated: base
+// time, read set, and — filtered to relations with a non-empty net delta —
+// the working instances to install plus the differentials serving as write
+// set. Relations whose deltas cancelled to nothing are dropped: their
+// working copy equals the snapshot instance, so installing it would only
+// cause spurious conflicts for others.
+func (o *Overlay) CommitRecord() storage.Commit {
+	changed := make(map[string]*relation.Relation, len(o.working))
+	ins := make(map[string]*relation.Relation, len(o.working))
+	del := make(map[string]*relation.Relation, len(o.working))
+	for name, w := range o.working {
+		di, dd := o.ins[name], o.del[name]
+		if (di == nil || di.IsEmpty()) && (dd == nil || dd.IsEmpty()) {
+			continue
+		}
+		changed[name] = w
+		if di != nil && !di.IsEmpty() {
+			ins[name] = di
+		}
+		if dd != nil && !dd.IsEmpty() {
+			del[name] = dd
+		}
+	}
+	return storage.Commit{
+		BaseTime: o.base.Time(),
+		ReadSet:  o.reads,
+		Changed:  changed,
+		Ins:      ins,
+		Del:      del,
+	}
+}
 
 // Stats returns the mutation counters accumulated so far.
 func (o *Overlay) Stats() *Stats { return o.stats }

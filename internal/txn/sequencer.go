@@ -1,0 +1,51 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// DefaultMaxRetries bounds the optimistic re-execution loop when the caller
+// does not choose a bound. Conflicts re-run the whole (modified)
+// transaction, alarms included, so retries are correct but not free; the
+// default is generous because in-memory re-execution is cheap and
+// first-committer-wins guarantees global progress (some transaction commits
+// in every validation round).
+const DefaultMaxRetries = 64
+
+// ErrRetriesExhausted reports a transaction that kept losing
+// first-committer-wins validation until its retry budget ran out. The
+// database is left untouched by the transaction; resubmitting is safe.
+var ErrRetriesExhausted = errors.New("txn: optimistic commit retries exhausted")
+
+// Sequencer is the commit point of the concurrent engine: transactions
+// execute against pinned snapshots in parallel, then their commits are
+// validated and installed one at a time against the advancing state
+// (first-committer-wins). The sequencer itself is stateless — ordering and
+// the commit log live in the storage layer — but it is the single
+// choke-point all overlays pass through, which is what makes "serializable
+// commits ⇒ no violated state is ever installed" hold: a modified
+// transaction's alarm checks ran against its snapshot, and validation
+// proves that snapshot's read set was still current at commit.
+type Sequencer struct {
+	db *storage.Database
+}
+
+// NewSequencer returns a sequencer committing into db.
+func NewSequencer(db *storage.Database) *Sequencer { return &Sequencer{db: db} }
+
+// TryCommit validates the overlay's read set against every delta committed
+// since its base snapshot and, if none intersects, installs its write set
+// as the next database state. A non-nil Conflict (with nil error) means
+// another transaction won: the caller should discard the overlay and
+// re-execute against a fresh snapshot. Errors indicate malformed commits
+// and are not retryable.
+func (s *Sequencer) TryCommit(o *Overlay) (uint64, *storage.Conflict, error) {
+	t, conflict, err := s.db.CommitValidated(o.CommitRecord())
+	if err != nil {
+		return 0, nil, fmt.Errorf("txn: commit failed: %w", err)
+	}
+	return t, conflict, nil
+}

@@ -2,6 +2,9 @@ package txn
 
 import (
 	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -316,5 +319,213 @@ func TestTransactionHelpers(t *testing.T) {
 	clone := tx2.Clone()
 	if clone.String() != tx2.String() {
 		t.Error("Clone differs from original")
+	}
+}
+
+// TestOverlayPinnedToSnapshot: an overlay keeps reading the snapshot it was
+// created from even after a later transaction commits.
+func TestOverlayPinnedToSnapshot(t *testing.T) {
+	db := newStore(t, item(1, 10))
+	ov := NewOverlay(db)
+
+	// Another transaction commits behind the overlay's back.
+	exec := NewExecutor(db)
+	res, err := exec.Exec(New(&algebra.Insert{Rel: "item", Src: lit(item(2, 20))}))
+	if err != nil || !res.Committed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+
+	cur, err := ov.Rel("item", algebra.AuxCur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Len() != 1 {
+		t.Errorf("pinned overlay sees %d tuples, want 1", cur.Len())
+	}
+	if ov.Base().Time() != 0 {
+		t.Errorf("overlay base time = %d, want 0", ov.Base().Time())
+	}
+}
+
+// TestCommitRecordFiltersCancelledDeltas: insert-then-delete cancels to a
+// net no-op, so the commit record must install nothing for the relation —
+// and therefore cause no spurious conflicts for concurrent readers — while
+// the read set still names it.
+func TestCommitRecordFiltersCancelledDeltas(t *testing.T) {
+	db := newStore(t, item(1, 10))
+	ov := NewOverlay(db)
+	batch := relation.MustFromTuples(itemSchema(), item(2, 20))
+	if err := ov.InsertTuples("item", batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.DeleteTuples("item", batch); err != nil {
+		t.Fatal(err)
+	}
+	rec := ov.CommitRecord()
+	if len(rec.Changed) != 0 || len(rec.Ins) != 0 || len(rec.Del) != 0 {
+		t.Errorf("cancelled transaction still installs: changed=%d ins=%d del=%d",
+			len(rec.Changed), len(rec.Ins), len(rec.Del))
+	}
+	if !rec.ReadSet["item"] {
+		t.Error("mutated relation missing from read set")
+	}
+	if rec.BaseTime != 0 {
+		t.Errorf("base time = %d, want 0", rec.BaseTime)
+	}
+}
+
+// TestReadSetRecordsAllIncarnations: cur/old/ins/del references all mark
+// the base relation read.
+func TestReadSetRecordsAllIncarnations(t *testing.T) {
+	db := newStore(t, item(1, 10))
+	for _, aux := range []algebra.AuxKind{algebra.AuxCur, algebra.AuxOld, algebra.AuxIns, algebra.AuxDel} {
+		ov := NewOverlay(db)
+		if _, err := ov.Rel("item", aux); err != nil {
+			t.Fatal(err)
+		}
+		if !ov.ReadSet()["item"] {
+			t.Errorf("aux %v did not record the read", aux)
+		}
+	}
+}
+
+// TestSequencerFirstCommitterWins: two overlays race from the same
+// snapshot; the loser is told to retry and, re-executed against a fresh
+// snapshot, succeeds without losing the winner's update.
+func TestSequencerFirstCommitterWins(t *testing.T) {
+	db := newStore(t, item(1, 10))
+	seq := NewSequencer(db)
+
+	ov1 := NewOverlay(db)
+	if err := ov1.InsertTuples("item", relation.MustFromTuples(itemSchema(), item(2, 20))); err != nil {
+		t.Fatal(err)
+	}
+	ov2 := NewOverlay(db)
+	if err := ov2.InsertTuples("item", relation.MustFromTuples(itemSchema(), item(3, 30))); err != nil {
+		t.Fatal(err)
+	}
+
+	ct, conflict, err := seq.TryCommit(ov1)
+	if err != nil || conflict != nil || ct != 1 {
+		t.Fatalf("winner: time=%d conflict=%v err=%v", ct, conflict, err)
+	}
+	_, conflict, err = seq.TryCommit(ov2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict == nil {
+		t.Fatal("stale overlay committed; lost update")
+	}
+
+	// Retry from a fresh snapshot.
+	ov3 := NewOverlay(db)
+	if err := ov3.InsertTuples("item", relation.MustFromTuples(itemSchema(), item(3, 30))); err != nil {
+		t.Fatal(err)
+	}
+	ct, conflict, err = seq.TryCommit(ov3)
+	if err != nil || conflict != nil || ct != 2 {
+		t.Fatalf("retry: time=%d conflict=%v err=%v", ct, conflict, err)
+	}
+	r, _ := db.Relation("item")
+	if r.Len() != 3 {
+		t.Errorf("final cardinality = %d, want 3", r.Len())
+	}
+}
+
+// TestConcurrentExecSerializable is the write-write stress: N goroutines
+// share one executor and insert disjoint tuples into the same relation, so
+// every pair of in-flight transactions conflicts at validation. All must
+// eventually commit (first-committer-wins guarantees a winner per round),
+// no insert may be lost, and the clock must count exactly one transition
+// per commit. The pre-commit hook yields the processor so transactions
+// overlap even on a single-CPU scheduler, forcing the conflict/retry path;
+// run under -race this also exercises the lock-free snapshot path.
+func TestConcurrentExecSerializable(t *testing.T) {
+	const workers, perWorker = 8, 20
+	db := newStore(t)
+	exec := NewExecutor(db)
+	yield := func(algebra.Env) error { runtime.Gosched(); return nil }
+
+	var wg sync.WaitGroup
+	var retries atomic.Int64
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := int64(w*perWorker + i)
+				res, err := exec.ExecOptimistic(
+					New(&algebra.Insert{Rel: "item", Src: lit(item(id, 1))}),
+					yield, 10_000)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Committed {
+					errs <- res.AbortReason
+					return
+				}
+				retries.Add(int64(res.Retries))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	r, _ := db.Relation("item")
+	if r.Len() != workers*perWorker {
+		t.Errorf("final cardinality = %d, want %d (lost updates)", r.Len(), workers*perWorker)
+	}
+	if db.Time() != uint64(workers*perWorker) {
+		t.Errorf("logical time = %d, want %d", db.Time(), workers*perWorker)
+	}
+	if retries.Load() == 0 {
+		t.Error("no conflicts observed; transactions never overlapped")
+	}
+	t.Logf("total conflict retries: %d", retries.Load())
+}
+
+// TestRetriesExhaustedReported: a transaction that loses validation on
+// every attempt must surface an aborted result wrapping
+// ErrRetriesExhausted, with the database untouched by it. The PostCheck
+// hook — which runs between snapshot pinning and commit — is abused to
+// deterministically commit a conflicting write on every attempt.
+func TestRetriesExhaustedReported(t *testing.T) {
+	db := newStore(t, item(1, 10))
+	exec := NewExecutor(db)
+	saboteur := NewExecutor(db)
+	next := int64(100)
+	sabotage := func(algebra.Env) error {
+		next++
+		res, err := saboteur.Exec(New(&algebra.Insert{Rel: "item", Src: lit(item(next, 1))}))
+		if err != nil || !res.Committed {
+			t.Fatalf("saboteur failed: %+v %v", res, err)
+		}
+		return nil
+	}
+
+	const budget = 2
+	res, err := exec.ExecOptimistic(
+		New(&algebra.Insert{Rel: "item", Src: lit(item(2, 20))}),
+		sabotage, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("committed despite guaranteed conflicts")
+	}
+	if !errors.Is(res.AbortReason, ErrRetriesExhausted) {
+		t.Errorf("abort reason = %v, want ErrRetriesExhausted", res.AbortReason)
+	}
+	if res.Retries != budget {
+		t.Errorf("retries = %d, want %d", res.Retries, budget)
+	}
+	r, _ := db.Relation("item")
+	if r.Contains(item(2, 20)) {
+		t.Error("losing transaction leaked its insert")
 	}
 }

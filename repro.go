@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/baseline"
@@ -62,11 +63,21 @@ type Options struct {
 	// MaxModificationDepth bounds the modification recursion; 0 means the
 	// default (32).
 	MaxModificationDepth int
+	// MaxCommitRetries bounds how often a transaction losing optimistic
+	// commit validation is re-executed against a fresh snapshot; 0 means
+	// the default (txn.DefaultMaxRetries).
+	MaxCommitRetries int
 }
 
-// DB is a main-memory database with integrity control. It is not safe for
-// concurrent use; callers serialize access as PRISMA/DB's transaction
-// manager would.
+// DB is a main-memory database with integrity control. Transactions run
+// under snapshot isolation with optimistic, first-committer-wins commit
+// validation, so Submit, SubmitConcurrent, ExecParallel, Query and the
+// other read accessors are safe to call from any number of goroutines once
+// the schema is set up. Definition calls — CreateRelation, DefineConstraint,
+// DefineRule, DefineView, DropRule — mutate the shared schema and rule
+// catalog without locking and must not run concurrently with submissions,
+// mirroring PRISMA/DB's split between schema management and transaction
+// processing.
 type DB struct {
 	sch   *schema.Database
 	store *storage.Database
@@ -286,6 +297,8 @@ type Result struct {
 	Report     *ModReport
 	Inserted   int
 	Deleted    int
+	Retries    int    // conflict-induced re-executions before the outcome
+	CommitTime uint64 // logical time of the installed state; 0 if aborted
 }
 
 // Submit parses "begin ... end" transaction text, modifies it under the
@@ -326,6 +339,62 @@ func (db *DB) SubmitPostHoc(src string, triggerAware bool) (*Result, error) {
 	return db.toResult(res, nil), nil
 }
 
+// SubmitConcurrent is Submit for multi-goroutine callers: the transaction
+// executes against a pinned snapshot while other submissions proceed in
+// parallel, and commits through first-committer-wins validation, retrying
+// against a fresh snapshot (alarm checks re-run) up to the configured
+// bound. An exhausted retry budget is reported as an aborted Result whose
+// Reason wraps txn.ErrRetriesExhausted; the database is left untouched.
+//
+// Submit and SubmitConcurrent share one engine and may be mixed freely —
+// the separate name exists so call sites can state intent.
+func (db *DB) SubmitConcurrent(src string) (*Result, error) {
+	return db.Submit(src)
+}
+
+// ParallelResult pairs a transaction submitted through ExecParallel with
+// its outcome. Err is non-nil only for malformed input (parse or type
+// errors); integrity aborts and retry exhaustion are reported in Result.
+type ParallelResult struct {
+	Src    string
+	Result *Result
+	Err    error
+}
+
+// ExecParallel submits the transactions through a pool of `workers`
+// goroutines and returns per-transaction results in input order. Each
+// transaction is modified, executed against its own snapshot, and committed
+// via optimistic validation with bounded retries; the set of committed
+// transactions is serializable in some order, so no committed state can
+// violate a defined constraint. workers < 1 means one worker.
+func (db *DB) ExecParallel(srcs []string, workers int) []ParallelResult {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+	out := make([]ParallelResult, len(srcs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := db.SubmitConcurrent(srcs[i])
+				out[i] = ParallelResult{Src: srcs[i], Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range srcs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
 func (db *DB) submit(t *txn.Transaction, withIntegrity bool) (*Result, error) {
 	var report *core.Report
 	if withIntegrity {
@@ -336,7 +405,11 @@ func (db *DB) submit(t *txn.Transaction, withIntegrity bool) (*Result, error) {
 		t = modified
 		report = rep
 	}
-	res, err := db.exec.Exec(t)
+	retries := txn.DefaultMaxRetries
+	if db.opts.MaxCommitRetries > 0 {
+		retries = db.opts.MaxCommitRetries
+	}
+	res, err := db.exec.ExecOptimistic(t, nil, retries)
 	if err != nil {
 		return nil, err
 	}
@@ -349,9 +422,11 @@ func (db *DB) submit(t *txn.Transaction, withIntegrity bool) (*Result, error) {
 
 func (db *DB) toResult(res *txn.Result, report *core.Report) *Result {
 	out := &Result{
-		Committed: res.Committed,
-		Inserted:  res.Stats.TuplesInserted,
-		Deleted:   res.Stats.TuplesDeleted,
+		Committed:  res.Committed,
+		Inserted:   res.Stats.TuplesInserted,
+		Deleted:    res.Stats.TuplesDeleted,
+		Retries:    res.Retries,
+		CommitTime: res.CommitTime,
 	}
 	if res.AbortReason != nil {
 		out.Reason = res.AbortReason.Error()
