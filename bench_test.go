@@ -374,10 +374,14 @@ func BenchmarkTable1Translate(b *testing.B) {
 }
 
 // newShardedDB builds the concurrent-submit workload: one parent relation
-// and `shards` child relations, each guarded by its own referential rule.
-// Transactions that touch different shards have disjoint write sets, so the
-// conflict rate is controlled entirely by how submitters pick shards.
+// and `shards` child relations, each guarded by its own referential rule
+// and preloaded with childRows valid tuples so per-transaction costs that
+// scale with relation size (working-copy cloning, any whole-relation scan
+// an enforcement program performs) are actually measured. Transactions that
+// touch different relations have disjoint write sets, so the conflict rate
+// is controlled entirely by how submitters pick targets.
 func newShardedDB(b *testing.B, shards, parents int) *DB {
+	const childRows = 4000
 	b.Helper()
 	db := Open(&Options{UseDifferential: true, MaxCommitRetries: 1_000_000})
 	if err := db.CreateRelation(`relation parent(id int, name string)`); err != nil {
@@ -390,6 +394,12 @@ func newShardedDB(b *testing.B, shards, parents int) *DB {
 	if err := db.Load("parent", rows); err != nil {
 		b.Fatal(err)
 	}
+	crows := make([][]any, childRows)
+	for i := range crows {
+		// Ids far above the benchmark's insert range, referencing valid
+		// parents.
+		crows[i] = []any{1_000_000 + i, i % parents, 1}
+	}
 	for s := 0; s < shards; s++ {
 		if err := db.CreateRelation(fmt.Sprintf(`relation child%d(id int, parent int, qty int)`, s)); err != nil {
 			b.Fatal(err)
@@ -399,36 +409,56 @@ func newShardedDB(b *testing.B, shards, parents int) *DB {
 		if err != nil {
 			b.Fatal(err)
 		}
+		if err := db.Load(fmt.Sprintf("child%d", s), crows); err != nil {
+			b.Fatal(err)
+		}
 	}
 	return db
 }
 
 // BenchmarkConcurrentSubmit measures end-to-end submit throughput
 // (parse + modification + snapshot execution + optimistic commit) under a
-// worker-pool, sweeping worker count against conflict rate. "low" spreads
-// transactions round-robin over 16 shards so concurrent write sets rarely
-// intersect; "high" aims every transaction at one shard so every concurrent
-// pair conflicts and commits serialize through retry. Reported txns/s is
-// the headline; retries/txn shows the price of contention.
+// worker-pool, sweeping worker count against conflict shape. "low" spreads
+// transactions round-robin over 16 relations so concurrent write sets
+// rarely share a commit-sequencer shard; "high" aims every transaction at
+// one relation with disjoint tuples — the workload that serialized through
+// retry under relation-granular validation and now merge-commits under
+// tuple-granular validation; "hottuple" recycles eight tuple identities in
+// one relation so concurrent pairs genuinely collide and must retry
+// (with backoff) no matter how fine the validator. Reported txns/s is the
+// headline; retries/txn shows the price of contention.
 func BenchmarkConcurrentSubmit(b *testing.B) {
 	const (
 		shards  = 16
 		parents = 1000
 	)
-	for _, conflict := range []struct {
-		name  string
-		shard func(i int) int
-	}{
-		{"low", func(i int) int { return i % shards }},
-		{"high", func(int) int { return 0 }},
+	type workload struct {
+		name string
+		src  func(i int) string
+	}
+	insertInto := func(shard func(int) int) func(int) string {
+		return func(i int) string {
+			return fmt.Sprintf(`begin insert(child%d, values[(%d, %d, 1)]); end`, shard(i), i, i%parents)
+		}
+	}
+	for _, conflict := range []workload{
+		{"low", insertInto(func(i int) int { return i % shards })},
+		{"high", insertInto(func(int) int { return 0 })},
+		{"rmw", func(i int) string {
+			// Read-modify-write of one of eight hot rows in one relation:
+			// the selection scans child0, so every concurrent pair
+			// genuinely conflicts and must retry through the backoff path.
+			return fmt.Sprintf(
+				`begin delete(child0, select(child0, id = %d)); insert(child0, values[(%d, %d, 1)]); end`,
+				i%8, i%8, i%parents)
+		}},
 	} {
-		for _, workers := range []int{1, 2, 4, 8} {
+		for _, workers := range []int{1, 2, 4, 8, 16} {
 			b.Run(fmt.Sprintf("conflict=%s/workers=%d", conflict.name, workers), func(b *testing.B) {
 				db := newShardedDB(b, shards, parents)
 				srcs := make([]string, b.N)
 				for i := range srcs {
-					srcs[i] = fmt.Sprintf(`begin insert(child%d, values[(%d, %d, 1)]); end`,
-						conflict.shard(i), i, i%parents)
+					srcs[i] = conflict.src(i)
 				}
 				b.ResetTimer()
 				results := db.ExecParallel(srcs, workers)

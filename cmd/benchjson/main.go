@@ -1,0 +1,217 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document and renders markdown comparison tables between two such
+// documents. It is the glue of the CI bench job: the PR run is parsed into
+// BENCH_pr.json (uploaded as an artifact), then compared against the
+// committed BENCH_baseline.json in the job summary.
+//
+// Usage:
+//
+//	go test -bench=. | benchjson -out BENCH_pr.json
+//	benchjson -compare BENCH_baseline.json BENCH_pr.json >> "$GITHUB_STEP_SUMMARY"
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the JSON document: environment header lines plus results.
+type Doc struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "parse `go test -bench` output from stdin and write JSON to this file ('-' for stdout)")
+	compare := flag.Bool("compare", false, "compare two JSON files (baseline, current) and print a markdown table")
+	flag.Parse()
+
+	switch {
+	case *compare:
+		if flag.NArg() != 2 {
+			fatalf("-compare needs exactly two files: baseline current")
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fatalf("compare: %v", err)
+		}
+	case *out != "":
+		if err := runParse(*out); err != nil {
+			fatalf("parse: %v", err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runParse reads benchmark output from stdin and writes the JSON document.
+func runParse(out string) error {
+	doc, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// parseBench scans `go test -bench` output. Result lines look like
+//
+//	BenchmarkName/sub-8   300   216936 ns/op   4610 txns/s   0.02 retries/txn
+//
+// i.e. name, iteration count, then value/unit pairs. Header lines (goos,
+// goarch, pkg, cpu) are kept as environment metadata.
+func parseBench(r *os.File) (*Doc, error) {
+	doc := &Doc{Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, h := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, h+":"); ok {
+				doc.Env[h] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "BenchmarkFoo" header split across lines
+		}
+		b := Benchmark{Name: stripProcs(fields[0]), Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			if fields[i+1] == "ns/op" {
+				b.NsPerOp = v
+			} else {
+				b.Metrics[fields[i+1]] = v
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	return doc, nil
+}
+
+// stripProcs removes the trailing "-N" GOMAXPROCS suffix the testing
+// package appends on multi-core machines (e.g. "BenchmarkFoo/sub-4" →
+// "BenchmarkFoo/sub"), so documents recorded on machines with different
+// core counts compare by logical benchmark name.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func load(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// opsPerSec is the headline rate for one benchmark: the reported txns/s
+// metric when present, otherwise derived from ns/op.
+func opsPerSec(b Benchmark) float64 {
+	if v, ok := b.Metrics["txns/s"]; ok {
+		return v
+	}
+	if b.NsPerOp > 0 {
+		return 1e9 / b.NsPerOp
+	}
+	return 0
+}
+
+// runCompare prints a markdown ops/sec comparison of current against
+// baseline, benchmark by benchmark.
+func runCompare(basePath, curPath string) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return err
+	}
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+
+	fmt.Printf("### Benchmark comparison (ops/sec)\n\n")
+	if cpu := cur.Env["cpu"]; cpu != "" {
+		fmt.Printf("Current run on `%s`; baseline recorded on `%s`. Treat cross-machine deltas as indicative only.\n\n", cpu, base.Env["cpu"])
+	}
+	fmt.Printf("| benchmark | baseline | current | Δ |\n")
+	fmt.Printf("|---|---:|---:|---:|\n")
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, c := range cur.Benchmarks {
+		seen[c.Name] = true
+		curOps := opsPerSec(c)
+		b, ok := baseBy[c.Name]
+		if !ok {
+			fmt.Printf("| %s | — | %.1f | new |\n", c.Name, curOps)
+			continue
+		}
+		baseOps := opsPerSec(b)
+		delta := "—"
+		if baseOps > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (curOps-baseOps)/baseOps*100)
+		}
+		fmt.Printf("| %s | %.1f | %.1f | %s |\n", c.Name, baseOps, curOps, delta)
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Printf("| %s | %.1f | — | removed |\n", b.Name, opsPerSec(b))
+		}
+	}
+	return nil
+}

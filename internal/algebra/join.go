@@ -48,6 +48,16 @@ type Join struct {
 	eqL, eqR  []int  // positional equi-join keys detected from Pred
 	residual  Scalar // remaining predicate after equi-key extraction
 	hashReady bool
+	rDelta    bool // R references a transaction-local differential (ins/del)
+	lDelta    bool // L references a transaction-local differential (ins/del)
+}
+
+// isDeltaRef reports whether an expression is a direct reference to a
+// differential incarnation (ins/del) of a base relation — the inputs that
+// differential enforcement programs probe and that are usually empty.
+func isDeltaRef(e Expr) bool {
+	r, ok := e.(*Rel)
+	return ok && (r.Aux == AuxIns || r.Aux == AuxDel)
 }
 
 // NewJoin builds an inner theta-join.
@@ -82,6 +92,8 @@ func (j *Join) TypeCheck(env *TypeEnv) (*schema.Relation, error) {
 		j.eqL, j.eqR, j.residual = extractEquiKeys(j.Pred, j.lArity, concat.Arity())
 		j.hashReady = len(j.eqL) > 0
 	}
+	j.lDelta = isDeltaRef(j.L)
+	j.rDelta = isDeltaRef(j.R)
 
 	switch j.Kind {
 	case JoinInner:
@@ -153,21 +165,43 @@ func extractEquiKeys(pred Scalar, lArity, totalArity int) (eqL, eqR []int, resid
 }
 
 // Eval implements Expr.
+//
+// An empty input can decide the whole join: with an empty left side every
+// kind is empty, and with an empty right side inner and semi joins are
+// empty while an antijoin passes the left side through. When one side is a
+// transaction-local differential (ins/del) it is therefore evaluated first,
+// and if it comes back empty — the common case in differential enforcement
+// programs, e.g. semijoin(child, del(parent)) in a transaction that deleted
+// no parent — the other side is never evaluated at all. Skipping the
+// evaluation keeps the untouched relation out of the transaction's read
+// set, which is what lets tuple-granular commit validation ignore
+// concurrent writers of it.
 func (j *Join) Eval(env Env) (*relation.Relation, error) {
-	left, err := j.L.Eval(env)
-	if err != nil {
-		return nil, err
-	}
-	right, err := j.R.Eval(env)
-	if err != nil {
-		return nil, err
-	}
 	out := relation.New(j.out)
+	var left, right *relation.Relation
+	var err error
+	if j.rDelta && !j.lDelta {
+		if right, err = j.R.Eval(env); err != nil {
+			return nil, err
+		}
+		if right.IsEmpty() && j.Kind != JoinAnti {
+			return out, nil // inner/semi with no right side: nothing matches
+		}
+		if left, err = j.L.Eval(env); err != nil {
+			return nil, err
+		}
+	} else {
+		if left, err = j.L.Eval(env); err != nil {
+			return nil, err
+		}
+		if left.IsEmpty() {
+			return out, nil
+		}
+		if right, err = j.R.Eval(env); err != nil {
+			return nil, err
+		}
+	}
 
-	// An empty right input decides every left tuple at once: no pair can
-	// match, so inner and semi joins are empty and an antijoin passes the
-	// whole left side through. This matters for differential enforcement
-	// programs, whose delta inputs are usually empty.
 	if right.IsEmpty() {
 		if j.Kind == JoinAnti {
 			out.UnionInPlace(left)

@@ -184,6 +184,45 @@ func (r *Relation) Contains(t Tuple) bool {
 	return ok
 }
 
+// ContainsKey reports membership by canonical tuple key (Tuple.Key); it lets
+// callers that already computed the key — the transaction overlay recording
+// its read set, the commit validator intersecting deltas — probe without
+// re-encoding the tuple.
+func (r *Relation) ContainsKey(k string) bool {
+	_, ok := r.tuples[k]
+	return ok
+}
+
+// InsertKeyed adds t under its precomputed canonical key, skipping arity
+// validation and key re-encoding; k must equal t.Key().
+func (r *Relation) InsertKeyed(k string, t Tuple) {
+	r.checkMutable()
+	r.tuples[k] = t
+}
+
+// DeleteKey removes the tuple with the given canonical key, reporting
+// whether it was present.
+func (r *Relation) DeleteKey(k string) bool {
+	r.checkMutable()
+	if _, ok := r.tuples[k]; ok {
+		delete(r.tuples, k)
+		return true
+	}
+	return false
+}
+
+// ForEachKey invokes fn for every tuple together with its canonical key;
+// iteration stops early if fn returns a non-nil error, which is propagated.
+// Iteration order is unspecified.
+func (r *Relation) ForEachKey(fn func(key string, t Tuple) error) error {
+	for k, t := range r.tuples {
+		if err := fn(k, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ForEach invokes fn for every tuple; iteration stops early if fn returns a
 // non-nil error, which is propagated. Iteration order is unspecified.
 func (r *Relation) ForEach(fn func(Tuple) error) error {

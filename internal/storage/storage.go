@@ -7,14 +7,33 @@
 // The store is snapshot-isolated: the committed state is an immutable
 // Snapshot behind an atomically swapped pointer, so any number of readers
 // (and transaction overlays) can pin a consistent state without locking.
-// Commits go through CommitValidated, which serializes installation under a
-// mutex, performs first-committer-wins validation against a commit log of
-// per-transaction deltas keyed by logical time, and publishes the next
-// snapshot with a single pointer store.
+//
+// Commits no longer serialize through one mutex. Every relation name hashes
+// to a shard; each shard owns a validation lock and a segment of the commit
+// log (the per-transaction ins/del deltas that wrote relations of that
+// shard, keyed by logical time). CommitValidated runs a two-phase protocol:
+//
+//   - Phase 1 (validate): the shards of the commit's read and write sets
+//     are locked in canonical (ascending index) order — so cross-shard
+//     commits cannot deadlock — and the read set is validated,
+//     first-committer-wins, against each shard's segment. Validation is
+//     tuple-granular where the overlay recorded tuple keys: a concurrent
+//     delta to the same relation conflicts only if it touched a key this
+//     transaction read or wrote, or if this transaction scanned the whole
+//     relation.
+//   - Phase 2 (publish): still holding the shard locks, concurrent deltas
+//     to the written relations are merged into the commit's working
+//     instances (sound because validation just proved tuple disjointness),
+//     and the successor snapshot is published under a short global publish
+//     mutex that only assigns the commit time and swaps the snapshot
+//     pointer — the single point that keeps the global clock and snapshot
+//     atomic while disjoint-shard commits validate in parallel.
 package storage
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -23,11 +42,16 @@ import (
 	"repro/internal/schema"
 )
 
-// maxLogDeltas bounds the commit log. Older deltas are discarded; a commit
-// whose base snapshot predates the retained window can no longer be
-// validated and is reported as a conflict, forcing a retry from a fresh
-// snapshot.
-const maxLogDeltas = 4096
+// DefaultShards is the number of commit-sequencer shards used by New. It is
+// deliberately larger than typical core counts so that independent hot
+// relations rarely share a validation lock.
+const DefaultShards = 16
+
+// maxShardDeltas bounds each shard's commit-log segment. Older deltas are
+// discarded; a commit whose base snapshot predates a needed shard's retained
+// window can no longer be validated there and is reported as a conflict,
+// forcing a retry from a fresh snapshot.
+const maxShardDeltas = 1024
 
 // Snapshot is an immutable database state D^t (Definition 2.2) at a logical
 // time: a set of sealed relation instances. Snapshots are shared freely
@@ -67,11 +91,10 @@ func (s *Snapshot) TotalTuples() int {
 // inserted and net deleted tuples per relation (the transaction's
 // differential relations at commit), keyed by the logical time of the state
 // the commit produced. Ins and Del are sealed; either map may be nil for
-// commits recorded without tuple-level detail. Retaining the tuples pins
-// up to maxLogDeltas commits' worth of differentials in memory; today only
-// the relation-name write set drives validation, but the tuple detail is
-// what a future tuple-granular validator (see ROADMAP) probes, so it is
-// kept rather than recomputed.
+// commits recorded without tuple-level detail, which the tuple-granular
+// validator treats as writing every tuple of the relation. A cross-shard
+// delta is appended (as one shared record) to the segment of every shard it
+// wrote.
 type Delta struct {
 	Time uint64
 	Ins  map[string]*relation.Relation
@@ -94,13 +117,32 @@ func (d *Delta) Writes() []string {
 	return out
 }
 
+// ReadInfo describes how a transaction read one relation, at the finest
+// granularity the overlay could record.
+type ReadInfo struct {
+	// Full marks a whole-relation read (a scan, or any materialization of
+	// the current or pre-transaction instance): every concurrent write to
+	// the relation conflicts.
+	Full bool
+	// Keys holds the canonical tuple keys (relation.Tuple.Key) the
+	// transaction probed or wrote when Full is false: a concurrent write
+	// conflicts only if its delta touches one of them.
+	Keys map[string]bool
+}
+
 // Commit is a validated commit request: the outcome of a transaction that
-// executed against the snapshot at BaseTime, read the relations in ReadSet,
+// executed against the snapshot at BaseTime, read the relations in Reads,
 // and wants to install the instances in Changed with the net differentials
 // Ins/Del.
+//
+// When Reads records tuple keys for a changed relation, the instance in
+// Changed must be mutable: the store merges concurrently committed disjoint
+// deltas into it before installing (the instances are sealed on
+// publication). A Commit with nil Reads skips validation and merging and
+// installs Changed verbatim; the caller owns serialization then.
 type Commit struct {
 	BaseTime uint64
-	ReadSet  map[string]bool
+	Reads    map[string]*ReadInfo
 	Changed  map[string]*relation.Relation
 	Ins      map[string]*relation.Relation
 	Del      map[string]*relation.Relation
@@ -108,43 +150,121 @@ type Commit struct {
 
 // Conflict explains a failed first-committer-wins validation: a transaction
 // that committed at Time — after the requester's base snapshot — wrote
-// Relation, which the requester read. Relation is empty when the commit log
-// no longer covers the requester's base time and validation was refused
-// conservatively.
+// Relation, which the requester read. Key holds the clashing tuple key when
+// the conflict was detected at tuple granularity. Relation is empty when a
+// needed shard's log segment no longer covers the requester's base time and
+// validation was refused conservatively.
 type Conflict struct {
 	Time     uint64
 	Relation string
+	Key      string
 }
 
 func (c *Conflict) String() string {
-	if c.Relation == "" {
+	switch {
+	case c.Relation == "":
 		return fmt.Sprintf("base snapshot predates the retained commit log (oldest validated time %d)", c.Time)
+	case c.Key != "":
+		return fmt.Sprintf("tuple %x of relation %q written by commit at t=%d", c.Key, c.Relation, c.Time)
+	default:
+		return fmt.Sprintf("relation %q written by commit at t=%d", c.Relation, c.Time)
 	}
-	return fmt.Sprintf("relation %q written by commit at t=%d", c.Relation, c.Time)
+}
+
+// Stats is a snapshot of the store's commit counters.
+type Stats struct {
+	// Commits counts validated commits installed (including read-only and
+	// empty commits, which still advance the clock).
+	Commits uint64
+	// Conflicts counts first-committer-wins validation failures reported to
+	// callers (each typically triggers one transaction retry).
+	Conflicts uint64
+	// CrossShardCommits counts installed commits whose read/write sets
+	// spanned more than one sequencer shard.
+	CrossShardCommits uint64
+	// MergedCommits counts installed commits that had to merge concurrently
+	// committed disjoint deltas into their write set — commits that the old
+	// relation-granular validator would have rejected.
+	MergedCommits uint64
+}
+
+// shard is one commit sequencer: the validation lock and commit-log segment
+// for the relations hashing to it.
+type shard struct {
+	mu sync.Mutex
+	// log holds the deltas that wrote a relation of this shard, in
+	// ascending commit-time order. Cross-shard deltas appear in every shard
+	// they wrote.
+	log []*Delta
+	// truncated is the highest commit time whose delta may have been
+	// dropped from this segment; validation of base snapshots at or before
+	// it must be refused conservatively.
+	truncated uint64
 }
 
 // Database is a database state D of a database schema (Definition 2.2) plus
 // a logical clock. Reads (Snapshot, Relation, Time) are lock-free and safe
-// for any number of concurrent goroutines; commits and schema changes
-// serialize internally.
+// for any number of concurrent goroutines; commits validate under
+// per-relation-shard locks and publish through a short global mutex.
 type Database struct {
-	sch  *schema.Database
-	mu   sync.Mutex // serializes commits, loads and schema changes
-	snap atomic.Pointer[Snapshot]
-	log  []*Delta
+	sch    *schema.Database
+	shards []*shard
+	pubMu  sync.Mutex // publish point: clock tick + snapshot swap; also Load/AddRelation
+	snap   atomic.Pointer[Snapshot]
+
+	commits    atomic.Uint64
+	conflicts  atomic.Uint64
+	crossShard atomic.Uint64
+	merged     atomic.Uint64
 }
 
 // New returns an empty database state (all relations empty, logical time 0)
-// for the given schema.
-func New(sch *schema.Database) *Database {
+// for the given schema, with DefaultShards commit sequencers.
+func New(sch *schema.Database) *Database { return NewSharded(sch, DefaultShards) }
+
+// NewSharded is New with an explicit commit-sequencer shard count; values
+// below 1 mean one shard (the fully serial commit point of the original
+// design).
+func NewSharded(sch *schema.Database, shards int) *Database {
+	if shards < 1 {
+		shards = 1
+	}
 	rels := make(map[string]*relation.Relation, sch.Len())
 	for _, name := range sch.Names() {
 		rs, _ := sch.Relation(name)
 		rels[name] = relation.New(rs).Seal()
 	}
-	db := &Database{sch: sch}
+	db := &Database{sch: sch, shards: make([]*shard, shards)}
+	for i := range db.shards {
+		db.shards[i] = &shard{}
+	}
 	db.snap.Store(&Snapshot{sch: sch, rels: rels})
 	return db
+}
+
+// ShardCount returns the number of commit sequencer shards.
+func (d *Database) ShardCount() int { return len(d.shards) }
+
+// ShardOf returns the index of the sequencer shard the named relation
+// commits through.
+func (d *Database) ShardOf(name string) int { return ShardIndex(name, len(d.shards)) }
+
+// ShardIndex hashes a relation name onto one of n shards (FNV-1a). Exposed
+// so tests can construct workloads with known shard placement.
+func ShardIndex(name string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Stats returns a snapshot of the commit counters.
+func (d *Database) Stats() Stats {
+	return Stats{
+		Commits:           d.commits.Load(),
+		Conflicts:         d.conflicts.Load(),
+		CrossShardCommits: d.crossShard.Load(),
+		MergedCommits:     d.merged.Load(),
+	}
 }
 
 // Schema returns the database schema.
@@ -168,8 +288,8 @@ func (d *Database) Relation(name string) (*relation.Relation, error) {
 // instance. The schema must already be present in the database schema (the
 // caller updates both in step); duplicate instances are rejected.
 func (d *Database) AddRelation(rs *schema.Relation) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.pubMu.Lock()
+	defer d.pubMu.Unlock()
 	cur := d.snap.Load()
 	if _, ok := cur.rels[rs.Name]; ok {
 		return fmt.Errorf("storage: relation %q already exists", rs.Name)
@@ -187,8 +307,8 @@ func (d *Database) AddRelation(rs *schema.Relation) error {
 // by the call. The logical clock is not advanced and no commit-log record
 // is written.
 func (d *Database) Load(r *relation.Relation) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.pubMu.Lock()
+	defer d.pubMu.Unlock()
 	cur := d.snap.Load()
 	name := r.Schema().Name
 	if _, ok := cur.rels[name]; !ok {
@@ -214,16 +334,126 @@ func (d *Database) ApplyCommit(changed map[string]*relation.Relation) error {
 	return nil
 }
 
-// CommitValidated is the optimistic commit point: under the store mutex it
-// checks, first-committer-wins, that no transaction committed after
-// c.BaseTime wrote a relation in c.ReadSet, then installs c.Changed as the
-// next snapshot, appends the delta to the commit log and advances the
-// clock. A non-nil Conflict (with nil error) means validation failed and
-// the caller should re-execute against a fresh snapshot; errors are
-// reserved for malformed commits, which leave the state untouched.
+// lockShardSet computes the set of shards the commit touches (read set plus
+// write set) and locks them in canonical ascending order, which makes
+// cross-shard commits deadlock-free. It returns the locked indices,
+// ascending, plus the home shard of every relation the commit names —
+// computed once here so the validation scan and log append never re-hash
+// a name while holding locks.
+func (d *Database) lockShardSet(c *Commit) ([]int, map[string]int) {
+	homes := make(map[string]int, len(c.Reads)+len(c.Changed))
+	touched := make([]bool, len(d.shards))
+	for name := range c.Reads {
+		si := d.ShardOf(name)
+		homes[name] = si
+		touched[si] = true
+	}
+	for name := range c.Changed {
+		si := d.ShardOf(name)
+		homes[name] = si
+		touched[si] = true
+	}
+	locked := make([]int, 0, len(d.shards))
+	for i, t := range touched {
+		if t {
+			d.shards[i].mu.Lock()
+			locked = append(locked, i)
+		}
+	}
+	return locked, homes
+}
+
+func (d *Database) unlockShards(locked []int) {
+	for _, i := range locked {
+		d.shards[i].mu.Unlock()
+	}
+}
+
+// validateShard performs first-committer-wins validation of the commit's
+// reads that hash to shard si, against that shard's log segment, and
+// collects the concurrent deltas that must be merged into the commit's
+// written relations. Callers hold the shard lock.
+func (d *Database) validateShard(c *Commit, si int, homes map[string]int, pending map[string][]*Delta) *Conflict {
+	sh := d.shards[si]
+	relevant := false
+	for name := range c.Reads {
+		if homes[name] == si {
+			relevant = true
+			break
+		}
+	}
+	if !relevant {
+		return nil
+	}
+	if sh.truncated > c.BaseTime {
+		// The segment no longer covers the base snapshot; refuse
+		// conservatively rather than risk a missed conflict.
+		return &Conflict{Time: sh.truncated}
+	}
+	// Segment times ascend, so the relevant suffix starts at the first
+	// delta past the base time.
+	first := sort.Search(len(sh.log), func(i int) bool { return sh.log[i].Time > c.BaseTime })
+	for _, delta := range sh.log[first:] {
+		for name := range delta.writes {
+			ri := c.Reads[name]
+			if ri == nil {
+				continue
+			}
+			if homes[name] != si {
+				continue // a cross-shard delta; the relation's home shard validates it
+			}
+			ins, del := delta.Ins[name], delta.Del[name]
+			if ri.Full || (ins == nil && del == nil) {
+				// Whole-relation read, or a delta recorded without tuple
+				// detail: relation-name granularity decides.
+				return &Conflict{Time: delta.Time, Relation: name}
+			}
+			if k := overlapKey(ri.Keys, ins, del); k != "" {
+				return &Conflict{Time: delta.Time, Relation: name, Key: k}
+			}
+			if c.Changed[name] != nil {
+				pending[name] = append(pending[name], delta)
+			}
+		}
+	}
+	return nil
+}
+
+// overlapKey returns a tuple key present both in keys and in one of the
+// delta relations, or "" when they are disjoint.
+func overlapKey(keys map[string]bool, ins, del *relation.Relation) string {
+	for _, r := range []*relation.Relation{ins, del} {
+		if r == nil {
+			continue
+		}
+		hit := ""
+		_ = r.ForEachKey(func(k string, _ relation.Tuple) error {
+			if keys[k] {
+				hit = k
+				return errStopIteration
+			}
+			return nil
+		})
+		if hit != "" {
+			return hit
+		}
+	}
+	return ""
+}
+
+var errStopIteration = errors.New("stop")
+
+// CommitValidated is the optimistic commit point. Phase 1 locks the shards
+// of the commit's read and write sets in canonical order and validates,
+// first-committer-wins, that no transaction committed after c.BaseTime
+// wrote anything this one depends on — at tuple granularity where c.Reads
+// recorded keys. Phase 2 merges concurrently committed disjoint deltas into
+// the written instances and publishes the successor snapshot, advancing the
+// clock atomically under the global publish mutex. A non-nil Conflict (with
+// nil error) means validation failed and the caller should re-execute
+// against a fresh snapshot; errors are reserved for malformed commits,
+// which leave the state untouched.
 func (d *Database) CommitValidated(c Commit) (uint64, *Conflict, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	cur := d.snap.Load()
 	for name := range c.Changed {
 		if _, ok := cur.rels[name]; !ok {
@@ -233,30 +463,60 @@ func (d *Database) CommitValidated(c Commit) (uint64, *Conflict, error) {
 	if c.BaseTime > cur.time {
 		return 0, nil, fmt.Errorf("storage: commit base time %d is ahead of the store (t=%d)", c.BaseTime, cur.time)
 	}
-	if c.BaseTime < cur.time && len(c.ReadSet) > 0 {
-		if len(d.log) == 0 || d.log[0].Time > c.BaseTime+1 {
-			// The log no longer covers the base snapshot; refuse
-			// conservatively rather than risk a missed conflict.
-			oldest := cur.time
-			if len(d.log) > 0 {
-				oldest = d.log[0].Time
+	// A validated commit (non-nil Reads) must carry a read record for every
+	// relation it writes — installing an instance depends on everything it
+	// holds. Overlay commits satisfy this by construction; for raw callers
+	// that omit one, synthesize a whole-relation read so the write can
+	// never silently clobber a concurrent commit.
+	if c.Reads != nil {
+		var aug map[string]*ReadInfo
+		for name := range c.Changed {
+			if c.Reads[name] != nil {
+				continue
 			}
-			return 0, &Conflict{Time: oldest}, nil
-		}
-		// Delta times ascend, so the relevant suffix starts at the first
-		// delta past the base time; this scan runs under the commit mutex
-		// and must not walk the skipped prefix.
-		first := sort.Search(len(d.log), func(i int) bool { return d.log[i].Time > c.BaseTime })
-		for _, delta := range d.log[first:] {
-			for name := range delta.writes {
-				if c.ReadSet[name] {
-					return 0, &Conflict{Time: delta.Time, Relation: name}, nil
+			if aug == nil {
+				aug = make(map[string]*ReadInfo, len(c.Reads)+1)
+				for n, ri := range c.Reads {
+					aug[n] = ri
 				}
+			}
+			aug[name] = &ReadInfo{Full: true}
+		}
+		if aug != nil {
+			c.Reads = aug
+		}
+	}
+
+	locked, homes := d.lockShardSet(&c)
+	defer d.unlockShards(locked)
+
+	// Phase 1: validate the read set shard-locally, collecting the
+	// concurrent deltas that must be merged into our written relations.
+	pending := make(map[string][]*Delta)
+	for _, si := range locked {
+		if conflict := d.validateShard(&c, si, homes, pending); conflict != nil {
+			d.conflicts.Add(1)
+			return 0, conflict, nil
+		}
+	}
+
+	// Phase 2: merge and publish. Validation proved the pending deltas are
+	// tuple-disjoint from everything this transaction read or wrote, so
+	// replaying them (in commit order) onto the working instances yields
+	// exactly the state the transaction would have produced on the current
+	// snapshot.
+	for name, deltas := range pending {
+		w := c.Changed[name]
+		for _, delta := range deltas {
+			if del := delta.Del[name]; del != nil {
+				w.DiffInPlace(del)
+			}
+			if ins := delta.Ins[name]; ins != nil {
+				w.UnionInPlace(ins)
 			}
 		}
 	}
 
-	next := cur.withInstalled(c.Changed, cur.time+1)
 	writes := make(map[string]bool, len(c.Changed))
 	for name := range c.Changed {
 		writes[name] = true
@@ -266,12 +526,48 @@ func (d *Database) CommitValidated(c Commit) (uint64, *Conflict, error) {
 			r.Seal()
 		}
 	}
-	d.log = append(d.log, &Delta{Time: next.time, Ins: c.Ins, Del: c.Del, writes: writes})
-	if len(d.log) > maxLogDeltas {
-		d.log = append(d.log[:0:0], d.log[len(d.log)-maxLogDeltas:]...)
+
+	d.pubMu.Lock()
+	cur = d.snap.Load()
+	next := cur.withInstalled(c.Changed, cur.time+1)
+	delta := &Delta{Time: next.time, Ins: c.Ins, Del: c.Del, writes: writes}
+	for _, si := range writeShards(d, writes, homes) {
+		sh := d.shards[si]
+		sh.log = append(sh.log, delta)
+		if drop := len(sh.log) - maxShardDeltas; drop > 0 {
+			sh.truncated = sh.log[drop-1].Time
+			sh.log = append(sh.log[:0:0], sh.log[drop:]...)
+		}
 	}
 	d.snap.Store(next)
+	d.pubMu.Unlock()
+
+	d.commits.Add(1)
+	if len(locked) > 1 {
+		d.crossShard.Add(1)
+	}
+	if len(pending) > 0 {
+		d.merged.Add(1)
+	}
 	return next.time, nil, nil
+}
+
+// writeShards returns the distinct shard indices of the written relations,
+// ascending, from the home map built by lockShardSet (which covers every
+// changed name, so write-append shards are by construction a subset of the
+// locked shards).
+func writeShards(d *Database, writes map[string]bool, homes map[string]int) []int {
+	touched := make([]bool, len(d.shards))
+	for name := range writes {
+		touched[homes[name]] = true
+	}
+	out := make([]int, 0, len(writes))
+	for i, t := range touched {
+		if t {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // withInstalled builds the successor snapshot: the receiver's relation map
@@ -290,26 +586,39 @@ func (s *Snapshot) withInstalled(changed map[string]*relation.Relation, t uint64
 }
 
 // DeltasSince returns the retained commit-log records with Time > t, oldest
-// first, for introspection and tests.
+// first, for introspection and tests. Cross-shard deltas are reported once.
 func (d *Database) DeltasSince(t uint64) []*Delta {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	out := make([]*Delta, 0, len(d.log))
-	for _, delta := range d.log {
-		if delta.Time > t {
-			out = append(out, delta)
+	seen := make(map[uint64]*Delta)
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		for _, delta := range sh.log {
+			if delta.Time > t {
+				seen[delta.Time] = delta
+			}
 		}
+		sh.mu.Unlock()
 	}
+	out := make([]*Delta, 0, len(seen))
+	for _, delta := range seen {
+		out = append(out, delta)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
 	return out
 }
 
-// Clone returns an independent database seeded with the current snapshot.
-// Because snapshots are immutable the relations are shared, making Clone
-// O(relations); commits to either database never affect the other. The
-// clone starts with an empty commit log.
+// Clone returns an independent database seeded with the current snapshot,
+// with the same shard count. Because snapshots are immutable the relations
+// are shared, making Clone O(relations); commits to either database never
+// affect the other. The clone's commit log is empty, so its shards'
+// truncation watermarks start at the seed time: a commit based on a
+// snapshot older than the clone itself cannot be validated (the clone
+// never saw those deltas) and is conservatively refused.
 func (d *Database) Clone() *Database {
 	cur := d.Snapshot()
-	c := &Database{sch: d.sch}
+	c := &Database{sch: d.sch, shards: make([]*shard, len(d.shards))}
+	for i := range c.shards {
+		c.shards[i] = &shard{truncated: cur.time}
+	}
 	c.snap.Store(&Snapshot{sch: cur.sch, rels: cur.rels, time: cur.time})
 	return c
 }

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/relation"
@@ -12,6 +14,26 @@ func storageSchema() *schema.Database {
 	r := schema.MustRelation("r", schema.Attribute{Name: "a", Type: value.KindInt})
 	return schema.MustDatabase(r)
 }
+
+// fullRead builds a read record scanning each named relation whole.
+func fullRead(names ...string) map[string]*ReadInfo {
+	out := make(map[string]*ReadInfo, len(names))
+	for _, n := range names {
+		out[n] = &ReadInfo{Full: true}
+	}
+	return out
+}
+
+// keyRead builds a read record probing the given tuples of one relation.
+func keyRead(name string, tuples ...relation.Tuple) map[string]*ReadInfo {
+	keys := make(map[string]bool, len(tuples))
+	for _, t := range tuples {
+		keys[t.Key()] = true
+	}
+	return map[string]*ReadInfo{name: {Keys: keys}}
+}
+
+func intTuple(v int64) relation.Tuple { return relation.Tuple{value.Int(v)} }
 
 func TestNewDatabaseStartsEmptyAtTimeZero(t *testing.T) {
 	db := New(storageSchema())
@@ -154,7 +176,7 @@ func TestCommitValidatedFirstCommitterWins(t *testing.T) {
 		return map[string]*relation.Relation{"r": relation.MustFromTuples(rs, relation.Tuple{value.Int(v)})}
 	}
 
-	ct, conflict, err := db.CommitValidated(Commit{BaseTime: base, ReadSet: map[string]bool{"r": true}, Changed: mk(1), Ins: mk(1)})
+	ct, conflict, err := db.CommitValidated(Commit{BaseTime: base, Reads: fullRead("r"), Changed: mk(1), Ins: mk(1)})
 	if err != nil || conflict != nil {
 		t.Fatalf("first commit: time=%d conflict=%v err=%v", ct, conflict, err)
 	}
@@ -162,7 +184,7 @@ func TestCommitValidatedFirstCommitterWins(t *testing.T) {
 		t.Errorf("first commit time = %d, want 1", ct)
 	}
 
-	_, conflict, err = db.CommitValidated(Commit{BaseTime: base, ReadSet: map[string]bool{"r": true}, Changed: mk(2), Ins: mk(2)})
+	_, conflict, err = db.CommitValidated(Commit{BaseTime: base, Reads: fullRead("r"), Changed: mk(2), Ins: mk(2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,9 +201,70 @@ func TestCommitValidatedFirstCommitterWins(t *testing.T) {
 
 	// A commit from the same stale base that read nothing the winner wrote
 	// is independent and must pass.
-	_, conflict, err = db.CommitValidated(Commit{BaseTime: base, ReadSet: map[string]bool{"other": true}})
+	_, conflict, err = db.CommitValidated(Commit{BaseTime: base, Reads: fullRead("other")})
 	if err != nil || conflict != nil {
 		t.Fatalf("independent commit rejected: conflict=%v err=%v", conflict, err)
+	}
+	if s := db.Stats(); s.Commits != 2 || s.Conflicts != 1 {
+		t.Errorf("stats = %+v, want 2 commits and 1 conflict", s)
+	}
+}
+
+// TestTupleGranularValidation: a stale commit that only probed tuples a
+// concurrent winner did not touch merges and commits; one that probed a
+// touched tuple conflicts with the key reported.
+func TestTupleGranularValidation(t *testing.T) {
+	sch := storageSchema()
+	db := New(sch)
+	rs, _ := sch.Relation("r")
+	mk := func(vs ...int64) map[string]*relation.Relation {
+		tuples := make([]relation.Tuple, len(vs))
+		for i, v := range vs {
+			tuples[i] = intTuple(v)
+		}
+		return map[string]*relation.Relation{"r": relation.MustFromTuples(rs, tuples...)}
+	}
+	base := db.Time()
+
+	// Winner writes tuple 1.
+	if _, conflict, err := db.CommitValidated(Commit{BaseTime: base, Reads: keyRead("r", intTuple(1)), Changed: mk(1), Ins: mk(1)}); err != nil || conflict != nil {
+		t.Fatalf("winner: conflict=%v err=%v", conflict, err)
+	}
+
+	// Disjoint tuple 2 from the same stale base: merges, both tuples live.
+	ct, conflict, err := db.CommitValidated(Commit{BaseTime: base, Reads: keyRead("r", intTuple(2)), Changed: mk(2), Ins: mk(2)})
+	if err != nil || conflict != nil || ct != 2 {
+		t.Fatalf("disjoint commit: time=%d conflict=%v err=%v", ct, conflict, err)
+	}
+	cur, _ := db.Relation("r")
+	if cur.Len() != 2 || !cur.Contains(intTuple(1)) || !cur.Contains(intTuple(2)) {
+		t.Fatalf("merged state wrong: %v", cur)
+	}
+
+	// Overlapping tuple 1 from the stale base: tuple-granular conflict.
+	_, conflict, err = db.CommitValidated(Commit{BaseTime: base, Reads: keyRead("r", intTuple(1), intTuple(3)), Changed: mk(1, 3), Ins: mk(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict == nil || conflict.Relation != "r" || conflict.Key != intTuple(1).Key() {
+		t.Fatalf("conflict = %+v, want tuple-granular conflict on key of 1", conflict)
+	}
+
+	// A delta recorded without tuple detail (ApplyCommit) blocks keyed
+	// readers conservatively.
+	if err := db.ApplyCommit(mk(9)); err != nil {
+		t.Fatal(err)
+	}
+	_, conflict, err = db.CommitValidated(Commit{BaseTime: 2, Reads: keyRead("r", intTuple(4)), Changed: mk(4), Ins: mk(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict == nil {
+		t.Fatal("keyed read validated against a detail-less delta")
+	}
+
+	if s := db.Stats(); s.MergedCommits != 1 {
+		t.Errorf("stats = %+v, want exactly 1 merged commit", s)
 	}
 }
 
@@ -215,26 +298,217 @@ func TestCommitLogKeyedByTime(t *testing.T) {
 }
 
 // TestCommitValidatedRefusesTruncatedLog: a base snapshot older than the
-// retained log cannot be validated and must read as a conflict, never as a
-// silent success.
+// retained segment of a shard it reads cannot be validated there and must
+// read as a conflict, never as a silent success.
 func TestCommitValidatedRefusesTruncatedLog(t *testing.T) {
 	sch := storageSchema()
 	db := New(sch)
-	// Simulate truncation: commit twice, then clear the log the way a long
-	// run would age it out.
+	rs, _ := sch.Relation("r")
 	for i := 0; i < 2; i++ {
-		if err := db.ApplyCommit(nil); err != nil {
+		if err := db.ApplyCommit(map[string]*relation.Relation{"r": relation.MustFromTuples(rs, intTuple(int64(i)))}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	db.mu.Lock()
-	db.log = nil
-	db.mu.Unlock()
-	_, conflict, err := db.CommitValidated(Commit{BaseTime: 0, ReadSet: map[string]bool{"r": true}})
+	// Simulate segment aging the way a long run would: drop the deltas and
+	// record the watermark.
+	sh := db.shards[db.ShardOf("r")]
+	sh.mu.Lock()
+	sh.log = nil
+	sh.truncated = 2
+	sh.mu.Unlock()
+	_, conflict, err := db.CommitValidated(Commit{BaseTime: 0, Reads: fullRead("r")})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if conflict == nil {
 		t.Fatal("commit validated against a truncated log")
+	}
+	// A base at the watermark is fine: every dropped delta is ≤ it.
+	if _, conflict, err = db.CommitValidated(Commit{BaseTime: 2, Reads: fullRead("r")}); err != nil || conflict != nil {
+		t.Fatalf("current-base commit rejected: conflict=%v err=%v", conflict, err)
+	}
+}
+
+// TestCloneRefusesPreCloneBases: a clone starts with empty segments, so a
+// commit pinned to a snapshot older than the clone itself cannot prove its
+// reads current and must be refused, not silently installed.
+func TestCloneRefusesPreCloneBases(t *testing.T) {
+	sch := storageSchema()
+	db := New(sch)
+	rs, _ := sch.Relation("r")
+	for i := int64(1); i <= 3; i++ {
+		if err := db.ApplyCommit(map[string]*relation.Relation{"r": relation.MustFromTuples(rs, intTuple(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clone := db.Clone()
+	_, conflict, err := clone.CommitValidated(Commit{BaseTime: 0, Reads: keyRead("r", intTuple(9)), Changed: map[string]*relation.Relation{"r": relation.MustFromTuples(rs, intTuple(9))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict == nil {
+		t.Fatal("clone validated a base snapshot predating the clone")
+	}
+	// A commit pinned to the clone's own seed state is fine.
+	if _, conflict, err = clone.CommitValidated(Commit{BaseTime: clone.Time(), Reads: keyRead("r", intTuple(9)), Changed: map[string]*relation.Relation{"r": relation.MustFromTuples(rs, intTuple(9))}, Ins: map[string]*relation.Relation{"r": relation.MustFromTuples(rs, intTuple(9))}}); err != nil || conflict != nil {
+		t.Fatalf("seed-base commit rejected: conflict=%v err=%v", conflict, err)
+	}
+}
+
+// TestChangedWithoutReadRecordIsGuarded: a validated commit (non-nil
+// Reads) that writes a relation it recorded no read for must not clobber
+// concurrent commits — the store synthesizes a whole-relation read, so the
+// stale writer conflicts instead of silently winning.
+func TestChangedWithoutReadRecordIsGuarded(t *testing.T) {
+	sch := storageSchema()
+	db := New(sch)
+	rs, _ := sch.Relation("r")
+	base := db.Time()
+	mk := func(v int64) map[string]*relation.Relation {
+		return map[string]*relation.Relation{"r": relation.MustFromTuples(rs, intTuple(v))}
+	}
+	if _, conflict, err := db.CommitValidated(Commit{BaseTime: base, Reads: keyRead("r", intTuple(1)), Changed: mk(1), Ins: mk(1)}); err != nil || conflict != nil {
+		t.Fatalf("winner: conflict=%v err=%v", conflict, err)
+	}
+	// Stale commit writing r but whose Reads only mentions another name.
+	_, conflict, err := db.CommitValidated(Commit{BaseTime: base, Reads: fullRead("other"), Changed: mk(2), Ins: mk(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict == nil {
+		t.Fatal("read-less write of a concurrently written relation validated; lost update")
+	}
+	cur, _ := db.Relation("r")
+	if !cur.Contains(intTuple(1)) || cur.Contains(intTuple(2)) {
+		t.Errorf("state clobbered: %v", cur)
+	}
+}
+
+// TestSegmentTruncationWatermark: overflowing a shard's segment advances
+// its truncation watermark and old-base commits are refused from then on.
+func TestSegmentTruncationWatermark(t *testing.T) {
+	sch := storageSchema()
+	db := NewSharded(sch, 2)
+	rs, _ := sch.Relation("r")
+	for i := 0; i <= maxShardDeltas; i++ {
+		ins := map[string]*relation.Relation{"r": relation.MustFromTuples(rs, intTuple(int64(i)))}
+		if _, conflict, err := db.CommitValidated(Commit{BaseTime: db.Time(), Reads: keyRead("r", intTuple(int64(i))), Changed: ins, Ins: ins}); err != nil || conflict != nil {
+			t.Fatalf("commit %d: conflict=%v err=%v", i, conflict, err)
+		}
+	}
+	sh := db.shards[db.ShardOf("r")]
+	sh.mu.Lock()
+	logLen, truncated := len(sh.log), sh.truncated
+	sh.mu.Unlock()
+	if logLen != maxShardDeltas {
+		t.Errorf("segment holds %d deltas, want %d", logLen, maxShardDeltas)
+	}
+	if truncated != 1 {
+		t.Errorf("truncation watermark = %d, want 1", truncated)
+	}
+	_, conflict, err := db.CommitValidated(Commit{BaseTime: 0, Reads: keyRead("r", intTuple(12345))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict == nil {
+		t.Fatal("pre-watermark base validated")
+	}
+}
+
+// TestCrossShardCommitConcurrent hammers cross-shard commits (relations in
+// different shards) against single-shard writers from many goroutines: the
+// canonical-order two-phase protocol must neither deadlock nor lose an
+// update, and the clock must count every commit. Run with -race.
+func TestCrossShardCommitConcurrent(t *testing.T) {
+	a := schema.MustRelation("a", schema.Attribute{Name: "v", Type: value.KindInt})
+	b := schema.MustRelation("b", schema.Attribute{Name: "v", Type: value.KindInt})
+	sch := schema.MustDatabase(a, b)
+	db := NewSharded(sch, 4)
+	if db.ShardOf("a") == db.ShardOf("b") {
+		t.Fatalf("fixture relations share shard %d; pick different names", db.ShardOf("a"))
+	}
+
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	var commits atomic.Uint64
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				v := intTuple(int64(w*perWorker + i))
+				names := []string{"a", "b"}
+				if w%2 == 0 {
+					names = names[w/2%2 : w/2%2+1] // single-shard writers alternate a / b
+				}
+				reads := make(map[string]*ReadInfo, len(names))
+				for _, n := range names {
+					reads[n] = &ReadInfo{Keys: map[string]bool{v.Key(): true}}
+				}
+				// build assembles a commit inserting v into every target,
+				// pinned coherently to one snapshot.
+				build := func() (Commit, error) {
+					snap := db.Snapshot()
+					changed := make(map[string]*relation.Relation, len(names))
+					ins := make(map[string]*relation.Relation, len(names))
+					for _, n := range names {
+						cur, err := snap.Relation(n)
+						if err != nil {
+							return Commit{}, err
+						}
+						inst := cur.Clone()
+						inst.InsertUnchecked(v)
+						changed[n] = inst
+						rs, _ := sch.Relation(n)
+						ins[n] = relation.MustFromTuples(rs, v)
+					}
+					return Commit{BaseTime: snap.Time(), Reads: reads, Changed: changed, Ins: ins}, nil
+				}
+				for {
+					c, err := build()
+					if err != nil {
+						errs <- err
+						return
+					}
+					_, conflict, err := db.CommitValidated(c)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if conflict == nil {
+						commits.Add(1)
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := db.Time(); got != uint64(commits.Load()) {
+		t.Errorf("logical time = %d, want %d", got, commits.Load())
+	}
+	ra, _ := db.Relation("a")
+	rb, _ := db.Relation("b")
+	// Every cross-shard writer inserted v into both relations; every
+	// single-shard writer into one. No insert may be lost.
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			v := intTuple(int64(w*perWorker + i))
+			inA, inB := ra.Contains(v), rb.Contains(v)
+			if w%2 != 0 && (!inA || !inB) {
+				t.Fatalf("cross-shard insert %v lost: a=%v b=%v", v, inA, inB)
+			}
+			if w%2 == 0 && !inA && !inB {
+				t.Fatalf("single-shard insert %v lost", v)
+			}
+		}
+	}
+	if s := db.Stats(); s.CrossShardCommits == 0 {
+		t.Error("no cross-shard commits recorded")
 	}
 }

@@ -1,0 +1,48 @@
+// Package txn implements transactions (Definition 2.5): extended relational
+// algebra programs enclosed in transaction brackets, executed atomically
+// against a database state. The executor maintains the intermediate states
+// D^{t.i} in a copy-on-write overlay, exposes the pre-transaction state and
+// the differential relations as auxiliary relations, and implements the end
+// bracket: commit installs [D^{t.n}] as D^{t+1}, abort restores D^t.
+//
+// # Concurrency
+//
+// Transactions run under snapshot isolation with optimistic concurrency
+// control. Each execution pins the current immutable snapshot, runs the
+// whole (modified) program against a private overlay, and then asks the
+// commit sequencer to install the result. Commit validation and
+// installation are sharded:
+//
+//   - Shard hashing. Every base relation name hashes (FNV-1a, see
+//     storage.ShardIndex) to one of the store's commit-sequencer shards.
+//     A shard owns a validation mutex and a segment of the commit log —
+//     the ins/del deltas of the transactions that wrote relations of that
+//     shard, in commit-time order. Transactions whose read and write sets
+//     hash to disjoint shards validate and commit concurrently.
+//
+//   - Two-phase cross-shard commit. A transaction touching relations in
+//     several shards locks all of them in canonical (ascending index)
+//     order, which makes the protocol deadlock-free. Phase one validates
+//     the read set against each locked shard's log segment; phase two
+//     merges tuple-disjoint concurrent deltas into the write set and
+//     publishes the successor snapshot under a short global publish mutex,
+//     so the snapshot pointer and logical clock still advance atomically
+//     even while other shards keep validating.
+//
+//   - Tuple-granular validation. The overlay records, per base relation,
+//     either a whole-relation read (the relation was materialized through
+//     cur/old) or the set of canonical tuple keys whose presence the
+//     transaction observed by inserting or deleting them. First-committer-
+//     wins validation intersects those keys against the tuple deltas in
+//     the commit log: a concurrent writer of the same relation but
+//     disjoint tuples does not invalidate the transaction, and its delta
+//     is merged into the committing write set instead of forcing a retry.
+//     Reads of ins(R)/del(R) are transaction-local and record no base
+//     read.
+//
+// A losing transaction is re-executed from scratch against a fresh
+// snapshot — its embedded alarm checks re-run, so a retried commit is
+// exactly as safe as a first-attempt one — after a bounded, jittered
+// exponential backoff that keeps hot-relation retriers from re-colliding
+// in lockstep.
+package txn

@@ -3,6 +3,8 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/storage"
@@ -79,14 +81,36 @@ func (e *Executor) ExecWithCheck(t *Transaction, check PostCheck) (*Result, erro
 	return e.ExecOptimistic(t, check, DefaultMaxRetries)
 }
 
+// Retry backoff. First-committer-wins guarantees some transaction commits
+// in every validation round, but without pacing a hot-relation loser can
+// burn through its whole retry budget in microseconds while the same winner
+// keeps beating it. Each conflict therefore sleeps a bounded, exponentially
+// growing, jittered delay before re-executing: attempt k waits a uniformly
+// random duration in [b·2^k/2, b·2^k), capped at retryBackoffCap, so
+// colliding retriers spread out instead of re-colliding in lockstep.
+const (
+	retryBackoffBase = 20 * time.Microsecond
+	retryBackoffCap  = 2 * time.Millisecond
+)
+
+// backoffDelay returns the jittered sleep before retry attempt+1.
+func backoffDelay(attempt int) time.Duration {
+	d := retryBackoffBase << min(attempt, 10)
+	if d > retryBackoffCap {
+		d = retryBackoffCap
+	}
+	return d/2 + rand.N(d/2)
+}
+
 // ExecOptimistic executes t under snapshot isolation with optimistic commit
 // validation: the program runs against a pinned snapshot, and the sequencer
 // installs the result iff no concurrently committed transaction wrote a
-// relation this one read. On conflict the transaction is re-executed from
-// scratch against a fresh snapshot — alarm checks embedded by transaction
-// modification re-run too, so a retried commit is exactly as safe as a
-// first-attempt one — up to maxRetries times (negative means
-// DefaultMaxRetries). Exhausting the budget reports an aborted Result
+// tuple (or scanned relation) this one depends on. On conflict the
+// transaction is re-executed from scratch against a fresh snapshot — alarm
+// checks embedded by transaction modification re-run too, so a retried
+// commit is exactly as safe as a first-attempt one — up to maxRetries times
+// (negative means DefaultMaxRetries), with bounded exponential backoff and
+// jitter between attempts. Exhausting the budget reports an aborted Result
 // wrapping ErrRetriesExhausted, never a half-installed state.
 func (e *Executor) ExecOptimistic(t *Transaction, check PostCheck, maxRetries int) (*Result, error) {
 	if maxRetries < 0 {
@@ -122,6 +146,7 @@ func (e *Executor) ExecOptimistic(t *Transaction, check PostCheck, maxRetries in
 				Retries:     attempt,
 			}, nil
 		}
+		time.Sleep(backoffDelay(attempt))
 	}
 }
 

@@ -16,9 +16,20 @@ import (
 // The overlay is pinned to the database snapshot it was created from: every
 // base-relation read resolves against that snapshot for the overlay's whole
 // life, so a transaction sees one consistent state regardless of concurrent
-// commits (snapshot isolation). The overlay also records its read set — the
-// base relations touched through Rel or mutated — which the commit
-// sequencer uses for first-committer-wins validation.
+// commits (snapshot isolation). The overlay also records its read set at the
+// finest granularity it can prove, for the tuple-granular first-committer-
+// wins validation in the commit sequencer:
+//
+//   - materializing the current or pre-transaction instance of a base
+//     relation (Rel with AuxCur/AuxOld) is a whole-relation read — the
+//     expression may have depended on any tuple;
+//   - inserting or deleting a tuple is a keyed read: the statement observed
+//     only the presence or absence of that exact tuple (set semantics), so
+//     just its canonical key is recorded;
+//   - reading ins(R)/del(R) (AuxIns/AuxDel) touches transaction-local
+//     differentials only and records no base read at all — their content is
+//     fully determined by the transaction's own statements plus the keyed
+//     reads already recorded.
 //
 // Differential maintenance follows the delete-before-insert cancellation
 // discipline: re-inserting a tuple deleted earlier in the same transaction
@@ -31,7 +42,7 @@ type Overlay struct {
 	ins     map[string]*relation.Relation
 	del     map[string]*relation.Relation
 	temps   map[string]*relation.Relation
-	reads   map[string]bool
+	reads   map[string]*storage.ReadInfo
 	stats   *Stats
 }
 
@@ -48,7 +59,7 @@ func NewOverlayAt(snap *storage.Snapshot) *Overlay {
 		ins:     make(map[string]*relation.Relation),
 		del:     make(map[string]*relation.Relation),
 		temps:   make(map[string]*relation.Relation),
-		reads:   make(map[string]bool),
+		reads:   make(map[string]*storage.ReadInfo),
 		stats:   &Stats{},
 	}
 }
@@ -56,20 +67,61 @@ func NewOverlayAt(snap *storage.Snapshot) *Overlay {
 // Base returns the snapshot the overlay is pinned to.
 func (o *Overlay) Base() *storage.Snapshot { return o.base }
 
-// ReadSet returns the names of the base relations the transaction touched,
-// in any incarnation. The map is live; callers must not mutate it.
-func (o *Overlay) ReadSet() map[string]bool { return o.reads }
+// ReadSet returns the names of the base relations the transaction touched in
+// any granularity, as a fresh map.
+func (o *Overlay) ReadSet() map[string]bool {
+	out := make(map[string]bool, len(o.reads))
+	for name := range o.reads {
+		out[name] = true
+	}
+	return out
+}
+
+// Reads returns the recorded per-relation read information. The map and its
+// entries are live; callers must not mutate them.
+func (o *Overlay) Reads() map[string]*storage.ReadInfo { return o.reads }
+
+// readInfo returns the (created-on-demand) read record for a relation.
+func (o *Overlay) readInfo(name string) *storage.ReadInfo {
+	ri, ok := o.reads[name]
+	if !ok {
+		ri = &storage.ReadInfo{}
+		o.reads[name] = ri
+	}
+	return ri
+}
+
+// markFullRead records a whole-relation read of a base relation.
+func (o *Overlay) markFullRead(name string) {
+	ri := o.readInfo(name)
+	ri.Full = true
+	ri.Keys = nil
+}
+
+// markKeyRead records a keyed read (tuple-presence observation) of a base
+// relation; subsumed by an earlier or later full read.
+func (o *Overlay) markKeyRead(name, key string) {
+	ri := o.readInfo(name)
+	if ri.Full {
+		return
+	}
+	if ri.Keys == nil {
+		ri.Keys = make(map[string]bool)
+	}
+	ri.Keys[key] = true
+}
 
 // Rel implements algebra.Env.
 func (o *Overlay) Rel(name string, aux algebra.AuxKind) (*relation.Relation, error) {
-	o.reads[name] = true
 	switch aux {
 	case algebra.AuxCur:
+		o.markFullRead(name)
 		if w, ok := o.working[name]; ok {
 			return w, nil
 		}
 		return o.base.Relation(name)
 	case algebra.AuxOld:
+		o.markFullRead(name)
 		return o.base.Relation(name) // the pinned snapshot is D^t
 	case algebra.AuxIns:
 		return o.delta(o.ins, name)
@@ -108,9 +160,8 @@ func (o *Overlay) SetTemp(name string, r *relation.Relation) error {
 }
 
 // mutable returns the copy-on-write working instance of a base relation.
-// Writes count as reads: the working copy is cloned from the pinned
-// snapshot, so installing it overwrites whatever the relation held — a
-// concurrent commit to the same relation must therefore invalidate us.
+// Creating it records no read by itself: each insert or delete records the
+// key it observed, which is exactly the dependence the commit installs.
 func (o *Overlay) mutable(name string) (*relation.Relation, error) {
 	if w, ok := o.working[name]; ok {
 		return w, nil
@@ -119,7 +170,6 @@ func (o *Overlay) mutable(name string) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	o.reads[name] = true
 	w := base.Clone()
 	o.working[name] = w
 	return w, nil
@@ -143,15 +193,17 @@ func (o *Overlay) InsertTuples(rel string, src *relation.Relation) error {
 		if len(t) != w.Schema().Arity() {
 			return fmt.Errorf("txn: insert into %s: tuple arity %d, want %d", rel, len(t), w.Schema().Arity())
 		}
-		if w.Contains(t) {
+		k := t.Key()
+		o.markKeyRead(rel, k)
+		if w.ContainsKey(k) {
 			return nil // set semantics: duplicate insert is a no-op
 		}
-		w.InsertUnchecked(t)
+		w.InsertKeyed(k, t)
 		o.stats.TuplesInserted++
-		if delD.Contains(t) {
-			delD.Delete(t) // cancelled a prior delete: net no-op
+		if delD.ContainsKey(k) {
+			delD.DeleteKey(k) // cancelled a prior delete: net no-op
 		} else {
-			insD.InsertUnchecked(t)
+			insD.InsertKeyed(k, t)
 		}
 		return nil
 	})
@@ -172,14 +224,16 @@ func (o *Overlay) DeleteTuples(rel string, src *relation.Relation) error {
 		return err
 	}
 	return src.ForEach(func(t relation.Tuple) error {
-		if !w.Delete(t) {
+		k := t.Key()
+		o.markKeyRead(rel, k)
+		if !w.DeleteKey(k) {
 			return nil // deleting an absent tuple is a no-op
 		}
 		o.stats.TuplesDeleted++
-		if insD.Contains(t) {
-			insD.Delete(t) // cancelled a prior insert: net no-op
+		if insD.ContainsKey(k) {
+			insD.DeleteKey(k) // cancelled a prior insert: net no-op
 		} else {
-			delD.InsertUnchecked(t)
+			delD.InsertKeyed(k, t)
 		}
 		return nil
 	})
@@ -190,11 +244,11 @@ func (o *Overlay) DeleteTuples(rel string, src *relation.Relation) error {
 func (o *Overlay) Changed() map[string]*relation.Relation { return o.working }
 
 // CommitRecord packages the overlay's outcome for CommitValidated: base
-// time, read set, and — filtered to relations with a non-empty net delta —
-// the working instances to install plus the differentials serving as write
-// set. Relations whose deltas cancelled to nothing are dropped: their
-// working copy equals the snapshot instance, so installing it would only
-// cause spurious conflicts for others.
+// time, per-relation read records, and — filtered to relations with a
+// non-empty net delta — the working instances to install plus the
+// differentials serving as write set. Relations whose deltas cancelled to
+// nothing are dropped: their working copy equals the snapshot instance, so
+// installing it would only cause spurious conflicts for others.
 func (o *Overlay) CommitRecord() storage.Commit {
 	changed := make(map[string]*relation.Relation, len(o.working))
 	ins := make(map[string]*relation.Relation, len(o.working))
@@ -214,7 +268,7 @@ func (o *Overlay) CommitRecord() storage.Commit {
 	}
 	return storage.Commit{
 		BaseTime: o.base.Time(),
-		ReadSet:  o.reads,
+		Reads:    o.reads,
 		Changed:  changed,
 		Ins:      ins,
 		Del:      del,

@@ -22,13 +22,22 @@ var ErrRetriesExhausted = errors.New("txn: optimistic commit retries exhausted")
 
 // Sequencer is the commit point of the concurrent engine: transactions
 // execute against pinned snapshots in parallel, then their commits are
-// validated and installed one at a time against the advancing state
-// (first-committer-wins). The sequencer itself is stateless — ordering and
-// the commit log live in the storage layer — but it is the single
-// choke-point all overlays pass through, which is what makes "serializable
-// commits ⇒ no violated state is ever installed" hold: a modified
+// validated and installed (first-committer-wins) by the sharded sequencers
+// in the storage layer. Every relation name hashes to a shard holding its
+// own validation lock and commit-log segment; a single-shard transaction
+// commits through that shard alone, while a cross-shard transaction locks
+// its shards in canonical order and runs a two-phase validate/publish
+// protocol, so commits touching disjoint shards never contend.
+//
+// Validation is tuple-granular where the overlay recorded tuple keys: a
+// concurrent commit to the same relation invalidates this transaction only
+// if it touched a tuple this one read or wrote, or if this one scanned the
+// relation. That preserves the paper's central guarantee — a modified
 // transaction's alarm checks ran against its snapshot, and validation
-// proves that snapshot's read set was still current at commit.
+// proves every value those checks (and its updates) depended on was still
+// current at commit, so serializable commits imply no violated state is
+// ever installed — while letting writers of disjoint tuples in one hot
+// relation commit concurrently, their deltas merged at publication.
 type Sequencer struct {
 	db *storage.Database
 }
@@ -37,11 +46,12 @@ type Sequencer struct {
 func NewSequencer(db *storage.Database) *Sequencer { return &Sequencer{db: db} }
 
 // TryCommit validates the overlay's read set against every delta committed
-// since its base snapshot and, if none intersects, installs its write set
-// as the next database state. A non-nil Conflict (with nil error) means
-// another transaction won: the caller should discard the overlay and
-// re-execute against a fresh snapshot. Errors indicate malformed commits
-// and are not retryable.
+// since its base snapshot in the shards it touched and, if nothing it
+// depends on changed, installs its write set (merged over any tuple-disjoint
+// concurrent deltas) as the next database state. A non-nil Conflict (with
+// nil error) means another transaction won: the caller should discard the
+// overlay and re-execute against a fresh snapshot. Errors indicate
+// malformed commits and are not retryable.
 func (s *Sequencer) TryCommit(o *Overlay) (uint64, *storage.Conflict, error) {
 	t, conflict, err := s.db.CommitValidated(o.CommitRecord())
 	if err != nil {

@@ -1,9 +1,3 @@
-// Package txn implements transactions (Definition 2.5): extended relational
-// algebra programs enclosed in transaction brackets, executed atomically
-// against a database state. The executor maintains the intermediate states
-// D^{t.i} in a copy-on-write overlay, exposes the pre-transaction state and
-// the differential relations as auxiliary relations, and implements the end
-// bracket: commit installs [D^{t.n}] as D^{t+1}, abort restores D^t.
 package txn
 
 import (

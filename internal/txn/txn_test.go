@@ -366,32 +366,65 @@ func TestCommitRecordFiltersCancelledDeltas(t *testing.T) {
 		t.Errorf("cancelled transaction still installs: changed=%d ins=%d del=%d",
 			len(rec.Changed), len(rec.Ins), len(rec.Del))
 	}
-	if !rec.ReadSet["item"] {
-		t.Error("mutated relation missing from read set")
+	ri := rec.Reads["item"]
+	if ri == nil || !ri.Keys[item(2, 20).Key()] {
+		t.Error("mutated tuple key missing from read set")
 	}
 	if rec.BaseTime != 0 {
 		t.Errorf("base time = %d, want 0", rec.BaseTime)
 	}
 }
 
-// TestReadSetRecordsAllIncarnations: cur/old/ins/del references all mark
-// the base relation read.
-func TestReadSetRecordsAllIncarnations(t *testing.T) {
+// TestReadSetGranularity: materializing cur/old marks a whole-relation
+// read; the transaction-local differentials ins/del mark no base read at
+// all (their content is determined by the transaction's own keyed
+// mutations); inserts and deletes record just the observed tuple keys.
+func TestReadSetGranularity(t *testing.T) {
 	db := newStore(t, item(1, 10))
-	for _, aux := range []algebra.AuxKind{algebra.AuxCur, algebra.AuxOld, algebra.AuxIns, algebra.AuxDel} {
+	for _, aux := range []algebra.AuxKind{algebra.AuxCur, algebra.AuxOld} {
 		ov := NewOverlay(db)
 		if _, err := ov.Rel("item", aux); err != nil {
 			t.Fatal(err)
 		}
-		if !ov.ReadSet()["item"] {
-			t.Errorf("aux %v did not record the read", aux)
+		ri := ov.Reads()["item"]
+		if ri == nil || !ri.Full {
+			t.Errorf("aux %v did not record a full read: %+v", aux, ri)
 		}
+	}
+	for _, aux := range []algebra.AuxKind{algebra.AuxIns, algebra.AuxDel} {
+		ov := NewOverlay(db)
+		if _, err := ov.Rel("item", aux); err != nil {
+			t.Fatal(err)
+		}
+		if ov.ReadSet()["item"] {
+			t.Errorf("aux %v recorded a base read", aux)
+		}
+	}
+
+	ov := NewOverlay(db)
+	if err := ov.InsertTuples("item", relation.MustFromTuples(itemSchema(), item(2, 20))); err != nil {
+		t.Fatal(err)
+	}
+	ri := ov.Reads()["item"]
+	if ri == nil || ri.Full {
+		t.Fatalf("insert should record a keyed read, got %+v", ri)
+	}
+	if len(ri.Keys) != 1 || !ri.Keys[item(2, 20).Key()] {
+		t.Errorf("keyed read set = %v, want just the inserted tuple's key", ri.Keys)
+	}
+	// A later full read subsumes the keys.
+	if _, err := ov.Rel("item", algebra.AuxCur); err != nil {
+		t.Fatal(err)
+	}
+	if ri := ov.Reads()["item"]; !ri.Full {
+		t.Error("full read did not subsume keyed reads")
 	}
 }
 
 // TestSequencerFirstCommitterWins: two overlays race from the same
-// snapshot; the loser is told to retry and, re-executed against a fresh
-// snapshot, succeeds without losing the winner's update.
+// snapshot and touch the same tuple; the loser is told to retry and,
+// re-executed against a fresh snapshot, succeeds without losing the
+// winner's update.
 func TestSequencerFirstCommitterWins(t *testing.T) {
 	db := newStore(t, item(1, 10))
 	seq := NewSequencer(db)
@@ -400,8 +433,10 @@ func TestSequencerFirstCommitterWins(t *testing.T) {
 	if err := ov1.InsertTuples("item", relation.MustFromTuples(itemSchema(), item(2, 20))); err != nil {
 		t.Fatal(err)
 	}
+	// ov2 observes the absence of the same tuple ov1 inserts, so it must
+	// lose even under tuple-granular validation.
 	ov2 := NewOverlay(db)
-	if err := ov2.InsertTuples("item", relation.MustFromTuples(itemSchema(), item(3, 30))); err != nil {
+	if err := ov2.InsertTuples("item", relation.MustFromTuples(itemSchema(), item(2, 20), item(3, 30))); err != nil {
 		t.Fatal(err)
 	}
 
@@ -415,6 +450,9 @@ func TestSequencerFirstCommitterWins(t *testing.T) {
 	}
 	if conflict == nil {
 		t.Fatal("stale overlay committed; lost update")
+	}
+	if conflict.Relation != "item" || conflict.Key != item(2, 20).Key() {
+		t.Errorf("conflict = %+v, want tuple-granular conflict on item(2,20)", conflict)
 	}
 
 	// Retry from a fresh snapshot.
@@ -432,14 +470,66 @@ func TestSequencerFirstCommitterWins(t *testing.T) {
 	}
 }
 
+// TestSequencerMergesDisjointTuples is the tuple-granular headline: two
+// overlays race from the same snapshot writing the same relation but
+// disjoint tuples. Relation-granular validation would force the second to
+// retry; tuple-granular validation commits both, merging the winner's delta
+// into the loser's write set at publication.
+func TestSequencerMergesDisjointTuples(t *testing.T) {
+	db := newStore(t, item(1, 10))
+	seq := NewSequencer(db)
+
+	ov1 := NewOverlay(db)
+	if err := ov1.InsertTuples("item", relation.MustFromTuples(itemSchema(), item(2, 20))); err != nil {
+		t.Fatal(err)
+	}
+	ov2 := NewOverlay(db)
+	if err := ov2.DeleteTuples("item", relation.MustFromTuples(itemSchema(), item(1, 10))); err != nil {
+		t.Fatal(err)
+	}
+
+	if ct, conflict, err := seq.TryCommit(ov1); err != nil || conflict != nil || ct != 1 {
+		t.Fatalf("first: time=%d conflict=%v err=%v", ct, conflict, err)
+	}
+	ct, conflict, err := seq.TryCommit(ov2)
+	if err != nil || conflict != nil || ct != 2 {
+		t.Fatalf("second (disjoint tuples) should merge-commit: time=%d conflict=%v err=%v", ct, conflict, err)
+	}
+
+	r, _ := db.Relation("item")
+	if r.Len() != 1 || !r.Contains(item(2, 20)) || r.Contains(item(1, 10)) {
+		t.Errorf("merged state wrong: %v", r)
+	}
+	if s := db.Stats(); s.MergedCommits != 1 || s.Conflicts != 0 {
+		t.Errorf("stats = %+v, want 1 merged commit and 0 conflicts", s)
+	}
+}
+
+// TestBackoffDelayBounded: the retry backoff grows with the attempt number,
+// carries jitter, and never exceeds the cap or drops below half the base.
+func TestBackoffDelayBounded(t *testing.T) {
+	for attempt := 0; attempt < 40; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := backoffDelay(attempt)
+			if d < retryBackoffBase/2 {
+				t.Fatalf("attempt %d: delay %v below half the base", attempt, d)
+			}
+			if d >= retryBackoffCap {
+				t.Fatalf("attempt %d: delay %v at or above the cap", attempt, d)
+			}
+		}
+	}
+}
+
 // TestConcurrentExecSerializable is the write-write stress: N goroutines
-// share one executor and insert disjoint tuples into the same relation, so
-// every pair of in-flight transactions conflicts at validation. All must
-// eventually commit (first-committer-wins guarantees a winner per round),
-// no insert may be lost, and the clock must count exactly one transition
-// per commit. The pre-commit hook yields the processor so transactions
-// overlap even on a single-CPU scheduler, forcing the conflict/retry path;
-// run under -race this also exercises the lock-free snapshot path.
+// share one executor and insert disjoint tuples into the same relation.
+// Under the old relation-granular validator every overlapping pair
+// conflicted; tuple-granular validation must commit all of them without a
+// single retry, merging concurrent deltas at publication. No insert may be
+// lost and the clock must count exactly one transition per commit. The
+// pre-commit hook yields the processor so transactions overlap even on a
+// single-CPU scheduler; run under -race this also exercises the lock-free
+// snapshot path.
 func TestConcurrentExecSerializable(t *testing.T) {
 	const workers, perWorker = 8, 20
 	db := newStore(t)
@@ -483,34 +573,41 @@ func TestConcurrentExecSerializable(t *testing.T) {
 	if db.Time() != uint64(workers*perWorker) {
 		t.Errorf("logical time = %d, want %d", db.Time(), workers*perWorker)
 	}
-	if retries.Load() == 0 {
-		t.Error("no conflicts observed; transactions never overlapped")
+	if retries.Load() != 0 {
+		t.Errorf("%d retries; disjoint-tuple writers should never conflict under tuple-granular validation", retries.Load())
 	}
-	t.Logf("total conflict retries: %d", retries.Load())
+	t.Logf("stats: %+v", db.Stats())
 }
 
 // TestRetriesExhaustedReported: a transaction that loses validation on
 // every attempt must surface an aborted result wrapping
 // ErrRetriesExhausted, with the database untouched by it. The PostCheck
 // hook — which runs between snapshot pinning and commit — is abused to
-// deterministically commit a conflicting write on every attempt.
+// deterministically toggle the very tuple the victim observes on every
+// attempt, so the victim keeps losing even tuple-granular validation.
 func TestRetriesExhaustedReported(t *testing.T) {
 	db := newStore(t, item(1, 10))
 	exec := NewExecutor(db)
 	saboteur := NewExecutor(db)
-	next := int64(100)
+	present := false
 	sabotage := func(algebra.Env) error {
-		next++
-		res, err := saboteur.Exec(New(&algebra.Insert{Rel: "item", Src: lit(item(next, 1))}))
+		stmt := algebra.Stmt(&algebra.Insert{Rel: "item", Src: lit(item(2, 20))})
+		if present {
+			stmt = &algebra.Delete{Rel: "item", Src: lit(item(2, 20))}
+		}
+		res, err := saboteur.Exec(New(stmt))
 		if err != nil || !res.Committed {
 			t.Fatalf("saboteur failed: %+v %v", res, err)
 		}
+		present = !present
 		return nil
 	}
 
 	const budget = 2
+	// The victim probes the contended tuple (2,20) and carries a unique
+	// marker tuple (99,99) that must never surface.
 	res, err := exec.ExecOptimistic(
-		New(&algebra.Insert{Rel: "item", Src: lit(item(2, 20))}),
+		New(&algebra.Insert{Rel: "item", Src: lit(item(2, 20), item(99, 99))}),
 		sabotage, budget)
 	if err != nil {
 		t.Fatal(err)
@@ -525,7 +622,7 @@ func TestRetriesExhaustedReported(t *testing.T) {
 		t.Errorf("retries = %d, want %d", res.Retries, budget)
 	}
 	r, _ := db.Relation("item")
-	if r.Contains(item(2, 20)) {
+	if r.Contains(item(99, 99)) {
 		t.Error("losing transaction leaked its insert")
 	}
 }

@@ -67,6 +67,31 @@ type Options struct {
 	// commit validation is re-executed against a fresh snapshot; 0 means
 	// the default (txn.DefaultMaxRetries).
 	MaxCommitRetries int
+	// CommitShards sets the number of commit-sequencer shards relation
+	// names hash onto; transactions touching disjoint shards validate and
+	// commit concurrently. 0 means the default (storage.DefaultShards);
+	// 1 restores the fully serial commit point.
+	CommitShards int
+}
+
+// CommitStats reports the engine's commit-sequencer counters.
+type CommitStats struct {
+	// Shards is the configured number of commit-sequencer shards.
+	Shards int
+	// Commits counts installed commits (including read-only ones, which
+	// still advance the logical clock).
+	Commits uint64
+	// Conflicts counts first-committer-wins validation failures; each one
+	// made some transaction re-execute against a fresh snapshot.
+	Conflicts uint64
+	// CrossShardCommits counts commits whose read/write sets spanned more
+	// than one shard (two-phase canonical-order commits).
+	CrossShardCommits uint64
+	// MergedCommits counts commits that overlapped a concurrent writer of
+	// the same relation on disjoint tuples and were installed by delta
+	// merging instead of retrying — the commits relation-granular
+	// validation would have rejected.
+	MergedCommits uint64
 }
 
 // DB is a main-memory database with integrity control. Transactions run
@@ -97,7 +122,11 @@ func Open(opts *Options) *DB {
 		o = *opts
 	}
 	sch := schema.MustDatabase()
-	store := storage.New(sch)
+	shards := o.CommitShards
+	if shards <= 0 {
+		shards = storage.DefaultShards
+	}
+	store := storage.NewSharded(sch, shards)
 	cat := rules.NewCatalog(sch)
 	db := &DB{
 		sch:   sch,
@@ -343,8 +372,10 @@ func (db *DB) SubmitPostHoc(src string, triggerAware bool) (*Result, error) {
 // executes against a pinned snapshot while other submissions proceed in
 // parallel, and commits through first-committer-wins validation, retrying
 // against a fresh snapshot (alarm checks re-run) up to the configured
-// bound. An exhausted retry budget is reported as an aborted Result whose
-// Reason wraps txn.ErrRetriesExhausted; the database is left untouched.
+// bound. An exhausted retry budget is reported as an aborted Result (empty
+// Constraint, Reason describing the exhausted retries — Reason is a plain
+// string, so sentinel matching with txn.ErrRetriesExhausted is not
+// available at this boundary); the database is left untouched.
 //
 // Submit and SubmitConcurrent share one engine and may be mixed freely —
 // the separate name exists so call sites can state intent.
@@ -517,6 +548,20 @@ func (db *DB) Relations() []string { return db.sch.Names() }
 
 // LogicalTime returns the number of committed transactions.
 func (db *DB) LogicalTime() uint64 { return db.store.Time() }
+
+// CommitStats returns a snapshot of the commit-sequencer counters: installed
+// commits, validation conflicts, cross-shard (two-phase) commits and
+// delta-merged commits. Safe to call concurrently with submissions.
+func (db *DB) CommitStats() CommitStats {
+	s := db.store.Stats()
+	return CommitStats{
+		Shards:            db.store.ShardCount(),
+		Commits:           s.Commits,
+		Conflicts:         s.Conflicts,
+		CrossShardCommits: s.CrossShardCommits,
+		MergedCommits:     s.MergedCommits,
+	}
+}
 
 // Load bulk-inserts rows into a relation without integrity control or
 // transactional bookkeeping; intended for fixtures and benchmark data. Rows
