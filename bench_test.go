@@ -423,28 +423,50 @@ func newShardedDB(b *testing.B, shards, parents int) *DB {
 // rarely share a commit-sequencer shard; "high" aims every transaction at
 // one relation with disjoint tuples — the workload that serialized through
 // retry under relation-granular validation and now merge-commits under
-// tuple-granular validation; "hottuple" recycles eight tuple identities in
+// tuple-granular validation; "rmw" recycles eight tuple identities in
 // one relation so concurrent pairs genuinely collide and must retry
-// (with backoff) no matter how fine the validator. Reported txns/s is the
-// headline; retries/txn shows the price of contention.
+// (with backoff) no matter how fine the validator.
+//
+// "alarmscan" and "alarmprobe" are the selective-alarm pair: every
+// transaction deletes a distinct childless spare parent, which triggers
+// the deletion-side referential check semijoin(child_i, del(parent)) over
+// eight preloaded 4000-tuple child relations. Without indexes (alarmscan)
+// the selection scans parent and each check scans its child relation, so
+// the read footprint is whole relations and concurrent deleters conflict;
+// with auto-indexing (alarmprobe) the same transactions issue a handful of
+// key probes, their footprints are disjoint probe keys, and concurrent
+// deleters merge-commit on the shared parent relation instead of retrying.
+// Reported txns/s is the headline; retries/txn shows the price of
+// contention and merged/txn the rate of delta-merged (conflict-avoided)
+// commits.
 func BenchmarkConcurrentSubmit(b *testing.B) {
 	const (
 		shards  = 16
 		parents = 1000
 	)
 	type workload struct {
-		name string
-		src  func(i int) string
+		name  string
+		setup func(b *testing.B, n int) *DB
+		src   func(i int) string
+	}
+	std := func(b *testing.B, _ int) *DB { return newShardedDB(b, shards, parents) }
+	alarm := func(indexed bool) func(*testing.B, int) *DB {
+		return func(b *testing.B, n int) *DB {
+			return newAlarmDB(b, 8, parents, 4000, n, indexed)
+		}
 	}
 	insertInto := func(shard func(int) int) func(int) string {
 		return func(i int) string {
 			return fmt.Sprintf(`begin insert(child%d, values[(%d, %d, 1)]); end`, shard(i), i, i%parents)
 		}
 	}
+	deleteSpare := func(i int) string {
+		return fmt.Sprintf(`begin delete(parent, select(parent, id = %d)); end`, spareBase+i)
+	}
 	for _, conflict := range []workload{
-		{"low", insertInto(func(i int) int { return i % shards })},
-		{"high", insertInto(func(int) int { return 0 })},
-		{"rmw", func(i int) string {
+		{"low", std, insertInto(func(i int) int { return i % shards })},
+		{"high", std, insertInto(func(int) int { return 0 })},
+		{"rmw", std, func(i int) string {
 			// Read-modify-write of one of eight hot rows in one relation:
 			// the selection scans child0, so every concurrent pair
 			// genuinely conflicts and must retry through the backoff path.
@@ -452,10 +474,12 @@ func BenchmarkConcurrentSubmit(b *testing.B) {
 				`begin delete(child0, select(child0, id = %d)); insert(child0, values[(%d, %d, 1)]); end`,
 				i%8, i%8, i%parents)
 		}},
+		{"alarmscan", alarm(false), deleteSpare},
+		{"alarmprobe", alarm(true), deleteSpare},
 	} {
 		for _, workers := range []int{1, 2, 4, 8, 16} {
 			b.Run(fmt.Sprintf("conflict=%s/workers=%d", conflict.name, workers), func(b *testing.B) {
-				db := newShardedDB(b, shards, parents)
+				db := conflict.setup(b, b.N)
 				srcs := make([]string, b.N)
 				for i := range srcs {
 					srcs[i] = conflict.src(i)
@@ -473,8 +497,10 @@ func BenchmarkConcurrentSubmit(b *testing.B) {
 					}
 					retries += pr.Result.Retries
 				}
+				stats := db.CommitStats()
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "txns/s")
 				b.ReportMetric(float64(retries)/float64(b.N), "retries/txn")
+				b.ReportMetric(float64(stats.MergedCommits)/float64(b.N), "merged/txn")
 			})
 		}
 	}

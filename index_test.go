@@ -1,0 +1,360 @@
+// Facade-level tests for the secondary-index subsystem: option validation,
+// declared and automatic indexes, probe-granular read recording through
+// Submit, and the -race stress exercising concurrent indexed probes against
+// cross-shard commits.
+package repro
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring of the error
+	}{
+		{"negative shards", Options{CommitShards: -1}, "CommitShards"},
+		{"negative retries", Options{MaxCommitRetries: -3}, "MaxCommitRetries"},
+		{"negative depth", Options{MaxModificationDepth: -1}, "MaxModificationDepth"},
+		{"malformed index decl", Options{Indexes: []string{"child"}}, "malformed"},
+		{"empty index attrs", Options{Indexes: []string{"child()"}}, "child()"},
+		{"repeated index attr", Options{Indexes: []string{"child(a, a)"}}, "repeats"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := OpenChecked(&c.opts); err == nil {
+				t.Fatalf("OpenChecked(%+v) accepted invalid options", c.opts)
+			} else if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+	if _, err := OpenChecked(nil); err != nil {
+		t.Errorf("nil options rejected: %v", err)
+	}
+	if _, err := OpenChecked(&Options{CommitShards: 4, MaxCommitRetries: 10,
+		Indexes: []string{"child(parent)"}}); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Open did not panic on invalid options")
+			}
+		}()
+		Open(&Options{CommitShards: -1})
+	}()
+}
+
+func TestDeclaredIndexesBuildOnCreate(t *testing.T) {
+	db := Open(&Options{Indexes: []string{"child(parent)", "parent(id)"}})
+	db.MustCreateRelation(`relation parent(id int, name string)`)
+	db.MustCreateRelation(`relation child(id int, parent int, qty int)`)
+	got := db.Indexes()
+	want := []string{"child(parent)", "parent(id)"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Fatalf("Indexes() = %v, want %v", got, want)
+	}
+	if err := db.CreateIndex("child(parent)"); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if err := db.CreateIndex("child(nosuch)"); err == nil {
+		t.Error("index over unknown attribute accepted")
+	}
+	if err := db.CreateIndex("nosuch(parent)"); err == nil {
+		t.Error("index over unknown relation accepted")
+	}
+	// A declaration naming an attribute the relation lacks fails creation
+	// atomically: the relation must not be left half-created.
+	db2 := Open(&Options{Indexes: []string{"thing(nope)"}})
+	if err := db2.CreateRelation(`relation thing(id int)`); err == nil {
+		t.Error("CreateRelation accepted an index declaration over a missing attribute")
+	}
+	if len(db2.Relations()) != 0 {
+		t.Errorf("failed creation left relations %v behind", db2.Relations())
+	}
+	if err := db2.CreateIndex("thing(id)"); err == nil {
+		t.Error("half-created relation still exists in the store")
+	}
+}
+
+// TestIndexedSelectNegativeZero: -0.0 and 0.0 compare equal, so the probe
+// path must find a -0.0 row when selecting x = 0.0 exactly like the scan
+// path does (regression for the AppendKey -0.0 canonicalization).
+func TestIndexedSelectNegativeZero(t *testing.T) {
+	db := Open(&Options{Indexes: []string{"r(x)"}})
+	db.MustCreateRelation(`relation r(x float, id int)`)
+	if err := db.Load("r", [][]any{{math.Copysign(0, -1), 1}, {1.5, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	probed, err := db.Query(`select(r, x = 0.0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanned, err := db.Query(`select(r, x + 0.0 = 0.0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probed.Data) != 1 || len(scanned.Data) != 1 {
+		t.Fatalf("x = 0.0: probe found %d rows, scan %d, want 1 and 1", len(probed.Data), len(scanned.Data))
+	}
+}
+
+func TestAutoIndexFromReferentialConstraint(t *testing.T) {
+	db := Open(&Options{UseDifferential: true, AutoIndex: true})
+	db.MustCreateRelation(`relation parent(id int, name string)`)
+	db.MustCreateRelation(`relation child(id int, parent int, qty int)`)
+	db.MustDefineConstraint("referential",
+		`forall x (x in child implies exists y (y in parent and x.parent = y.id))`)
+	got := db.Indexes()
+	want := []string{"child(parent)", "parent(id)"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Fatalf("Indexes() = %v, want %v", got, want)
+	}
+	// A second rule over the same join attributes must not trip on the
+	// already-built indexes.
+	db.MustDefineConstraint("referential2",
+		`forall x (x in child implies exists y (y in parent and x.parent = y.id))`)
+}
+
+// TestSubmitProbesInsteadOfScans: with indexes, a delete-by-key transaction
+// and its differential referential check run entirely on probes, and the
+// Result reports them.
+func TestSubmitProbesInsteadOfScans(t *testing.T) {
+	db := Open(&Options{UseDifferential: true, AutoIndex: true})
+	db.MustCreateRelation(`relation parent(id int, name string)`)
+	db.MustCreateRelation(`relation child(id int, parent int, qty int)`)
+	db.MustDefineConstraint("referential",
+		`forall x (x in child implies exists y (y in parent and x.parent = y.id))`)
+	if err := db.Load("parent", [][]any{{1, "a"}, {2, "b"}, {3, "spare"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load("child", [][]any{{10, 1, 1}, {11, 2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deleting the childless parent probes parent(id) for the selection and
+	// child(parent) for the enforcement semijoin; it commits.
+	res, err := db.Submit(`begin delete(parent, select(parent, id = 3)); end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("delete of spare parent aborted: %s", res.Reason)
+	}
+	if res.Probes == 0 {
+		t.Error("indexed submit issued no probes")
+	}
+
+	// Deleting a referenced parent must still abort through the probed
+	// check — the probe path finds the violating children.
+	res, err = db.Submit(`begin delete(parent, select(parent, id = 1)); end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("delete of referenced parent committed despite referential rule")
+	}
+	if res.Constraint != "referential" {
+		t.Errorf("violated constraint = %q", res.Constraint)
+	}
+
+	// Inserting a dangling child aborts through the probed antijoin check,
+	// and the probe observed absence correctly.
+	res, err = db.Submit(`begin insert(child, values[(12, 99, 1)]); end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("dangling child committed")
+	}
+
+	// A valid child insert probes and commits.
+	res, err = db.Submit(`begin insert(child, values[(12, 2, 1)]); end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.Probes == 0 {
+		t.Fatalf("valid child insert: committed=%v probes=%d", res.Committed, res.Probes)
+	}
+}
+
+// newAlarmDB builds the selective-alarm workload: nShards child relations
+// (each with its own referential rule onto one shared parent relation),
+// parents 0..nParents-1 referenced by preloaded children, and nSpares
+// childless spare parents with ids spareBase+i whose deletion is
+// integrity-clean. With indexed=true the enforcement joins auto-index both
+// directions; with indexed=false the same deletions scan, which is the
+// benchmark's before/after contrast.
+const spareBase = 1_000_000
+
+func newAlarmDB(t testing.TB, nShards, nParents, childRows, nSpares int, indexed bool) *DB {
+	t.Helper()
+	db := Open(&Options{UseDifferential: true, AutoIndex: indexed, MaxCommitRetries: 1_000_000})
+	db.MustCreateRelation(`relation parent(id int, name string)`)
+	rows := make([][]any, 0, nParents+nSpares)
+	for i := 0; i < nParents; i++ {
+		rows = append(rows, []any{i, fmt.Sprintf("p-%d", i)})
+	}
+	for i := 0; i < nSpares; i++ {
+		rows = append(rows, []any{spareBase + i, "spare"})
+	}
+	crows := make([][]any, childRows)
+	for i := range crows {
+		crows[i] = []any{i, i % nParents, 1}
+	}
+	for s := 0; s < nShards; s++ {
+		db.MustCreateRelation(fmt.Sprintf(`relation child%d(id int, parent int, qty int)`, s))
+		db.MustDefineConstraint(fmt.Sprintf("ref%d", s),
+			fmt.Sprintf(`forall x (x in child%d implies exists y (y in parent and x.parent = y.id))`, s))
+		if err := db.Load(fmt.Sprintf("child%d", s), crows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Load parents after the rules so the auto-built indexes are rebuilt by
+	// the bulk load too (exercising that path).
+	if err := db.Load("parent", rows); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestDisjointAlarmProbesNoRetry: transactions deleting distinct spare
+// parents probe disjoint keys of parent and of every child relation; under
+// concurrent submission none of them may ever lose validation, and
+// overlapping pairs merge-commit on the shared parent relation. Run with
+// -race.
+func TestDisjointAlarmProbesNoRetry(t *testing.T) {
+	const (
+		nShards = 4
+		txns    = 200
+		workers = 8
+	)
+	db := newAlarmDB(t, nShards, 50, 2000, txns, true)
+	srcs := make([]string, txns)
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf(`begin delete(parent, select(parent, id = %d)); end`, spareBase+i)
+	}
+	results := db.ExecParallel(srcs, workers)
+	for _, pr := range results {
+		if pr.Err != nil {
+			t.Fatal(pr.Err)
+		}
+		if !pr.Result.Committed {
+			t.Fatalf("disjoint delete aborted: %s", pr.Result.Reason)
+		}
+		if pr.Result.Retries != 0 {
+			t.Fatalf("disjoint probed delete retried %d times (conflict footprint too wide)", pr.Result.Retries)
+		}
+		if pr.Result.Probes == 0 {
+			t.Fatal("delete ran without probes despite indexes")
+		}
+	}
+	stats := db.CommitStats()
+	if stats.Conflicts != 0 {
+		t.Errorf("Conflicts = %d, want 0", stats.Conflicts)
+	}
+	if n, err := db.Count("parent"); err != nil || n != 50 {
+		t.Errorf("parent count = %d (err %v), want 50", n, err)
+	}
+	t.Logf("merged commits: %d of %d", stats.MergedCommits, stats.Commits)
+}
+
+// TestIndexedProbeCrossShardStress exercises concurrent indexed probes
+// against cross-shard commits: half the goroutines insert valid children
+// into per-shard relations (probing parent on alive keys), half delete
+// childless spare parents (probing every child relation on the spare key).
+// All footprints are key-disjoint, so every transaction must commit without
+// a single retry while the indexes stay consistent. Run with -race.
+func TestIndexedProbeCrossShardStress(t *testing.T) {
+	const (
+		nShards   = 4
+		nParents  = 50
+		perWorker = 60
+	)
+	db := newAlarmDB(t, nShards, nParents, 500, nShards*perWorker, true)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*nShards*perWorker)
+	for w := 0; w < nShards; w++ {
+		wg.Add(2)
+		go func(w int) { // child inserter for shard w
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := 10_000 + w*perWorker + i
+				src := fmt.Sprintf(`begin insert(child%d, values[(%d, %d, 1)]); end`, w, id, id%nParents)
+				res, err := db.SubmitConcurrent(src)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Committed {
+					errs <- fmt.Errorf("insert aborted: %s", res.Reason)
+					return
+				}
+				if res.Retries != 0 {
+					errs <- fmt.Errorf("disjoint insert retried %d times", res.Retries)
+					return
+				}
+			}
+		}(w)
+		go func(w int) { // spare-parent deleter
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				src := fmt.Sprintf(`begin delete(parent, select(parent, id = %d)); end`,
+					spareBase+w*perWorker+i)
+				res, err := db.SubmitConcurrent(src)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Committed {
+					errs <- fmt.Errorf("spare delete aborted: %s", res.Reason)
+					return
+				}
+				if res.Retries != 0 {
+					errs <- fmt.Errorf("disjoint delete retried %d times", res.Retries)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Final-state checks: counts, no dangling references, and every index
+	// answers probes consistently with a scan.
+	if n, err := db.Count("parent"); err != nil || n != nParents {
+		t.Fatalf("parent count = %d (err %v), want %d", n, err, nParents)
+	}
+	for s := 0; s < nShards; s++ {
+		if n, err := db.Count(fmt.Sprintf("child%d", s)); err != nil || n != 500+perWorker {
+			t.Fatalf("child%d count = %d (err %v), want %d", s, n, err, 500+perWorker)
+		}
+		rows, err := db.Query(fmt.Sprintf(`diff(project(child%d, parent), project(parent, id))`, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows.Data) != 0 {
+			t.Fatalf("child%d has %d dangling parents", s, len(rows.Data))
+		}
+		// Probe path (select with equality) versus an unindexable scan.
+		probed, err := db.Query(fmt.Sprintf(`select(child%d, parent = 0)`, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanned, err := db.Query(fmt.Sprintf(`select(child%d, parent + 0 = 0)`, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(probed.Data) != len(scanned.Data) {
+			t.Fatalf("child%d: probe answered %d rows, scan %d", s, len(probed.Data), len(scanned.Data))
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/relation"
 	"repro/internal/schema"
+	"repro/internal/value"
 )
 
 // AuxKind selects which incarnation of a relation a reference denotes: the
@@ -46,6 +47,33 @@ type Env interface {
 	// Temp resolves a temporary relation created by an assignment statement
 	// earlier in the same transaction.
 	Temp(name string) (*relation.Relation, error)
+}
+
+// ProbeEnv is the optional extension of Env implemented by environments
+// backed by secondary indexes (the transaction overlay over an indexed
+// snapshot). The evaluator uses it to turn equality-conjunct selections and
+// the non-delta side of joins into index probes: instead of materializing a
+// base relation — a whole-relation read in the environment's read set — it
+// looks up only the keys the expression names, and the environment records
+// a probed-key read, shrinking both the evaluation cost and the optimistic
+// conflict footprint to the probed keys.
+//
+// Environments without indexes simply do not implement the interface;
+// evaluation falls back to Rel and full scans.
+type ProbeEnv interface {
+	Env
+	// IndexFor returns the column positions of a secondary index on the
+	// named base relation whose columns are a subset of cols — the widest
+	// such index — together with the cardinality of the requested
+	// incarnation (for the probe-versus-scan decision). ok is false when
+	// the incarnation is not indexed (only the current and pre-transaction
+	// states are) or no index covers any subset of cols.
+	IndexFor(name string, aux AuxKind, cols []int) (idx []int, size int, ok bool)
+	// Probe returns the tuples of the incarnation whose idx columns equal
+	// vals (parallel to idx, which must come from IndexFor), recording a
+	// probed-key read. The returned tuples are shared; callers must not
+	// mutate them.
+	Probe(name string, aux AuxKind, idx []int, vals []value.Value) ([]relation.Tuple, error)
 }
 
 // ExecEnv extends Env with the mutations statements need. Implementations

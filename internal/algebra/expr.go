@@ -143,6 +143,13 @@ type Select struct {
 	base
 	In   Expr
 	Pred Scalar
+
+	// Constant-equality conjuncts ("attr = const") detected at TypeCheck
+	// time: parallel column positions and literal values. When the input is
+	// a direct base-relation reference and the environment has a covering
+	// index, Eval probes it instead of scanning.
+	eqCols []int
+	eqVals []value.Value
 }
 
 // NewSelect builds a selection.
@@ -161,12 +168,49 @@ func (s *Select) TypeCheck(env *TypeEnv) (*schema.Relation, error) {
 	if k != value.KindBool && k != value.KindNull {
 		return nil, fmt.Errorf("algebra: selection predicate has kind %s", k)
 	}
+	s.eqCols, s.eqVals = extractConstEq(s.Pred)
 	s.out = in
 	return in, nil
 }
 
+// extractConstEq walks a conjunction collecting "attr = const" comparisons
+// (in either operand order) over the bound predicate; duplicate columns keep
+// the first binding — the full predicate is re-applied to probe candidates,
+// so any one binding per column yields a sound candidate superset.
+func extractConstEq(pred Scalar) (cols []int, vals []value.Value) {
+	seen := make(map[int]bool)
+	var walk func(p Scalar)
+	walk = func(p Scalar) {
+		if a, ok := p.(*And); ok {
+			walk(a.L)
+			walk(a.R)
+			return
+		}
+		c, ok := p.(*Cmp)
+		if !ok || c.Op != CmpEQ {
+			return
+		}
+		attr, aok := c.L.(*Attr)
+		lit, lok := c.R.(*Const)
+		if !aok || !lok {
+			attr, aok = c.R.(*Attr)
+			lit, lok = c.L.(*Const)
+		}
+		if aok && lok && attr.Index >= 0 && !seen[attr.Index] {
+			seen[attr.Index] = true
+			cols = append(cols, attr.Index)
+			vals = append(vals, lit.V)
+		}
+	}
+	walk(pred)
+	return cols, vals
+}
+
 // Eval implements Expr.
 func (s *Select) Eval(env Env) (*relation.Relation, error) {
+	if out, ok, err := s.evalProbe(env); ok || err != nil {
+		return out, err
+	}
 	in, err := s.In.Eval(env)
 	if err != nil {
 		return nil, err
@@ -186,6 +230,52 @@ func (s *Select) Eval(env Env) (*relation.Relation, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// evalProbe answers the selection through an index probe when the input is
+// a direct base-relation reference, the environment maintains an index
+// covering a subset of the constant-equality columns, and the incarnation
+// is probeable. The full predicate filters the probed candidates, so a
+// covering subset is sufficient. ok=false falls back to the scan path.
+func (s *Select) evalProbe(env Env) (*relation.Relation, bool, error) {
+	if len(s.eqCols) == 0 {
+		return nil, false, nil
+	}
+	r, ok := s.In.(*Rel)
+	if !ok || (r.Aux != AuxCur && r.Aux != AuxOld) {
+		return nil, false, nil
+	}
+	pe, ok := env.(ProbeEnv)
+	if !ok {
+		return nil, false, nil
+	}
+	idx, _, ok := pe.IndexFor(r.Name, r.Aux, s.eqCols)
+	if !ok {
+		return nil, false, nil
+	}
+	valOf := make(map[int]value.Value, len(s.eqCols))
+	for i, c := range s.eqCols {
+		valOf[c] = s.eqVals[i]
+	}
+	vals := make([]value.Value, len(idx))
+	for i, c := range idx {
+		vals[i] = valOf[c]
+	}
+	candidates, err := pe.Probe(r.Name, r.Aux, idx, vals)
+	if err != nil {
+		return nil, false, err
+	}
+	out := relation.New(s.out)
+	for _, t := range candidates {
+		keep, err := evalBool(s.Pred, t)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			out.InsertUnchecked(t)
+		}
+	}
+	return out, true, nil
 }
 
 func (s *Select) String() string {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/relation"
 	"repro/internal/schema"
+	"repro/internal/value"
 )
 
 // JoinKind distinguishes the three join-shaped operators the translation of
@@ -164,6 +165,15 @@ func extractEquiKeys(pred Scalar, lArity, totalArity int) (eqL, eqR []int, resid
 	return eqL, eqR, AndAll(rest...)
 }
 
+// Probe-versus-scan decision: the non-driving side is probed through its
+// index only when the driving side is small outright or small relative to
+// the indexed relation; past that, the classic hash join is cheaper than
+// per-tuple probing.
+const (
+	probeMaxDriving = 16
+	probeScanRatio  = 4
+)
+
 // Eval implements Expr.
 //
 // An empty input can decide the whole join: with an empty left side every
@@ -176,6 +186,13 @@ func extractEquiKeys(pred Scalar, lArity, totalArity int) (eqL, eqR []int, resid
 // evaluation keeps the untouched relation out of the transaction's read
 // set, which is what lets tuple-granular commit validation ignore
 // concurrent writers of it.
+//
+// When the driving side is small but non-empty and the other side is a
+// direct base-relation reference with a secondary index covering a subset
+// of the equi-join columns (ProbeEnv), the other side is never materialized
+// either: it is probed once per driving tuple, and only the probed keys
+// enter the read set. An antijoin may only probe its right side — its
+// output needs every left tuple.
 func (j *Join) Eval(env Env) (*relation.Relation, error) {
 	out := relation.New(j.out)
 	var left, right *relation.Relation
@@ -187,6 +204,13 @@ func (j *Join) Eval(env Env) (*relation.Relation, error) {
 		if right.IsEmpty() && j.Kind != JoinAnti {
 			return out, nil // inner/semi with no right side: nothing matches
 		}
+		if j.Kind != JoinAnti && !right.IsEmpty() {
+			if done, err := j.probeDriven(env, out, right, false); err != nil {
+				return nil, err
+			} else if done {
+				return out, nil
+			}
+		}
 		if left, err = j.L.Eval(env); err != nil {
 			return nil, err
 		}
@@ -195,6 +219,11 @@ func (j *Join) Eval(env Env) (*relation.Relation, error) {
 			return nil, err
 		}
 		if left.IsEmpty() {
+			return out, nil
+		}
+		if done, err := j.probeDriven(env, out, left, true); err != nil {
+			return nil, err
+		} else if done {
 			return out, nil
 		}
 		if right, err = j.R.Eval(env); err != nil {
@@ -281,13 +310,149 @@ func (j *Join) Eval(env Env) (*relation.Relation, error) {
 	return out, nil
 }
 
-// joinKey encodes the selected columns of a tuple as a hash key.
-func joinKey(t relation.Tuple, cols []int) string {
-	buf := make([]byte, 0, 16*len(cols))
-	for _, c := range cols {
-		buf = t[c].AppendKey(buf)
+// probeDriven answers the join by probing the non-driving side's secondary
+// index once per driving tuple, instead of materializing it. probeRight
+// selects which side is probed: true probes R per left tuple (sound for
+// every kind), false probes L per right tuple (sound for inner and semi
+// joins, whose output is built from matches alone). It reports done=false —
+// falling back to the scan path — when there are no equi-join keys, the
+// probed side is not a direct base-relation reference, the environment has
+// no covering index, or the driving side is too large for probing to win.
+//
+// The index may cover only a subset of the equi-join columns: the probe
+// then yields a candidate superset, and every candidate is re-verified
+// against all equi-key pairs and the residual predicate. The probed-key
+// read the environment records covers that superset, so validation stays
+// sound.
+func (j *Join) probeDriven(env Env, out, driving *relation.Relation, probeRight bool) (bool, error) {
+	if !j.hashReady {
+		return false, nil
 	}
-	return string(buf)
+	other := j.R
+	probeCols, drivingCols := j.eqR, j.eqL
+	if !probeRight {
+		other = j.L
+		probeCols, drivingCols = j.eqL, j.eqR
+	}
+	r, ok := other.(*Rel)
+	if !ok || (r.Aux != AuxCur && r.Aux != AuxOld) {
+		return false, nil
+	}
+	pe, ok := env.(ProbeEnv)
+	if !ok {
+		return false, nil
+	}
+	idx, size, ok := pe.IndexFor(r.Name, r.Aux, probeCols)
+	if !ok {
+		return false, nil
+	}
+	if dn := driving.Len(); dn > probeMaxDriving && dn*probeScanRatio > size {
+		return false, nil
+	}
+	// Pair each index column with the driving-side column it equi-joins
+	// against; a column equated to several driving columns keeps the first
+	// (all pairs are re-verified per candidate).
+	pairOf := make(map[int]int, len(probeCols))
+	for i, c := range probeCols {
+		if _, dup := pairOf[c]; !dup {
+			pairOf[c] = drivingCols[i]
+		}
+	}
+	vals := make([]value.Value, len(idx))
+	err := driving.ForEach(func(dt relation.Tuple) error {
+		for i, c := range idx {
+			vals[i] = dt[pairOf[c]]
+		}
+		candidates, err := pe.Probe(r.Name, r.Aux, idx, vals)
+		if err != nil {
+			return err
+		}
+		matched := false
+		for _, ct := range candidates {
+			lt, rt := dt, ct
+			if !probeRight {
+				lt, rt = ct, dt
+			}
+			ok, err := j.pairMatches(lt, rt)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			matched = true
+			switch {
+			case j.Kind == JoinInner:
+				out.InsertUnchecked(lt.Concat(rt))
+			case !probeRight:
+				// Semijoin probing its left side: the probed candidate is
+				// the output tuple (set semantics deduplicate candidates
+				// matched by several driving tuples).
+				out.InsertUnchecked(ct)
+			}
+		}
+		if probeRight {
+			switch j.Kind {
+			case JoinSemi:
+				if matched {
+					out.InsertUnchecked(dt)
+				}
+			case JoinAnti:
+				if !matched {
+					out.InsertUnchecked(dt)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// pairMatches verifies every equi-key pair and the residual predicate over
+// one candidate pair. All equi pairs are re-checked because the probing
+// index may cover only a subset of them.
+func (j *Join) pairMatches(lt, rt relation.Tuple) (bool, error) {
+	for i := range j.eqL {
+		if !lt[j.eqL[i]].Equal(rt[j.eqR[i]]) {
+			return false, nil
+		}
+	}
+	if j.residual == nil {
+		return true, nil
+	}
+	return evalBool(j.residual, lt.Concat(rt))
+}
+
+// EquiJoinColumns reports the positional equality-join key columns of a
+// join predicate over the concatenation of two relation schemas: eqL are
+// positions in l, eqR positions in r. The predicate is cloned and re-bound,
+// so unbound (or differently bound) scalars are accepted. It is how the
+// translator derives which attributes are worth indexing for a constraint's
+// enforcement joins.
+func EquiJoinColumns(pred Scalar, l, r *schema.Relation) (eqL, eqR []int, err error) {
+	if pred == nil {
+		return nil, nil, nil
+	}
+	concat, err := concatSchema(l, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := CloneScalar(pred)
+	if _, err := p.Bind(concat); err != nil {
+		return nil, nil, err
+	}
+	eqL, eqR, _ = extractEquiKeys(p, l.Arity(), concat.Arity())
+	return eqL, eqR, nil
+}
+
+// joinKey encodes the selected columns of a tuple as a hash key, sharing
+// relation.Tuple.KeyOn so hash joins and index probes can never disagree on
+// key identity.
+func joinKey(t relation.Tuple, cols []int) string {
+	return t.KeyOn(cols)
 }
 
 func (j *Join) String() string {

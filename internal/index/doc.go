@@ -1,0 +1,65 @@
+// Package index implements immutable secondary hash indexes over canonical
+// attribute keys — the access paths that turn the engine's enforcement
+// checks from relation scans into key probes.
+//
+// # Why the engine needs them
+//
+// The paper's transaction-modification approach stands on cheap enforcement:
+// a differential alarm program such as alarm(semijoin(child, del(parent)))
+// should cost O(|delta|). Without an access path, the non-delta side of that
+// semijoin is a full scan that also enters the transaction's read set as a
+// whole-relation read, so the check is slow and its optimistic conflict
+// footprint is the entire relation. With an index on child(parent), the
+// evaluator probes only the keys the delta names, and the overlay records
+// only those probe keys — the residual check against the stored database
+// becomes the selective probe that simplification-based integrity checking
+// presupposes.
+//
+// # Lifecycle across seal and commit
+//
+// Indexes follow the storage layer's copy-on-write discipline:
+//
+//   - An Index is immutable. A base index is a bucket directory from probe
+//     key (relation.Tuple.KeyOn over the index columns) to tuples.
+//   - Each committed transaction's net (ins, del) delta derives a successor
+//     index via Apply, which pushes an O(delta) layer over the parent index
+//     rather than copying the directory. Probe walks the layer chain
+//     newest-first, shadowing deleted tuple keys; the chain is folded back
+//     into a base directory when it exceeds maxDepth layers or when the
+//     accumulated layer entries reach a fraction of the indexed size, so
+//     maintenance is amortized O(delta) per commit and probes stay
+//     O(matches + depth).
+//   - The storage layer derives successor indexes while it seals the
+//     committed relation instances and publishes them inside the same
+//     atomic Snapshot swap, so any snapshot's indexes exactly describe its
+//     sealed instances and readers never lock. Bulk loads and commits
+//     recorded without tuple-level deltas fall back to Rebuild (O(n)).
+//
+// Divergent chains may share one base (storage.Database.Clone shares
+// snapshots), so layer maps and bucket slices are never mutated in place.
+//
+// # Probe recording and fallback rules
+//
+// The algebra evaluator consults indexes through algebra.ProbeEnv, which
+// the transaction overlay implements:
+//
+//   - select(R, attr = const ∧ ...) over a base relation probes an index
+//     covering a subset of the constant-equality columns and filters the
+//     candidates with the full predicate.
+//   - join/semijoin/antijoin probe the indexed side once per driving-side
+//     tuple when the other side is a direct base-relation reference with an
+//     index covering a subset of the equi-join columns; an antijoin may only
+//     probe its right side (its output needs every left tuple).
+//   - Each probe records a probed-key read (storage.ProbeRead) instead of a
+//     whole-relation read; the commit validator projects concurrent deltas
+//     onto the probed columns and conflicts only on matching keys. Probing
+//     with a covering (subset) index is sound because the recorded
+//     dependency is a superset of the tuples the expression observed.
+//
+// Everything else falls back to the scan path and whole-relation read
+// recording: no covering index, a driving side too large relative to the
+// indexed side, non-equality predicates without an indexable conjunct, and
+// environments that do not implement ProbeEnv (fragment-local checking).
+// Transaction-local differentials (ins/del) are never indexed — they are
+// small and carry no base-read dependency at all.
+package index

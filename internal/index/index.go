@@ -1,0 +1,380 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// Layering bounds. A chain of delta layers keeps Apply O(delta), but every
+// layer adds one map lookup per probe, so the chain is folded back into a
+// single bucket directory when it grows too deep or when the accumulated
+// layer entries rival the base size (the classic doubling argument: an O(n)
+// compaction is paid for by Ω(n) preceding O(delta) applies).
+const (
+	maxDepth      = 8
+	compactSlack  = 16
+	compactDivide = 2
+)
+
+// Sig returns the canonical signature of an index column set, e.g. "0,2".
+// Column order is part of the signature; DefineIndex canonicalizes to
+// ascending order, so equal column sets always share one signature.
+func Sig(cols []int) string {
+	var sb strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(c))
+	}
+	return sb.String()
+}
+
+// KeyVals encodes probe values (parallel to an index's column list) into the
+// probe-key encoding of relation.Tuple.KeyOn.
+func KeyVals(vals []value.Value) string {
+	buf := make([]byte, 0, 16*len(vals))
+	for _, v := range vals {
+		buf = v.AppendKey(buf)
+	}
+	return string(buf)
+}
+
+// Index is an immutable secondary hash index over a set of column positions
+// of one relation instance: probe key (KeyOn the index columns) to the
+// tuples carrying it. Immutability is what lets a database snapshot publish
+// its indexes to any number of concurrent readers without locking.
+//
+// An index is either a base directory (buckets) or a delta layer over a
+// parent index, recording the net inserted and net deleted tuples of one
+// committed transaction grouped by probe key. Apply pushes a layer in
+// O(delta); Probe walks the chain newest-first, shadowing deleted tuple
+// keys. The chain is compacted into a fresh base directory when it exceeds
+// maxDepth or when the accumulated layer entries reach a fraction of the
+// indexed size, so probes stay O(matches + depth) and maintenance stays
+// amortized O(delta) per commit.
+type Index struct {
+	cols []int
+
+	// Base directory (parent == nil).
+	buckets map[string][]relation.Tuple
+
+	// Delta layer (parent != nil): net inserts by probe key, net deletes as
+	// probe key -> deleted tuple keys.
+	parent *Index
+	ins    map[string][]relation.Tuple
+	del    map[string]map[string]bool
+
+	depth   int
+	size    int // net number of indexed tuples
+	layered int // ins+del entries accumulated in the layer chain
+}
+
+// Build constructs a base index over the relation's current tuples; O(n).
+// cols must be valid positions in the relation's schema.
+func Build(r *relation.Relation, cols []int) *Index {
+	buckets := make(map[string][]relation.Tuple)
+	_ = r.ForEach(func(t relation.Tuple) error {
+		k := t.KeyOn(cols)
+		buckets[k] = append(buckets[k], t)
+		return nil
+	})
+	return &Index{cols: append([]int(nil), cols...), buckets: buckets, size: r.Len()}
+}
+
+// Cols returns the indexed column positions. Callers must not mutate the
+// returned slice.
+func (x *Index) Cols() []int { return x.cols }
+
+// Len returns the net number of indexed tuples.
+func (x *Index) Len() int { return x.size }
+
+// Depth returns the number of delta layers above the base directory; 0 for
+// a freshly built or just-compacted index. Exposed for tests and metrics.
+func (x *Index) Depth() int { return x.depth }
+
+// Probe returns the tuples whose index columns encode to key. The returned
+// slice is shared with the index; callers must not mutate it or the tuples.
+func (x *Index) Probe(key string) []relation.Tuple {
+	if x.parent == nil {
+		return x.buckets[key]
+	}
+	var out []relation.Tuple
+	var deleted map[string]bool
+	for n := x; n != nil; n = n.parent {
+		if n.parent == nil {
+			for _, t := range n.buckets[key] {
+				if !deleted[t.Key()] {
+					out = append(out, t)
+				}
+			}
+			break
+		}
+		for _, t := range n.ins[key] {
+			if !deleted[t.Key()] {
+				out = append(out, t)
+			}
+		}
+		if dk := n.del[key]; len(dk) > 0 {
+			if deleted == nil {
+				deleted = make(map[string]bool, len(dk))
+			}
+			for k := range dk {
+				deleted[k] = true
+			}
+		}
+	}
+	return out
+}
+
+// ProbeTuples returns the tuples matching the projection of t onto the
+// index columns — the membership probe the commit validator and tests use.
+func (x *Index) ProbeTuples(t relation.Tuple) []relation.Tuple {
+	return x.Probe(t.KeyOn(x.cols))
+}
+
+// Apply derives the successor index after a committed net delta: ins holds
+// tuples absent from the indexed instance, del tuples present in it (the
+// net-differential invariant the transaction overlay maintains). Either may
+// be nil or empty. The receiver is unchanged; the derivation is O(delta)
+// except when it triggers an amortized compaction.
+func (x *Index) Apply(ins, del *relation.Relation) *Index {
+	insN, delN := 0, 0
+	if ins != nil {
+		insN = ins.Len()
+	}
+	if del != nil {
+		delN = del.Len()
+	}
+	if insN == 0 && delN == 0 {
+		return x
+	}
+	layer := &Index{
+		cols:    x.cols,
+		parent:  x,
+		depth:   x.depth + 1,
+		size:    x.size + insN - delN,
+		layered: x.layered + insN + delN,
+	}
+	if insN > 0 {
+		layer.ins = make(map[string][]relation.Tuple, insN)
+		_ = ins.ForEach(func(t relation.Tuple) error {
+			k := t.KeyOn(x.cols)
+			layer.ins[k] = append(layer.ins[k], t)
+			return nil
+		})
+	}
+	if delN > 0 {
+		layer.del = make(map[string]map[string]bool, delN)
+		_ = del.ForEachKey(func(tk string, t relation.Tuple) error {
+			k := t.KeyOn(x.cols)
+			m := layer.del[k]
+			if m == nil {
+				m = make(map[string]bool, 1)
+				layer.del[k] = m
+			}
+			m[tk] = true
+			return nil
+		})
+	}
+	if layer.depth > maxDepth || layer.layered > layer.size/compactDivide+compactSlack {
+		return layer.compact()
+	}
+	return layer
+}
+
+// compact folds the layer chain into a fresh base directory. Shared bucket
+// slices are never mutated (divergent chains may hang off one base after
+// Database.Clone), so every modified bucket is rebuilt into new backing.
+func (x *Index) compact() *Index {
+	var layers []*Index
+	n := x
+	for n.parent != nil {
+		layers = append(layers, n)
+		n = n.parent
+	}
+	buckets := make(map[string][]relation.Tuple, len(n.buckets))
+	for k, v := range n.buckets {
+		buckets[k] = v
+	}
+	for i := len(layers) - 1; i >= 0; i-- {
+		ly := layers[i]
+		for key, dels := range ly.del {
+			old := buckets[key]
+			nb := make([]relation.Tuple, 0, len(old))
+			for _, t := range old {
+				if !dels[t.Key()] {
+					nb = append(nb, t)
+				}
+			}
+			if len(nb) == 0 {
+				delete(buckets, key)
+			} else {
+				buckets[key] = nb
+			}
+		}
+		for key, ts := range ly.ins {
+			old := buckets[key]
+			nb := make([]relation.Tuple, 0, len(old)+len(ts))
+			nb = append(nb, old...)
+			nb = append(nb, ts...)
+			buckets[key] = nb
+		}
+	}
+	return &Index{cols: x.cols, buckets: buckets, size: x.size}
+}
+
+// Set is the immutable collection of indexes defined on one relation, keyed
+// by column signature. The zero-value pointer (nil) is a valid empty set.
+type Set struct {
+	by map[string]*Index
+}
+
+// NewSet builds a set from the given indexes.
+func NewSet(indexes ...*Index) *Set {
+	s := &Set{by: make(map[string]*Index, len(indexes))}
+	for _, x := range indexes {
+		s.by[Sig(x.cols)] = x
+	}
+	return s
+}
+
+// Len returns the number of indexes in the set.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.by)
+}
+
+// Exact returns the index over exactly the given columns, or nil.
+func (s *Set) Exact(cols []int) *Index {
+	if s == nil {
+		return nil
+	}
+	return s.by[Sig(cols)]
+}
+
+// Covering returns the widest index whose column set is a subset of cols,
+// or nil when none is. Ties break on signature for determinism. A covering
+// index yields a candidate superset that the caller filters with the
+// remaining predicate — sound because the probe-key read it records is a
+// superset of the dependency.
+func (s *Set) Covering(cols []int) *Index {
+	if s == nil {
+		return nil
+	}
+	have := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		have[c] = true
+	}
+	var best *Index
+	bestSig := ""
+	for sig, x := range s.by {
+		ok := true
+		for _, c := range x.cols {
+			if !have[c] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if best == nil || len(x.cols) > len(best.cols) ||
+			(len(x.cols) == len(best.cols) && sig < bestSig) {
+			best, bestSig = x, sig
+		}
+	}
+	return best
+}
+
+// All returns the indexes ordered by signature.
+func (s *Set) All() []*Index {
+	if s == nil {
+		return nil
+	}
+	sigs := make([]string, 0, len(s.by))
+	for sig := range s.by {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	out := make([]*Index, len(sigs))
+	for i, sig := range sigs {
+		out[i] = s.by[sig]
+	}
+	return out
+}
+
+// With returns a new set with x added, replacing any index over the same
+// columns. The receiver is unchanged; nil receivers are allowed.
+func (s *Set) With(x *Index) *Set {
+	n := &Set{by: make(map[string]*Index, s.Len()+1)}
+	if s != nil {
+		for sig, old := range s.by {
+			n.by[sig] = old
+		}
+	}
+	n.by[Sig(x.cols)] = x
+	return n
+}
+
+// Apply derives the successor set after a committed net delta, applying the
+// delta to every index; O(indexes × delta).
+func (s *Set) Apply(ins, del *relation.Relation) *Set {
+	if s.Len() == 0 {
+		return s
+	}
+	n := &Set{by: make(map[string]*Index, len(s.by))}
+	for sig, x := range s.by {
+		n.by[sig] = x.Apply(ins, del)
+	}
+	return n
+}
+
+// Rebuild reconstructs every index in the set from the given relation
+// instance — the fallback for bulk loads and commits recorded without
+// tuple-level deltas, where incremental maintenance is impossible.
+func (s *Set) Rebuild(r *relation.Relation) *Set {
+	if s.Len() == 0 {
+		return s
+	}
+	n := &Set{by: make(map[string]*Index, len(s.by))}
+	for sig, x := range s.by {
+		n.by[sig] = Build(r, x.cols)
+	}
+	return n
+}
+
+// ParseDecl parses an index declaration of the form "relation(attr, ...)",
+// the textual syntax Options.Indexes and DB.CreateIndex accept.
+func ParseDecl(decl string) (rel string, attrs []string, err error) {
+	s := strings.TrimSpace(decl)
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("index: malformed declaration %q, want \"relation(attr, ...)\"", decl)
+	}
+	rel = strings.TrimSpace(s[:open])
+	body := s[open+1 : len(s)-1]
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(body, ",") {
+		a := strings.TrimSpace(part)
+		if a == "" {
+			return "", nil, fmt.Errorf("index: declaration %q has an empty attribute", decl)
+		}
+		if seen[a] {
+			return "", nil, fmt.Errorf("index: declaration %q repeats attribute %q", decl, a)
+		}
+		seen[a] = true
+		attrs = append(attrs, a)
+	}
+	if len(attrs) == 0 {
+		return "", nil, fmt.Errorf("index: declaration %q has no attributes", decl)
+	}
+	return rel, attrs, nil
+}

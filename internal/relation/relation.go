@@ -26,6 +26,20 @@ func (t Tuple) Key() string {
 	return string(buf)
 }
 
+// KeyOn returns the canonical byte-string identity of the projection of t
+// onto the given column positions, in the given order. It is the probe-key
+// encoding shared by secondary indexes (package index), the transaction
+// overlay's probed-key read records, and the commit validator that
+// intersects those records against committed deltas: two tuples collide on
+// an index iff their KeyOn the index columns are equal.
+func (t Tuple) KeyOn(cols []int) string {
+	buf := make([]byte, 0, 16*len(cols))
+	for _, c := range cols {
+		buf = t[c].AppendKey(buf)
+	}
+	return string(buf)
+}
+
 // Equal reports element-wise equality.
 func (t Tuple) Equal(o Tuple) bool {
 	if len(t) != len(o) {

@@ -172,6 +172,29 @@ func TestTupleKeyAgreesWithEqual(t *testing.T) {
 	}
 }
 
+// TestTupleKeyOn: the projection key must agree with Key on the full column
+// list, distinguish projections that differ, and collide exactly for tuples
+// equal on the projected columns.
+func TestTupleKeyOn(t *testing.T) {
+	t1 := Tuple{value.Int(1), value.String("a"), value.Int(7)}
+	t2 := Tuple{value.Int(2), value.String("a"), value.Int(7)}
+	if t1.KeyOn([]int{0, 1, 2}) != t1.Key() {
+		t.Error("KeyOn over all columns differs from Key")
+	}
+	if t1.KeyOn([]int{1, 2}) != t2.KeyOn([]int{1, 2}) {
+		t.Error("tuples equal on projected columns got different keys")
+	}
+	if t1.KeyOn([]int{0}) == t2.KeyOn([]int{0}) {
+		t.Error("tuples differing on the projected column collided")
+	}
+	if t1.KeyOn([]int{1, 2}) == t1.KeyOn([]int{2, 1}) {
+		t.Error("column order must be part of the key")
+	}
+	if t1.KeyOn(nil) != "" {
+		t.Error("empty projection key should be empty")
+	}
+}
+
 // TestSetSemanticsProperty: inserting any sequence with duplicates yields
 // the same relation as inserting the dedup set, in any order.
 func TestSetSemanticsProperty(t *testing.T) {

@@ -72,6 +72,10 @@ type IntegrityProgram struct {
 	Differential  algebra.Program // nil when no part could be incrementalized
 	NonTriggering bool
 	Classes       []translate.Class
+	// IndexHints are the secondary indexes the rule's enforcement joins
+	// would exploit (translate.IndexHints); the facade builds them when
+	// automatic indexing is enabled.
+	IndexHints []translate.IndexHint
 }
 
 // Program returns the enforcement program for the requested strategy,
@@ -123,6 +127,7 @@ func Compile(r *Rule, db *schema.Database) (*IntegrityProgram, error) {
 		for _, p := range res.Parts {
 			ip.Classes = append(ip.Classes, p.Class)
 		}
+		ip.IndexHints = translate.IndexHints(res.Parts, db)
 		if diff, improved := optimize.Differential(res.Parts, db, r.Name); improved {
 			ip.Differential = diff
 		}

@@ -7,6 +7,10 @@
 // The store is snapshot-isolated: the committed state is an immutable
 // Snapshot behind an atomically swapped pointer, so any number of readers
 // (and transaction overlays) can pin a consistent state without locking.
+// Snapshots also carry the secondary indexes (package index) defined on
+// their relations; commits derive successor indexes from their net deltas —
+// O(delta) per index — and publish them in the same atomic swap, so a
+// snapshot's indexes always exactly describe its sealed instances.
 //
 // Commits no longer serialize through one mutex. Every relation name hashes
 // to a shard; each shard owns a validation lock and a segment of the commit
@@ -38,6 +42,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/index"
 	"repro/internal/relation"
 	"repro/internal/schema"
 )
@@ -54,11 +59,14 @@ const DefaultShards = 16
 const maxShardDeltas = 1024
 
 // Snapshot is an immutable database state D^t (Definition 2.2) at a logical
-// time: a set of sealed relation instances. Snapshots are shared freely
-// between goroutines; they never change after publication.
+// time: a set of sealed relation instances plus the secondary indexes
+// defined over them. Snapshots are shared freely between goroutines; they
+// never change after publication, and their indexes exactly describe their
+// sealed instances — both are swapped in one atomic pointer store.
 type Snapshot struct {
 	sch  *schema.Database
 	rels map[string]*relation.Relation
+	idx  map[string]*index.Set
 	time uint64
 }
 
@@ -77,6 +85,10 @@ func (s *Snapshot) Relation(name string) (*relation.Relation, error) {
 	}
 	return r, nil
 }
+
+// IndexSet returns the secondary indexes defined on the named relation, or
+// nil when it has none. The set and its indexes are immutable.
+func (s *Snapshot) IndexSet(name string) *index.Set { return s.idx[name] }
 
 // TotalTuples returns the sum of all relation cardinalities, for reporting.
 func (s *Snapshot) TotalTuples() int {
@@ -117,6 +129,16 @@ func (d *Delta) Writes() []string {
 	return out
 }
 
+// ProbeRead records the index probes a transaction issued against one
+// relation on one column set: the canonical probe keys
+// (relation.Tuple.KeyOn over Cols) it looked up. A probe observes every
+// tuple matching the key — including the absence of any — so a concurrent
+// delta conflicts iff one of its tuples projects onto a probed key.
+type ProbeRead struct {
+	Cols []int
+	Keys map[string]bool
+}
+
 // ReadInfo describes how a transaction read one relation, at the finest
 // granularity the overlay could record.
 type ReadInfo struct {
@@ -128,6 +150,10 @@ type ReadInfo struct {
 	// transaction probed or wrote when Full is false: a concurrent write
 	// conflicts only if its delta touches one of them.
 	Keys map[string]bool
+	// Probes holds the index-probe records, keyed by column signature
+	// (index.Sig), when Full is false: a concurrent write conflicts only if
+	// one of its tuples projects onto a probed key.
+	Probes map[string]*ProbeRead
 }
 
 // Commit is a validated commit request: the outcome of a transaction that
@@ -297,15 +323,16 @@ func (d *Database) AddRelation(rs *schema.Relation) error {
 	if _, ok := d.sch.Relation(rs.Name); !ok {
 		return fmt.Errorf("storage: relation %q missing from database schema", rs.Name)
 	}
-	next := cur.withInstalled(map[string]*relation.Relation{rs.Name: relation.New(rs)}, cur.time)
+	next := cur.withInstalled(map[string]*relation.Relation{rs.Name: relation.New(rs)}, cur.time, nil)
 	d.snap.Store(next)
 	return nil
 }
 
 // Load bulk-replaces the instance of a relation; intended for test fixtures
 // and workload generators, outside any transaction. The relation is sealed
-// by the call. The logical clock is not advanced and no commit-log record
-// is written.
+// by the call, and any secondary indexes on it are rebuilt from the new
+// instance. The logical clock is not advanced and no commit-log record is
+// written.
 func (d *Database) Load(r *relation.Relation) error {
 	d.pubMu.Lock()
 	defer d.pubMu.Unlock()
@@ -314,8 +341,65 @@ func (d *Database) Load(r *relation.Relation) error {
 	if _, ok := cur.rels[name]; !ok {
 		return fmt.Errorf("storage: unknown relation %q", name)
 	}
-	d.snap.Store(cur.withInstalled(map[string]*relation.Relation{name: r}, cur.time))
+	d.snap.Store(cur.withInstalled(map[string]*relation.Relation{name: r}, cur.time, nil))
 	return nil
+}
+
+// DefineIndex declares a secondary hash index on the named relation over
+// the given column positions (canonicalized to ascending order — an index
+// covers a set of columns), builds it from the current instance, and
+// publishes it with the snapshot. Like AddRelation, DefineIndex is a
+// schema-management call: it must not run concurrently with commits.
+// Duplicate definitions over the same column set are rejected.
+func (d *Database) DefineIndex(rel string, cols []int) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("storage: index on %q needs at least one column", rel)
+	}
+	rs, ok := d.sch.Relation(rel)
+	if !ok {
+		return fmt.Errorf("storage: index on unknown relation %q", rel)
+	}
+	canon := append([]int(nil), cols...)
+	sort.Ints(canon)
+	for i, c := range canon {
+		if c < 0 || c >= rs.Arity() {
+			return fmt.Errorf("storage: index on %q: column %d out of range (arity %d)", rel, c, rs.Arity())
+		}
+		if i > 0 && canon[i-1] == c {
+			return fmt.Errorf("storage: index on %q repeats column %d", rel, c)
+		}
+	}
+	d.pubMu.Lock()
+	defer d.pubMu.Unlock()
+	cur := d.snap.Load()
+	r, ok := cur.rels[rel]
+	if !ok {
+		return fmt.Errorf("storage: index on relation %q with no instance", rel)
+	}
+	if cur.idx[rel].Exact(canon) != nil {
+		return fmt.Errorf("storage: duplicate index on %q(%s)", rel, index.Sig(canon))
+	}
+	idx := make(map[string]*index.Set, len(cur.idx)+1)
+	for n, s := range cur.idx {
+		idx[n] = s
+	}
+	idx[rel] = idx[rel].With(index.Build(r, canon))
+	d.snap.Store(&Snapshot{sch: cur.sch, rels: cur.rels, idx: idx, time: cur.time})
+	return nil
+}
+
+// IndexDefs returns the column sets of the indexes defined on the named
+// relation, ordered by signature; nil when it has none.
+func (d *Database) IndexDefs(rel string) [][]int {
+	set := d.Snapshot().IndexSet(rel)
+	if set.Len() == 0 {
+		return nil
+	}
+	out := make([][]int, 0, set.Len())
+	for _, x := range set.All() {
+		out = append(out, append([]int(nil), x.Cols()...))
+	}
+	return out
 }
 
 // ApplyCommit installs the changed relations as the next database state and
@@ -408,7 +492,7 @@ func (d *Database) validateShard(c *Commit, si int, homes map[string]int, pendin
 				// detail: relation-name granularity decides.
 				return &Conflict{Time: delta.Time, Relation: name}
 			}
-			if k := overlapKey(ri.Keys, ins, del); k != "" {
+			if k := ri.overlapKey(ins, del); k != "" {
 				return &Conflict{Time: delta.Time, Relation: name, Key: k}
 			}
 			if c.Changed[name] != nil {
@@ -419,18 +503,26 @@ func (d *Database) validateShard(c *Commit, si int, homes map[string]int, pendin
 	return nil
 }
 
-// overlapKey returns a tuple key present both in keys and in one of the
-// delta relations, or "" when they are disjoint.
-func overlapKey(keys map[string]bool, ins, del *relation.Relation) string {
+// overlapKey returns a tuple key from the delta relations that the read
+// record depends on — either its canonical key was observed directly
+// (Keys), or its projection onto a probed column set matches a probed key
+// (Probes) — or "" when the delta is disjoint from everything read.
+func (ri *ReadInfo) overlapKey(ins, del *relation.Relation) string {
 	for _, r := range []*relation.Relation{ins, del} {
 		if r == nil {
 			continue
 		}
 		hit := ""
-		_ = r.ForEachKey(func(k string, _ relation.Tuple) error {
-			if keys[k] {
+		_ = r.ForEachKey(func(k string, t relation.Tuple) error {
+			if ri.Keys[k] {
 				hit = k
 				return errStopIteration
+			}
+			for _, pr := range ri.Probes {
+				if pr.Keys[t.KeyOn(pr.Cols)] {
+					hit = k
+					return errStopIteration
+				}
 			}
 			return nil
 		})
@@ -527,9 +619,32 @@ func (d *Database) CommitValidated(c Commit) (uint64, *Conflict, error) {
 		}
 	}
 
+	// Derive successor indexes for the written relations from their net
+	// deltas — O(delta) per index, done outside the publish mutex. Holding
+	// the home shard locks guarantees no concurrent commit can change these
+	// relations' indexes between here and publication, so reading them from
+	// the latest snapshot is stable. Relations whose commit carries no
+	// tuple-level delta fall back to an O(n) rebuild inside withInstalled.
+	var derived map[string]*index.Set
+	curIdx := d.snap.Load()
+	for name := range c.Changed {
+		set := curIdx.idx[name]
+		if set.Len() == 0 {
+			continue
+		}
+		ins, del := c.Ins[name], c.Del[name]
+		if ins == nil && del == nil {
+			continue
+		}
+		if derived == nil {
+			derived = make(map[string]*index.Set, len(c.Changed))
+		}
+		derived[name] = set.Apply(ins, del)
+	}
+
 	d.pubMu.Lock()
 	cur = d.snap.Load()
-	next := cur.withInstalled(c.Changed, cur.time+1)
+	next := cur.withInstalled(c.Changed, cur.time+1, derived)
 	delta := &Delta{Time: next.time, Ins: c.Ins, Del: c.Del, writes: writes}
 	for _, si := range writeShards(d, writes, homes) {
 		sh := d.shards[si]
@@ -572,9 +687,12 @@ func writeShards(d *Database, writes map[string]bool, homes map[string]int) []in
 
 // withInstalled builds the successor snapshot: the receiver's relation map
 // with the given instances (sealed on the way in) swapped, at logical time
-// t. Unchanged relations are shared by pointer — the copy is O(relations),
-// not O(tuples).
-func (s *Snapshot) withInstalled(changed map[string]*relation.Relation, t uint64) *Snapshot {
+// t. Unchanged relations and their indexes are shared by pointer — the copy
+// is O(relations), not O(tuples). derived supplies incrementally maintained
+// index sets for changed relations; a changed relation with indexes but no
+// derived entry (bulk load, relation-granular commit) gets its indexes
+// rebuilt from the installed instance.
+func (s *Snapshot) withInstalled(changed map[string]*relation.Relation, t uint64, derived map[string]*index.Set) *Snapshot {
 	rels := make(map[string]*relation.Relation, len(s.rels)+len(changed))
 	for name, r := range s.rels {
 		rels[name] = r
@@ -582,7 +700,23 @@ func (s *Snapshot) withInstalled(changed map[string]*relation.Relation, t uint64
 	for name, r := range changed {
 		rels[name] = r.Seal()
 	}
-	return &Snapshot{sch: s.sch, rels: rels, time: t}
+	idx := s.idx
+	if len(s.idx) > 0 {
+		idx = make(map[string]*index.Set, len(s.idx))
+		for name, set := range s.idx {
+			idx[name] = set
+		}
+		for name, r := range changed {
+			if ds, ok := derived[name]; ok {
+				idx[name] = ds
+				continue
+			}
+			if old := idx[name]; old.Len() > 0 {
+				idx[name] = old.Rebuild(r)
+			}
+		}
+	}
+	return &Snapshot{sch: s.sch, rels: rels, idx: idx, time: t}
 }
 
 // DeltasSince returns the retained commit-log records with Time > t, oldest
@@ -619,7 +753,7 @@ func (d *Database) Clone() *Database {
 	for i := range c.shards {
 		c.shards[i] = &shard{truncated: cur.time}
 	}
-	c.snap.Store(&Snapshot{sch: cur.sch, rels: cur.rels, time: cur.time})
+	c.snap.Store(&Snapshot{sch: cur.sch, rels: cur.rels, idx: cur.idx, time: cur.time})
 	return c
 }
 

@@ -512,3 +512,157 @@ func TestCrossShardCommitConcurrent(t *testing.T) {
 		t.Error("no cross-shard commits recorded")
 	}
 }
+
+func pairSchema() *schema.Database {
+	c := schema.MustRelation("child",
+		schema.Attribute{Name: "id", Type: value.KindInt},
+		schema.Attribute{Name: "parent", Type: value.KindInt},
+	)
+	return schema.MustDatabase(c)
+}
+
+func childTuple(id, parent int64) relation.Tuple {
+	return relation.Tuple{value.Int(id), value.Int(parent)}
+}
+
+// commitDelta installs a keyed commit writing the given ins/del tuples of
+// one relation, reporting any conflict to the caller.
+func commitDelta(t *testing.T, db *Database, rel string, ins, del []relation.Tuple) *Conflict {
+	t.Helper()
+	rs, _ := db.Schema().Relation(rel)
+	cur, err := db.Relation(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cur.Clone()
+	keys := make(map[string]bool)
+	insR, delR := relation.New(rs), relation.New(rs)
+	for _, tt := range ins {
+		w.InsertUnchecked(tt)
+		insR.InsertUnchecked(tt)
+		keys[tt.Key()] = true
+	}
+	for _, tt := range del {
+		w.Delete(tt)
+		delR.InsertUnchecked(tt)
+		keys[tt.Key()] = true
+	}
+	commit := Commit{
+		BaseTime: db.Time(),
+		Reads:    map[string]*ReadInfo{rel: {Keys: keys}},
+		Changed:  map[string]*relation.Relation{rel: w},
+		Ins:      map[string]*relation.Relation{rel: insR},
+		Del:      map[string]*relation.Relation{rel: delR},
+	}
+	_, conflict, err := db.CommitValidated(commit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conflict
+}
+
+func TestDefineIndexValidation(t *testing.T) {
+	db := New(pairSchema())
+	if err := db.DefineIndex("nope", []int{0}); err == nil {
+		t.Error("index on unknown relation accepted")
+	}
+	if err := db.DefineIndex("child", nil); err == nil {
+		t.Error("index with no columns accepted")
+	}
+	if err := db.DefineIndex("child", []int{5}); err == nil {
+		t.Error("index with out-of-range column accepted")
+	}
+	if err := db.DefineIndex("child", []int{1, 1}); err == nil {
+		t.Error("index with duplicate column accepted")
+	}
+	if err := db.DefineIndex("child", []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineIndex("child", []int{1}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if got := db.IndexDefs("child"); len(got) != 1 || len(got[0]) != 1 || got[0][0] != 1 {
+		t.Errorf("IndexDefs = %v", got)
+	}
+}
+
+func TestIndexMaintainedAcrossCommits(t *testing.T) {
+	db := New(pairSchema())
+	rs, _ := db.Schema().Relation("child")
+	if err := db.Load(relation.MustFromTuples(rs, childTuple(1, 10), childTuple(2, 10), childTuple(3, 20))); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineIndex("child", []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if conflict := commitDelta(t, db, "child", []relation.Tuple{childTuple(4, 20)}, []relation.Tuple{childTuple(1, 10)}); conflict != nil {
+		t.Fatalf("unexpected conflict: %s", conflict)
+	}
+	snap := db.Snapshot()
+	x := snap.IndexSet("child").Exact([]int{1})
+	if x == nil {
+		t.Fatal("index missing after commit")
+	}
+	if got := len(x.ProbeTuples(childTuple(0, 10))); got != 1 {
+		t.Errorf("parent=10 matches = %d, want 1", got)
+	}
+	if got := len(x.ProbeTuples(childTuple(0, 20))); got != 2 {
+		t.Errorf("parent=20 matches = %d, want 2", got)
+	}
+	inst, _ := snap.Relation("child")
+	if inst.Len() != 3 {
+		t.Errorf("instance has %d tuples, want 3", inst.Len())
+	}
+
+	// Bulk Load rebuilds the index.
+	if err := db.Load(relation.MustFromTuples(rs, childTuple(9, 30))); err != nil {
+		t.Fatal(err)
+	}
+	x = db.Snapshot().IndexSet("child").Exact([]int{1})
+	if got := len(x.ProbeTuples(childTuple(0, 30))); got != 1 {
+		t.Errorf("after Load, parent=30 matches = %d, want 1", got)
+	}
+	if got := len(x.ProbeTuples(childTuple(0, 10))); got != 0 {
+		t.Errorf("after Load, parent=10 matches = %d, want 0", got)
+	}
+}
+
+func TestProbeReadValidation(t *testing.T) {
+	db := New(pairSchema())
+	rs, _ := db.Schema().Relation("child")
+	if err := db.Load(relation.MustFromTuples(rs, childTuple(1, 10), childTuple(2, 20))); err != nil {
+		t.Fatal(err)
+	}
+	base := db.Time()
+
+	probeRead := func(parent int64) map[string]*ReadInfo {
+		key := childTuple(0, parent).KeyOn([]int{1})
+		return map[string]*ReadInfo{"child": {Probes: map[string]*ProbeRead{
+			"1": {Cols: []int{1}, Keys: map[string]bool{key: true}},
+		}}}
+	}
+
+	// A concurrent writer inserts (3, 20).
+	if conflict := commitDelta(t, db, "child", []relation.Tuple{childTuple(3, 20)}, nil); conflict != nil {
+		t.Fatalf("writer conflicted: %s", conflict)
+	}
+
+	// A read-only commit that probed parent=10 is untouched by the write.
+	_, conflict, err := db.CommitValidated(Commit{BaseTime: base, Reads: probeRead(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict != nil {
+		t.Errorf("disjoint probe conflicted: %s", conflict)
+	}
+
+	// A commit that probed parent=20 depends on the written key — even
+	// though it never saw tuple (3,20), it observed the absence of matches.
+	_, conflict, err = db.CommitValidated(Commit{BaseTime: base, Reads: probeRead(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict == nil {
+		t.Error("overlapping probe did not conflict")
+	}
+}

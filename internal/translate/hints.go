@@ -1,0 +1,86 @@
+package translate
+
+import (
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/schema"
+)
+
+// IndexHint names a relation and the attribute columns its enforcement
+// joins equate — the schema-driven input to automatic secondary indexing.
+// Columns are canonical: ascending and duplicate-free.
+type IndexHint struct {
+	Relation string
+	Columns  []int
+	Attrs    []string
+}
+
+// IndexHints derives the secondary indexes worth building for a translated
+// constraint: for every referential or pair conjunct, the equality-join
+// columns of both sides. Both directions matter — the referential check
+// antijoin(ins(child), parent) probes parent on its key columns, while the
+// deletion-side check semijoin(child, del(parent)) probes child on its
+// foreign-key columns. Conjuncts without equality joins (or whose
+// predicates cannot be re-bound) contribute nothing.
+func IndexHints(parts []*Part, db *schema.Database) []IndexHint {
+	seen := make(map[string]bool)
+	var out []IndexHint
+	add := func(rel string, cols []int) {
+		if len(cols) == 0 {
+			return
+		}
+		rs, ok := db.Relation(rel)
+		if !ok {
+			return
+		}
+		canon := append([]int(nil), cols...)
+		sort.Ints(canon)
+		canon = dedupInts(canon)
+		key := rel + "\x00"
+		attrs := make([]string, len(canon))
+		for i, c := range canon {
+			if c < 0 || c >= rs.Arity() {
+				return
+			}
+			attrs[i] = rs.Attrs[c].Name
+			key += "," + attrs[i]
+		}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, IndexHint{Relation: rel, Columns: canon, Attrs: attrs})
+	}
+	for _, p := range parts {
+		if p.Class != ClassReferential && p.Class != ClassPair {
+			continue
+		}
+		if p.JoinPred == nil {
+			continue
+		}
+		ls, lok := db.Relation(p.Rel.Name)
+		rs, rok := db.Relation(p.Other.Name)
+		if !lok || !rok {
+			continue
+		}
+		eqL, eqR, err := algebra.EquiJoinColumns(p.JoinPred, ls, rs)
+		if err != nil {
+			continue
+		}
+		add(p.Rel.Name, eqL)
+		add(p.Other.Name, eqR)
+	}
+	return out
+}
+
+// dedupInts removes adjacent duplicates from a sorted slice.
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

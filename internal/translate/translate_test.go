@@ -220,3 +220,38 @@ func TestPartProgramsAreTypeChecked(t *testing.T) {
 		t.Fatal("empty alarm")
 	}
 }
+
+// TestIndexHintsFromReferential: a referential constraint hints both join
+// directions — the referenced relation on its key columns (for the
+// insertion-side antijoin) and the referencing relation on its foreign-key
+// columns (for the deletion-side semijoin).
+func TestIndexHintsFromReferential(t *testing.T) {
+	res := mustTranslate(t, `forall x (x in r implies exists y (y in s and x.b = y.k))`)
+	hints := translate.IndexHints(res.Parts, testSchema())
+	got := map[string]string{}
+	for _, h := range hints {
+		got[h.Relation] = strings.Join(h.Attrs, ",")
+	}
+	if got["r"] != "b" || got["s"] != "k" {
+		t.Fatalf("hints = %v, want r(b) and s(k)", got)
+	}
+}
+
+// TestIndexHintsSkipNonJoinClasses: domain and aggregate constraints have
+// no enforcement join, so they hint nothing; duplicate hints collapse.
+func TestIndexHintsSkipNonJoinClasses(t *testing.T) {
+	res := mustTranslate(t, `forall x (x in r implies x.a >= 0)`)
+	if hints := translate.IndexHints(res.Parts, testSchema()); len(hints) != 0 {
+		t.Fatalf("domain constraint hinted %v", hints)
+	}
+	res = mustTranslate(t, `CNT(r) <= 100`)
+	if hints := translate.IndexHints(res.Parts, testSchema()); len(hints) != 0 {
+		t.Fatalf("aggregate constraint hinted %v", hints)
+	}
+	// Parts repeating the same join contribute each hint once.
+	res = mustTranslate(t, `forall x (x in r implies exists y (y in s and x.b = y.k))`)
+	hints := translate.IndexHints(append(append([]*translate.Part{}, res.Parts...), res.Parts...), testSchema())
+	if len(hints) != 2 {
+		t.Fatalf("duplicate joins produced %d hints: %v", len(hints), hints)
+	}
+}

@@ -40,6 +40,16 @@
 //     Reads of ins(R)/del(R) are transaction-local and record no base
 //     read.
 //
+//   - Probe-granular reads. When the snapshot carries a secondary index
+//     (package index) covering an equality selection or the non-delta side
+//     of an enforcement join, the overlay answers the expression through
+//     index probes (algebra.ProbeEnv) and records only the probed
+//     (columns, key) pairs instead of a whole-relation read. The validator
+//     projects concurrent deltas onto the probed columns, so a transaction
+//     whose alarm check probed parent[k1] is not invalidated by a
+//     concurrent writer of parent[k2] — selective enforcement checks no
+//     longer drag whole relations into the conflict footprint.
+//
 // A losing transaction is re-executed from scratch against a fresh
 // snapshot — its embedded alarm checks re-run, so a retried commit is
 // exactly as safe as a first-attempt one — after a bounded, jittered

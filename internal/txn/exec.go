@@ -15,6 +15,10 @@ type Stats struct {
 	Statements     int
 	TuplesInserted int
 	TuplesDeleted  int
+	// IndexProbes counts secondary-index probes issued instead of relation
+	// scans (algebra.ProbeEnv); each one recorded a probed-key read rather
+	// than a whole-relation read.
+	IndexProbes int
 }
 
 // Result reports the outcome of executing a transaction. When Committed is

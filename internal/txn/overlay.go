@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/algebra"
+	"repro/internal/index"
 	"repro/internal/relation"
 	"repro/internal/storage"
+	"repro/internal/value"
 )
 
 // Overlay is the transaction-local view of the database: a copy-on-write
@@ -26,6 +28,12 @@ import (
 //   - inserting or deleting a tuple is a keyed read: the statement observed
 //     only the presence or absence of that exact tuple (set semantics), so
 //     just its canonical key is recorded;
+//   - probing a secondary index (algebra.ProbeEnv, used for equality
+//     selections and the non-delta side of joins) is a probed-key read: the
+//     expression observed exactly the tuples matching the probe key on the
+//     index columns — including their absence — so the (columns, key) pair
+//     is recorded and the validator conflicts only with concurrent deltas
+//     whose tuples project onto a probed key;
 //   - reading ins(R)/del(R) (AuxIns/AuxDel) touches transaction-local
 //     differentials only and records no base read at all — their content is
 //     fully determined by the transaction's own statements plus the keyed
@@ -96,6 +104,7 @@ func (o *Overlay) markFullRead(name string) {
 	ri := o.readInfo(name)
 	ri.Full = true
 	ri.Keys = nil
+	ri.Probes = nil
 }
 
 // markKeyRead records a keyed read (tuple-presence observation) of a base
@@ -109,6 +118,90 @@ func (o *Overlay) markKeyRead(name, key string) {
 		ri.Keys = make(map[string]bool)
 	}
 	ri.Keys[key] = true
+}
+
+// markProbeRead records an index-probe read (cols, key) of a base relation;
+// subsumed by an earlier or later full read.
+func (o *Overlay) markProbeRead(name string, cols []int, key string) {
+	ri := o.readInfo(name)
+	if ri.Full {
+		return
+	}
+	sig := index.Sig(cols)
+	pr := ri.Probes[sig]
+	if pr == nil {
+		if ri.Probes == nil {
+			ri.Probes = make(map[string]*storage.ProbeRead)
+		}
+		pr = &storage.ProbeRead{Cols: append([]int(nil), cols...), Keys: make(map[string]bool)}
+		ri.Probes[sig] = pr
+	}
+	pr.Keys[key] = true
+}
+
+// IndexFor implements algebra.ProbeEnv: it resolves the widest secondary
+// index of the pinned snapshot covering a subset of cols. Only the current
+// and pre-transaction incarnations are indexed; the transaction-local
+// differentials are small and carry no base-read dependency.
+func (o *Overlay) IndexFor(name string, aux algebra.AuxKind, cols []int) ([]int, int, bool) {
+	if aux != algebra.AuxCur && aux != algebra.AuxOld {
+		return nil, 0, false
+	}
+	x := o.base.IndexSet(name).Covering(cols)
+	if x == nil {
+		return nil, 0, false
+	}
+	size := x.Len()
+	if aux == algebra.AuxCur {
+		if w, ok := o.working[name]; ok {
+			size = w.Len()
+		}
+	}
+	return x.Cols(), size, true
+}
+
+// Probe implements algebra.ProbeEnv: it answers an index probe against the
+// pinned snapshot, overlays the transaction's own net deltas for the
+// current incarnation (the snapshot index cannot see uncommitted writes),
+// and records a probed-key read instead of a full-relation read.
+func (o *Overlay) Probe(name string, aux algebra.AuxKind, idx []int, vals []value.Value) ([]relation.Tuple, error) {
+	x := o.base.IndexSet(name).Exact(idx)
+	if x == nil {
+		return nil, fmt.Errorf("txn: no index %s(%s) to probe", name, index.Sig(idx))
+	}
+	key := index.KeyVals(vals)
+	o.markProbeRead(name, idx, key)
+	o.stats.IndexProbes++
+	out := x.Probe(key)
+	if aux != algebra.AuxCur {
+		return out, nil // old(R) is exactly the pinned snapshot
+	}
+	if dd := o.del[name]; dd != nil && !dd.IsEmpty() {
+		kept := make([]relation.Tuple, 0, len(out))
+		for _, t := range out {
+			if !dd.ContainsKey(t.Key()) {
+				kept = append(kept, t)
+			}
+		}
+		out = kept
+	}
+	if di := o.ins[name]; di != nil && !di.IsEmpty() {
+		// The shared probe slice must not be appended to in place.
+		var extra []relation.Tuple
+		_ = di.ForEach(func(t relation.Tuple) error {
+			if t.KeyOn(idx) == key {
+				extra = append(extra, t)
+			}
+			return nil
+		})
+		if len(extra) > 0 {
+			merged := make([]relation.Tuple, 0, len(out)+len(extra))
+			merged = append(merged, out...)
+			merged = append(merged, extra...)
+			out = merged
+		}
+	}
+	return out, nil
 }
 
 // Rel implements algebra.Env.

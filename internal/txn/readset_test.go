@@ -1,0 +1,373 @@
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// The parent/child pair with a referential join is the paper's running
+// example; the read-set tests below pin down exactly which records each
+// statement shape produces against it.
+func parentSchemaT() *schema.Relation {
+	return schema.MustRelation("parent",
+		schema.Attribute{Name: "id", Type: value.KindInt},
+		schema.Attribute{Name: "name", Type: value.KindString},
+	)
+}
+
+func childSchemaT() *schema.Relation {
+	return schema.MustRelation("child",
+		schema.Attribute{Name: "id", Type: value.KindInt},
+		schema.Attribute{Name: "parent", Type: value.KindInt},
+	)
+}
+
+func parentT(id int64, name string) relation.Tuple {
+	return relation.Tuple{value.Int(id), value.String(name)}
+}
+
+func childT(id, parent int64) relation.Tuple {
+	return relation.Tuple{value.Int(id), value.Int(parent)}
+}
+
+// newPairStore builds a parent/child store; indexed adds parent(id) and
+// child(parent) secondary indexes.
+func newPairStore(t testing.TB, indexed bool) *storage.Database {
+	t.Helper()
+	db := storage.New(schema.MustDatabase(parentSchemaT(), childSchemaT()))
+	if err := db.Load(relation.MustFromTuples(parentSchemaT(),
+		parentT(1, "a"), parentT(2, "b"), parentT(3, "c"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(relation.MustFromTuples(childSchemaT(),
+		childT(10, 1), childT(11, 1), childT(12, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if indexed {
+		if err := db.DefineIndex("parent", []int{0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.DefineIndex("child", []int{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// describeReads renders an overlay's read records as sorted
+// "relation:kind" strings — full, keys=N, or probes=SIG×N — so tests can
+// assert the exact record shape a statement produced.
+func describeReads(o *Overlay) []string {
+	var out []string
+	for name, ri := range o.Reads() {
+		switch {
+		case ri.Full:
+			out = append(out, name+":full")
+		default:
+			if len(ri.Keys) > 0 {
+				out = append(out, fmt.Sprintf("%s:keys=%d", name, len(ri.Keys)))
+			}
+			var sigs []string
+			for sig, pr := range ri.Probes {
+				sigs = append(sigs, fmt.Sprintf("%s:probes=%s×%d", name, sig, len(pr.Keys)))
+			}
+			sort.Strings(sigs)
+			out = append(out, sigs...)
+			if len(ri.Keys) == 0 && len(ri.Probes) == 0 {
+				out = append(out, name+":empty")
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// eqConst builds "attr = const" over an int attribute.
+func eqConst(attr string, v int64) algebra.Scalar {
+	return &algebra.Cmp{Op: algebra.CmpEQ, L: algebra.AttrByName(attr), R: &algebra.Const{V: value.Int(v)}}
+}
+
+// refPred is the referential join predicate child.parent = parent.id over
+// concat(child, parent).
+func refPred() algebra.Scalar {
+	return &algebra.Cmp{Op: algebra.CmpEQ, L: algebra.AttrByIndex(1), R: algebra.AttrByIndex(2)}
+}
+
+func TestOverlayReadRecordsPerStatementShape(t *testing.T) {
+	cases := []struct {
+		name    string
+		indexed bool
+		run     func(t *testing.T, ov *Overlay)
+		want    []string
+	}{
+		{
+			name: "cur materialization is a full read",
+			run: func(t *testing.T, ov *Overlay) {
+				prog := algebra.Program{&algebra.Assign{Temp: "q", Expr: algebra.NewRel("parent")}}
+				execProgram(t, ov, prog)
+			},
+			want: []string{"parent:full"},
+		},
+		{
+			name: "insert records only the tuple key",
+			run: func(t *testing.T, ov *Overlay) {
+				prog := algebra.Program{&algebra.Insert{
+					Rel: "parent",
+					Src: algebra.NewLit(parentSchemaT(), parentT(9, "z")),
+				}}
+				execProgram(t, ov, prog)
+			},
+			want: []string{"parent:keys=1"},
+		},
+		{
+			name: "reading the local differential records nothing",
+			run: func(t *testing.T, ov *Overlay) {
+				prog := algebra.Program{&algebra.Assign{Temp: "q", Expr: algebra.NewAuxRel("parent", algebra.AuxIns)}}
+				execProgram(t, ov, prog)
+			},
+			want: nil,
+		},
+		{
+			name: "equality selection without an index scans",
+			run: func(t *testing.T, ov *Overlay) {
+				prog := algebra.Program{&algebra.Assign{Temp: "q",
+					Expr: algebra.NewSelect(algebra.NewRel("parent"), eqConst("id", 2))}}
+				execProgram(t, ov, prog)
+			},
+			want: []string{"parent:full"},
+		},
+		{
+			name:    "equality selection with an index probes one key",
+			indexed: true,
+			run: func(t *testing.T, ov *Overlay) {
+				prog := algebra.Program{&algebra.Assign{Temp: "q",
+					Expr: algebra.NewSelect(algebra.NewRel("parent"), eqConst("id", 2))}}
+				execProgram(t, ov, prog)
+			},
+			want: []string{"parent:probes=0×1"},
+		},
+		{
+			name: "semijoin(child, del(parent)) with empty delta reads nothing",
+			run: func(t *testing.T, ov *Overlay) {
+				prog := algebra.Program{&algebra.Assign{Temp: "q",
+					Expr: algebra.NewSemiJoin(algebra.NewRel("child"), algebra.NewAuxRel("parent", algebra.AuxDel), refPred())}}
+				execProgram(t, ov, prog)
+			},
+			want: nil,
+		},
+		{
+			// The delete's selection scans parent (no index), so the whole
+			// transaction's parent footprint degrades to a full read, and
+			// the non-empty delta makes the semijoin scan child.
+			name: "semijoin(child, del(parent)) without an index scans child",
+			run: func(t *testing.T, ov *Overlay) {
+				deleteParent(t, ov, parentT(3, "c"))
+				prog := algebra.Program{&algebra.Assign{Temp: "q",
+					Expr: algebra.NewSemiJoin(algebra.NewRel("child"), algebra.NewAuxRel("parent", algebra.AuxDel), refPred())}}
+				execProgram(t, ov, prog)
+			},
+			want: []string{"child:full", "parent:full"},
+		},
+		{
+			// With indexes the same transaction touches exactly three keys:
+			// the probed parent id (selection), the deleted tuple's key, and
+			// the probed child(parent) key of the enforcement semijoin.
+			name:    "semijoin(child, del(parent)) with an index probes child",
+			indexed: true,
+			run: func(t *testing.T, ov *Overlay) {
+				deleteParent(t, ov, parentT(3, "c"))
+				prog := algebra.Program{&algebra.Assign{Temp: "q",
+					Expr: algebra.NewSemiJoin(algebra.NewRel("child"), algebra.NewAuxRel("parent", algebra.AuxDel), refPred())}}
+				execProgram(t, ov, prog)
+			},
+			want: []string{"child:probes=1×1", "parent:keys=1", "parent:probes=0×1"},
+		},
+		{
+			name:    "antijoin(ins(child), parent) probes parent per new child",
+			indexed: true,
+			run: func(t *testing.T, ov *Overlay) {
+				if err := ov.InsertTuples("child", relation.MustFromTuples(childSchemaT(), childT(13, 1), childT(14, 2))); err != nil {
+					t.Fatal(err)
+				}
+				prog := algebra.Program{&algebra.Assign{Temp: "q",
+					Expr: algebra.NewAntiJoin(algebra.NewAuxRel("child", algebra.AuxIns), algebra.NewRel("parent"), refPred())}}
+				execProgram(t, ov, prog)
+			},
+			want: []string{"child:keys=2", "parent:probes=0×2"},
+		},
+		{
+			name:    "a full read subsumes earlier probes",
+			indexed: true,
+			run: func(t *testing.T, ov *Overlay) {
+				prog := algebra.Program{
+					&algebra.Assign{Temp: "q",
+						Expr: algebra.NewSelect(algebra.NewRel("parent"), eqConst("id", 2))},
+					&algebra.Assign{Temp: "r", Expr: algebra.NewRel("parent")},
+				}
+				execProgram(t, ov, prog)
+			},
+			want: []string{"parent:full"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			db := newPairStore(t, c.indexed)
+			ov := NewOverlay(db)
+			c.run(t, ov)
+			got := describeReads(ov)
+			if strings.Join(got, ";") != strings.Join(c.want, ";") {
+				t.Errorf("read records = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// deleteParent deletes one parent tuple through an indexed-or-not equality
+// selection, mirroring "delete(parent, select(parent, id = K))".
+func deleteParent(t *testing.T, ov *Overlay, p relation.Tuple) {
+	t.Helper()
+	prog := algebra.Program{&algebra.Delete{
+		Rel: "parent",
+		Src: algebra.NewSelect(algebra.NewRel("parent"), eqConst("id", p[0].AsInt())),
+	}}
+	execProgram(t, ov, prog)
+}
+
+// execProgram type-checks and executes a program against the overlay.
+func execProgram(t *testing.T, ov *Overlay, prog algebra.Program) {
+	t.Helper()
+	tenv := algebra.NewTypeEnv(ov.Base().Schema())
+	if err := prog.TypeCheck(tenv); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Exec(ov); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProbedOverlaySeesOwnWrites: a probe against the current incarnation
+// must overlay the transaction's uncommitted inserts and deletes on the
+// snapshot index.
+func TestProbedOverlaySeesOwnWrites(t *testing.T) {
+	db := newPairStore(t, true)
+	ov := NewOverlay(db)
+	// Delete child 10 (parent 1) and insert child 20 (parent 1).
+	if err := ov.DeleteTuples("child", relation.MustFromTuples(childSchemaT(), childT(10, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.InsertTuples("child", relation.MustFromTuples(childSchemaT(), childT(20, 1))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ov.Probe("child", algebra.AuxCur, []int{1}, []value.Value{value.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int64]bool{}
+	for _, tt := range got {
+		ids[tt[0].AsInt()] = true
+	}
+	if len(ids) != 2 || !ids[11] || !ids[20] {
+		t.Errorf("probe over own writes = %v, want {11, 20}", ids)
+	}
+	// old(child) ignores the local writes.
+	got, err = ov.Probe("child", algebra.AuxOld, []int{1}, []value.Value{value.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("old probe = %d tuples, want the snapshot's 2", len(got))
+	}
+}
+
+// TestDisjointProbesMergeCommit is the engine-level statement of the PR's
+// acceptance criterion: two transactions that delete different parents —
+// each probing its own parent key and its own child probe key through the
+// indexes — must both commit, the second by merging the first's disjoint
+// delta, with no conflict.
+func TestDisjointProbesMergeCommit(t *testing.T) {
+	db := newPairStore(t, true)
+	seq := NewSequencer(db)
+
+	mkDelete := func(id int64, name string) *Overlay {
+		ov := NewOverlay(db)
+		deleteParent(t, ov, parentT(id, name))
+		// The enforcement-shaped check: no child may reference the deleted
+		// parent (parent 3 has no children; the probe observes absence).
+		prog := algebra.Program{&algebra.Assign{Temp: "orphans",
+			Expr: algebra.NewSemiJoin(algebra.NewRel("child"), algebra.NewAuxRel("parent", algebra.AuxDel), refPred())}}
+		execProgram(t, ov, prog)
+		return ov
+	}
+
+	// Parent 3 has no children; add a second childless parent.
+	if err := db.Load(relation.MustFromTuples(parentSchemaT(),
+		parentT(1, "a"), parentT(2, "b"), parentT(3, "c"), parentT(4, "d"))); err != nil {
+		t.Fatal(err)
+	}
+
+	ov1 := mkDelete(3, "c")
+	ov2 := mkDelete(4, "d")
+
+	if _, conflict, err := seq.TryCommit(ov1); err != nil || conflict != nil {
+		t.Fatalf("first commit: conflict=%v err=%v", conflict, err)
+	}
+	if _, conflict, err := seq.TryCommit(ov2); err != nil || conflict != nil {
+		t.Fatalf("second commit should merge, got conflict=%v err=%v", conflict, err)
+	}
+	if got := db.Stats().MergedCommits; got != 1 {
+		t.Errorf("MergedCommits = %d, want 1", got)
+	}
+	r, err := db.Relation("parent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("parent has %d tuples after both deletes, want 2", r.Len())
+	}
+	// And a probe against the fresh snapshot sees the maintained index.
+	x := db.Snapshot().IndexSet("parent").Exact([]int{0})
+	if x == nil || len(x.ProbeTuples(parentT(3, "c"))) != 0 || len(x.ProbeTuples(parentT(1, "a"))) != 1 {
+		t.Error("parent(id) index not maintained through the merge commit")
+	}
+}
+
+// TestProbeConflictStillDetected: the probe footprint must not be too
+// small — a transaction that probed a key a concurrent commit wrote must
+// still lose validation.
+func TestProbeConflictStillDetected(t *testing.T) {
+	db := newPairStore(t, true)
+	seq := NewSequencer(db)
+
+	// T1 probes child[parent=1] (sees children 10, 11) while deciding to
+	// insert a bookkeeping parent; T2 concurrently inserts child(15, 1).
+	ov1 := NewOverlay(db)
+	prog := algebra.Program{&algebra.Assign{Temp: "q",
+		Expr: algebra.NewSelect(algebra.NewRel("child"), eqConst("parent", 1))}}
+	execProgram(t, ov1, prog)
+	if err := ov1.InsertTuples("parent", relation.MustFromTuples(parentSchemaT(), parentT(9, "z"))); err != nil {
+		t.Fatal(err)
+	}
+
+	ov2 := NewOverlay(db)
+	if err := ov2.InsertTuples("child", relation.MustFromTuples(childSchemaT(), childT(15, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, conflict, err := seq.TryCommit(ov2); err != nil || conflict != nil {
+		t.Fatalf("T2: conflict=%v err=%v", conflict, err)
+	}
+	_, conflict, err := seq.TryCommit(ov1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict == nil {
+		t.Fatal("T1 probed a written key and still committed")
+	}
+}

@@ -261,7 +261,11 @@ func (v Value) AppendKey(dst []byte) []byte {
 	case KindNull:
 		return append(dst, 'N')
 	case KindInt, KindFloat:
-		bits := math.Float64bits(v.AsFloat())
+		f := v.AsFloat()
+		if f == 0 {
+			f = 0 // collapse -0.0 onto +0.0: Equal treats them as one value
+		}
+		bits := math.Float64bits(f)
 		dst = append(dst, 'F')
 		return append(dst,
 			byte(bits>>56), byte(bits>>48), byte(bits>>40), byte(bits>>32),

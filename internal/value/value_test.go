@@ -234,6 +234,23 @@ func TestKeyEncodingIntFloatUnified(t *testing.T) {
 	}
 }
 
+// TestKeyEncodingNegativeZero: Equal(-0.0, 0.0) holds (IEEE ==), so the
+// keys must collide too — index probes and hash joins key on the encoding,
+// and a split key would make an indexed `x = 0.0` selection miss -0.0 rows
+// (and the recorded probe key miss real conflicts).
+func TestKeyEncodingNegativeZero(t *testing.T) {
+	neg := Float(math.Copysign(0, -1))
+	if !neg.Equal(Float(0)) {
+		t.Fatal("-0.0 and 0.0 stopped comparing equal")
+	}
+	if !bytes.Equal(neg.AppendKey(nil), Float(0).AppendKey(nil)) {
+		t.Error("-0.0 and 0.0 encode to different keys but compare equal")
+	}
+	if !bytes.Equal(neg.AppendKey(nil), Int(0).AppendKey(nil)) {
+		t.Error("-0.0 and Int(0) encode to different keys but compare equal")
+	}
+}
+
 // TestCompareAntisymmetry checks Compare(a,b) = -Compare(b,a) whenever both
 // succeed.
 func TestCompareAntisymmetry(t *testing.T) {

@@ -40,6 +40,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/index"
 	"repro/internal/lang"
 	"repro/internal/relation"
 	"repro/internal/rules"
@@ -72,6 +73,48 @@ type Options struct {
 	// commit concurrently. 0 means the default (storage.DefaultShards);
 	// 1 restores the fully serial commit point.
 	CommitShards int
+	// Indexes declares secondary hash indexes as "relation(attr, ...)"
+	// strings. Each declaration is applied when the named relation is
+	// created, so the list may be set before any CreateRelation call;
+	// indexes can also be added later with DB.CreateIndex. Indexed
+	// relations answer equality selections and enforcement joins with key
+	// probes instead of scans, and probed transactions record probed-key
+	// reads instead of whole-relation reads.
+	Indexes []string
+	// AutoIndex derives secondary indexes automatically from the
+	// equality-join attributes of referential and pair constraints at rule
+	// definition time — both join directions, so the insertion-side check
+	// probes the referenced relation and the deletion-side check probes
+	// the referencing one.
+	AutoIndex bool
+}
+
+// Validate reports the first invalid option: negative shard, retry or depth
+// bounds (zero always means "use the default"), or a malformed index
+// declaration. Open panics on invalid options; OpenChecked returns the
+// error instead.
+func (o *Options) Validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.CommitShards < 0 {
+		return fmt.Errorf("repro: Options.CommitShards must be positive (or 0 for the default %d), got %d",
+			storage.DefaultShards, o.CommitShards)
+	}
+	if o.MaxCommitRetries < 0 {
+		return fmt.Errorf("repro: Options.MaxCommitRetries must be positive (or 0 for the default %d), got %d",
+			txn.DefaultMaxRetries, o.MaxCommitRetries)
+	}
+	if o.MaxModificationDepth < 0 {
+		return fmt.Errorf("repro: Options.MaxModificationDepth must be positive (or 0 for the default), got %d",
+			o.MaxModificationDepth)
+	}
+	for _, decl := range o.Indexes {
+		if _, _, err := index.ParseDecl(decl); err != nil {
+			return fmt.Errorf("repro: Options.Indexes: %w", err)
+		}
+	}
+	return nil
 }
 
 // CommitStats reports the engine's commit-sequencer counters.
@@ -115,8 +158,23 @@ type DB struct {
 }
 
 // Open creates an empty database. A nil opts selects the defaults
-// (precompiled rules, full-state checks).
+// (precompiled rules, full-state checks). Invalid options — negative
+// bounds, malformed index declarations — panic with a descriptive error;
+// use OpenChecked to receive the error instead.
 func Open(opts *Options) *DB {
+	db, err := OpenChecked(opts)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// OpenChecked is Open returning option-validation errors instead of
+// panicking.
+func OpenChecked(opts *Options) (*DB, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -136,7 +194,7 @@ func Open(opts *Options) *DB {
 		opts:  o,
 	}
 	db.sub = core.New(cat, db.coreOptions())
-	return db
+	return db, nil
 }
 
 func (db *DB) coreOptions() core.Options {
@@ -149,16 +207,130 @@ func (db *DB) coreOptions() core.Options {
 
 // CreateRelation declares a relation from DDL text:
 // "relation beer(name string, type string, brewery string, alcohol int)".
-// Types: int, float, string, bool.
+// Types: int, float, string, bool. Declarations in Options.Indexes naming
+// the relation are built immediately; an index declaration referencing an
+// unknown attribute fails the creation.
 func (db *DB) CreateRelation(ddl string) error {
 	rs, err := lang.ParseRelationSchema(ddl)
 	if err != nil {
 		return err
 	}
+	// Resolve the relation's Options.Indexes declarations before touching
+	// the schema or store, so a declaration naming a missing attribute
+	// fails the creation atomically instead of leaving the relation
+	// half-created.
+	var pending [][]int
+	seen := make(map[string]bool)
+	for _, decl := range db.opts.Indexes {
+		rel, attrs, err := index.ParseDecl(decl)
+		if err != nil || rel != rs.Name {
+			continue // Validate caught malformed declarations at Open
+		}
+		cols := make([]int, len(attrs))
+		for i, a := range attrs {
+			idx := rs.AttrIndex(a)
+			if idx < 0 {
+				return fmt.Errorf("repro: Options.Indexes %q: unknown attribute %q in %s", decl, a, rs)
+			}
+			cols[i] = idx
+		}
+		canon := append([]int(nil), cols...)
+		sort.Ints(canon)
+		if sig := index.Sig(canon); !seen[sig] {
+			seen[sig] = true
+			pending = append(pending, cols)
+		}
+	}
 	if err := db.sch.Add(rs); err != nil {
 		return err
 	}
-	return db.store.AddRelation(rs)
+	if err := db.store.AddRelation(rs); err != nil {
+		return err
+	}
+	for _, cols := range pending {
+		if err := db.store.DefineIndex(rs.Name, cols); err != nil {
+			return fmt.Errorf("repro: applying Options.Indexes: %w", err)
+		}
+	}
+	return nil
+}
+
+// CreateIndex declares a secondary hash index from "relation(attr, ...)"
+// text, building it from the relation's current contents. Like the other
+// definition calls it must not run concurrently with submissions. Indexes
+// over the same attribute set are rejected as duplicates.
+func (db *DB) CreateIndex(decl string) error {
+	rel, attrs, err := index.ParseDecl(decl)
+	if err != nil {
+		return err
+	}
+	rs, err := db.sch.MustFind(rel)
+	if err != nil {
+		return err
+	}
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		idx := rs.AttrIndex(a)
+		if idx < 0 {
+			return fmt.Errorf("repro: index %s: unknown attribute %q in %s", decl, a, rs)
+		}
+		cols[i] = idx
+	}
+	return db.store.DefineIndex(rel, cols)
+}
+
+// MustCreateIndex is CreateIndex that panics on error; for examples and
+// tests.
+func (db *DB) MustCreateIndex(decl string) {
+	if err := db.CreateIndex(decl); err != nil {
+		panic(err)
+	}
+}
+
+// Indexes returns the defined secondary indexes as "relation(attr, ...)"
+// declarations, sorted.
+func (db *DB) Indexes() []string {
+	var out []string
+	for _, name := range db.sch.Names() {
+		rs, _ := db.sch.Relation(name)
+		for _, cols := range db.store.IndexDefs(name) {
+			attrs := make([]string, len(cols))
+			for i, c := range cols {
+				attrs[i] = rs.Attrs[c].Name
+			}
+			out = append(out, fmt.Sprintf("%s(%s)", name, strings.Join(attrs, ", ")))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// autoIndex builds the indexes a freshly compiled rule's enforcement joins
+// would exploit; existing indexes over the same columns are kept.
+func (db *DB) autoIndex(ruleName string) error {
+	if !db.opts.AutoIndex {
+		return nil
+	}
+	ip, ok := db.cat.Program(ruleName)
+	if !ok {
+		return nil
+	}
+	for _, h := range ip.IndexHints {
+		exists := false
+		for _, cols := range db.store.IndexDefs(h.Relation) {
+			if index.Sig(cols) == index.Sig(h.Columns) {
+				exists = true
+				break
+			}
+		}
+		if exists {
+			continue
+		}
+		if err := db.store.DefineIndex(h.Relation, h.Columns); err != nil {
+			return fmt.Errorf("repro: auto-indexing for rule %s: %w", ruleName, err)
+		}
+	}
+	return nil
 }
 
 // MustCreateRelation is CreateRelation that panics on error; for examples
@@ -177,7 +349,10 @@ func (db *DB) DefineConstraint(name, condition string) error {
 	if err != nil {
 		return err
 	}
-	return db.cat.Add(r)
+	if err := db.cat.Add(r); err != nil {
+		return err
+	}
+	return db.autoIndex(name)
 }
 
 // MustDefineConstraint panics on error.
@@ -197,7 +372,10 @@ func (db *DB) DefineRule(name, rl string) error {
 	if err != nil {
 		return err
 	}
-	return db.cat.Add(r)
+	if err := db.cat.Add(r); err != nil {
+		return err
+	}
+	return db.autoIndex(name)
 }
 
 // MustDefineRule panics on error.
@@ -326,6 +504,7 @@ type Result struct {
 	Report     *ModReport
 	Inserted   int
 	Deleted    int
+	Probes     int    // secondary-index probes issued instead of scans
 	Retries    int    // conflict-induced re-executions before the outcome
 	CommitTime uint64 // logical time of the installed state; 0 if aborted
 }
@@ -456,6 +635,7 @@ func (db *DB) toResult(res *txn.Result, report *core.Report) *Result {
 		Committed:  res.Committed,
 		Inserted:   res.Stats.TuplesInserted,
 		Deleted:    res.Stats.TuplesDeleted,
+		Probes:     res.Stats.IndexProbes,
 		Retries:    res.Retries,
 		CommitTime: res.CommitTime,
 	}
