@@ -170,8 +170,33 @@ func opsPerSec(b Benchmark) float64 {
 	return 0
 }
 
-// runCompare prints a markdown ops/sec comparison of current against
-// baseline, benchmark by benchmark.
+// memCell renders the baseline→current movement of one memory metric
+// (recorded by -benchmem: "B/op" or "allocs/op"). Memory columns make
+// delta-proportionality regressions visible per PR: an O(n) copy sneaking
+// back into the write path shows up as allocation counts that grow with
+// preloaded relation size long before it dominates ns/op.
+func memCell(base, cur Benchmark, hasBase bool, unit string) string {
+	cv, cok := cur.Metrics[unit]
+	if !cok {
+		return "—"
+	}
+	var bv float64
+	bok := false
+	if hasBase {
+		bv, bok = base.Metrics[unit]
+	}
+	if !bok {
+		return fmt.Sprintf("%.0f", cv)
+	}
+	if bv == 0 {
+		return fmt.Sprintf("%.0f→%.0f", bv, cv)
+	}
+	return fmt.Sprintf("%.0f→%.0f (%+.1f%%)", bv, cv, (cv-bv)/bv*100)
+}
+
+// runCompare prints a markdown comparison of current against baseline,
+// benchmark by benchmark: the headline ops/sec rate plus the B/op and
+// allocs/op movements when either document recorded them.
 func runCompare(basePath, curPath string) error {
 	base, err := load(basePath)
 	if err != nil {
@@ -186,31 +211,33 @@ func runCompare(basePath, curPath string) error {
 		baseBy[b.Name] = b
 	}
 
-	fmt.Printf("### Benchmark comparison (ops/sec)\n\n")
+	fmt.Printf("### Benchmark comparison (ops/sec, memory)\n\n")
 	if cpu := cur.Env["cpu"]; cpu != "" {
 		fmt.Printf("Current run on `%s`; baseline recorded on `%s`. Treat cross-machine deltas as indicative only.\n\n", cpu, base.Env["cpu"])
 	}
-	fmt.Printf("| benchmark | baseline | current | Δ |\n")
-	fmt.Printf("|---|---:|---:|---:|\n")
+	fmt.Printf("| benchmark | baseline | current | Δ | B/op | allocs/op |\n")
+	fmt.Printf("|---|---:|---:|---:|---:|---:|\n")
 	seen := make(map[string]bool, len(cur.Benchmarks))
 	for _, c := range cur.Benchmarks {
 		seen[c.Name] = true
 		curOps := opsPerSec(c)
 		b, ok := baseBy[c.Name]
-		if !ok {
-			fmt.Printf("| %s | — | %.1f | new |\n", c.Name, curOps)
-			continue
+		delta := "new"
+		baseCol := "—"
+		if ok {
+			baseOps := opsPerSec(b)
+			baseCol = fmt.Sprintf("%.1f", baseOps)
+			delta = "—"
+			if baseOps > 0 {
+				delta = fmt.Sprintf("%+.1f%%", (curOps-baseOps)/baseOps*100)
+			}
 		}
-		baseOps := opsPerSec(b)
-		delta := "—"
-		if baseOps > 0 {
-			delta = fmt.Sprintf("%+.1f%%", (curOps-baseOps)/baseOps*100)
-		}
-		fmt.Printf("| %s | %.1f | %.1f | %s |\n", c.Name, baseOps, curOps, delta)
+		fmt.Printf("| %s | %s | %.1f | %s | %s | %s |\n", c.Name, baseCol, curOps, delta,
+			memCell(b, c, ok, "B/op"), memCell(b, c, ok, "allocs/op"))
 	}
 	for _, b := range base.Benchmarks {
 		if !seen[b.Name] {
-			fmt.Printf("| %s | %.1f | — | removed |\n", b.Name, opsPerSec(b))
+			fmt.Printf("| %s | %.1f | — | removed | — | — |\n", b.Name, opsPerSec(b))
 		}
 	}
 	return nil

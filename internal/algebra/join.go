@@ -233,7 +233,9 @@ func (j *Join) Eval(env Env) (*relation.Relation, error) {
 
 	if right.IsEmpty() {
 		if j.Kind == JoinAnti {
-			out.UnionInPlace(left)
+			// Antijoin with nothing to subtract passes the left side through;
+			// sharing its trie avoids an O(left) copy.
+			return left.CloneWith(j.out), nil
 		}
 		return out, nil
 	}
@@ -252,8 +254,13 @@ func (j *Join) Eval(env Env) (*relation.Relation, error) {
 		}); err != nil {
 			return nil, err
 		}
+		// One buffer reused across all probes: index[string(keyBuf)] is the
+		// compiler's alloc-free map lookup, so the driving scan performs no
+		// per-tuple key allocation.
+		var keyBuf []byte
 		matchRight = func(lt relation.Tuple, visit func(relation.Tuple) error) error {
-			for _, rt := range index[joinKey(lt, j.eqL)] {
+			keyBuf = lt.AppendKeyOn(keyBuf[:0], j.eqL)
+			for _, rt := range index[string(keyBuf)] {
 				if err := visit(rt); err != nil {
 					return err
 				}
@@ -529,15 +536,19 @@ func (s *SetExpr) Eval(env Env) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := relation.New(s.out)
+	// Union and difference start from an O(1) structural share of the left
+	// input and apply only the right side's tuples, so their cost is
+	// O(right), not O(left + right).
+	var out *relation.Relation
 	switch s.Op {
 	case SetUnion:
-		out.UnionInPlace(l)
+		out = l.CloneWith(s.out)
 		out.UnionInPlace(r)
 	case SetDiff:
-		out.UnionInPlace(l)
+		out = l.CloneWith(s.out)
 		out.DiffInPlace(r)
 	case SetIntersect:
+		out = relation.New(s.out)
 		err := l.ForEach(func(t relation.Tuple) error {
 			if r.Contains(t) {
 				out.InsertUnchecked(t)

@@ -188,6 +188,16 @@ type Update struct {
 	Rel   string
 	Where Scalar // nil means all tuples
 	Sets  []SetClause
+
+	// Bound at TypeCheck time: the target schema, plus the constant-equality
+	// conjuncts of Where (parallel column positions and literal values).
+	// When the environment has a covering index, Exec probes it for the
+	// matching tuples instead of materializing the whole current instance —
+	// the probed-key read it records keeps a selective update from dragging
+	// the full relation into the optimistic conflict footprint.
+	target *schema.Relation
+	eqCols []int
+	eqVals []value.Value
 }
 
 // TypeCheck implements Stmt.
@@ -196,6 +206,8 @@ func (u *Update) TypeCheck(env *TypeEnv) error {
 	if err != nil {
 		return err
 	}
+	u.target = target
+	u.eqCols, u.eqVals = nil, nil
 	if u.Where != nil {
 		k, err := u.Where.Bind(target)
 		if err != nil {
@@ -204,6 +216,7 @@ func (u *Update) TypeCheck(env *TypeEnv) error {
 		if k != value.KindBool && k != value.KindNull {
 			return fmt.Errorf("algebra: update predicate has kind %s", k)
 		}
+		u.eqCols, u.eqVals = extractConstEq(u.Where)
 	}
 	if len(u.Sets) == 0 {
 		return fmt.Errorf("algebra: update of %s with no set clauses", u.Rel)
@@ -227,43 +240,92 @@ func (u *Update) TypeCheck(env *TypeEnv) error {
 	return nil
 }
 
-// Exec implements Stmt.
+// Exec implements Stmt. When Where carries an indexable equality conjunct
+// and the environment probes (ProbeEnv with a covering index on the current
+// incarnation), the matching tuples are fetched by key probe — the
+// environment records a probed-key read — instead of materializing the full
+// current instance, which would put the whole relation into the
+// transaction's read set.
 func (u *Update) Exec(env ExecEnv) error {
-	cur, err := env.Rel(u.Rel, AuxCur)
+	oldSet, newSet, probed, err := u.execProbe(env)
 	if err != nil {
 		return err
 	}
-	oldSet := relation.New(cur.Schema())
-	newSet := relation.New(cur.Schema())
-	err = cur.ForEach(func(t relation.Tuple) error {
-		if u.Where != nil {
-			ok, err := evalBool(u.Where, t)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
+	if !probed {
+		cur, err := env.Rel(u.Rel, AuxCur)
+		if err != nil {
+			return err
 		}
-		img := t.Clone()
-		for i := range u.Sets {
-			v, err := u.Sets[i].Expr.Eval(t)
-			if err != nil {
-				return err
-			}
-			img[u.Sets[i].col] = v
+		oldSet = relation.New(cur.Schema())
+		newSet = relation.New(cur.Schema())
+		err = cur.ForEach(func(t relation.Tuple) error {
+			return u.apply(t, oldSet, newSet)
+		})
+		if err != nil {
+			return err
 		}
-		oldSet.InsertUnchecked(t)
-		newSet.InsertUnchecked(img)
-		return nil
-	})
-	if err != nil {
-		return err
 	}
 	if err := env.DeleteTuples(u.Rel, oldSet); err != nil {
 		return err
 	}
 	return env.InsertTuples(u.Rel, newSet)
+}
+
+// apply evaluates Where over one candidate tuple and, on a match, records
+// the tuple and its set-clause image in the delete and insert sets.
+func (u *Update) apply(t relation.Tuple, oldSet, newSet *relation.Relation) error {
+	if u.Where != nil {
+		ok, err := evalBool(u.Where, t)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	img := t.Clone()
+	for i := range u.Sets {
+		v, err := u.Sets[i].Expr.Eval(t)
+		if err != nil {
+			return err
+		}
+		img[u.Sets[i].col] = v
+	}
+	oldSet.InsertUnchecked(t)
+	newSet.InsertUnchecked(img)
+	return nil
+}
+
+// execProbe answers the update's candidate scan through an index probe when
+// Where has constant-equality conjuncts and the environment maintains a
+// covering index on the current incarnation. The full Where predicate is
+// re-applied to every candidate, so an index over any subset of the
+// equality columns yields a sound candidate superset. probed=false falls
+// back to the full scan.
+func (u *Update) execProbe(env ExecEnv) (oldSet, newSet *relation.Relation, probed bool, err error) {
+	if len(u.eqCols) == 0 || u.target == nil {
+		return nil, nil, false, nil
+	}
+	pe, ok := env.(ProbeEnv)
+	if !ok {
+		return nil, nil, false, nil
+	}
+	idx, _, ok := pe.IndexFor(u.Rel, AuxCur, u.eqCols)
+	if !ok {
+		return nil, nil, false, nil
+	}
+	candidates, err := pe.Probe(u.Rel, AuxCur, idx, probeVals(idx, u.eqCols, u.eqVals))
+	if err != nil {
+		return nil, nil, false, err
+	}
+	oldSet = relation.New(u.target)
+	newSet = relation.New(u.target)
+	for _, t := range candidates {
+		if err := u.apply(t, oldSet, newSet); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	return oldSet, newSet, true, nil
 }
 
 func (u *Update) String() string {

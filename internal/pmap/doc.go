@@ -1,0 +1,40 @@
+// Package pmap implements a persistent hash-array-mapped trie (HAMT) from
+// string keys to generic values — the storage representation behind
+// relation instances (package relation).
+//
+// # Why a trie and not a map
+//
+// The transaction-modification scheme of the paper is differential:
+// enforcement programs reason over ins/del deltas so that integrity
+// checking costs O(change), not O(database). The storage side has to match,
+// or the copy dominates: with map-backed relations, a transaction's first
+// write to a relation cloned the whole instance — O(tuples) — and a commit
+// rebuilt per-relation state at the same cost. With the trie, a sealed
+// instance is cloned in O(1) by sharing its root, each write path-copies
+// only the O(log n) nodes between the root and the touched entry, and a
+// commit derives the successor instance from the predecessor plus the net
+// delta — exactly the O(delta) discipline package index already follows for
+// secondary indexes.
+//
+// # Transients and ownership tokens
+//
+// Purely persistent tries pay path-copying on every insert, which would
+// make bulk loading far slower than filling a Go map. Maps here are
+// therefore created mutable ("transient" in the Clojure sense): every node
+// created by a mutable map carries its ownership token, and mutations
+// update owned nodes in place while path-copying nodes owned by anyone
+// else. Freeze drops the token, making the map permanently immutable and
+// safe to share across goroutines; Clone hands out a new mutable map
+// sharing all structure, simultaneously revoking the receiver's token so
+// neither copy can scribble on what is now shared. The result behaves like
+// a value (clones never observe each other's writes) at in-place cost for
+// the common build-then-seal lifecycle.
+//
+// # Geometry
+//
+// Nodes branch 64 ways on successive 6-bit fragments of a 64-bit FNV-1a
+// hash of the key, with a bitmap compressing absent children, so the tree
+// depth is at most ⌈64/6⌉ = 11 and in practice ~log64(n). Keys whose full
+// hashes collide are kept in an unordered collision node below the last
+// level.
+package pmap

@@ -1,0 +1,402 @@
+package pmap
+
+import "math/bits"
+
+// Branching geometry: each trie level consumes chunk bits of the 64-bit key
+// hash, so a node has up to width children selected by a bitmap. A 64-bit
+// hash is exhausted after ⌈64/chunk⌉ levels; keys whose full hashes collide
+// land in a collision node below the last level.
+const (
+	chunk = 6
+	width = 1 << chunk // 64
+	mask  = width - 1
+)
+
+// edit is an ownership token for transient (in-place) mutation. Every node
+// created or copied during a mutation is stamped with the mutating map's
+// token; a later mutation may update a node in place only when the tokens
+// are identical pointers. Freeze drops the map's token and Clone replaces
+// it, so nodes reachable from a frozen or cloned map can never be mutated
+// in place again — structural sharing is always safe.
+//
+// The struct must not be zero-sized: distinct zero-size allocations may
+// share an address in Go, which would collapse distinct tokens.
+type edit struct{ _ byte }
+
+// slot is one child position of a node: either an interior subtree (child
+// non-nil) or a key/value entry with its memoized hash. Collision nodes use
+// entry slots only.
+type slot[V any] struct {
+	child *node[V]
+	hash  uint64
+	key   string
+	val   V
+}
+
+// node is one trie node. A regular node holds, for each set bitmap bit, the
+// slot for that hash fragment in bitmap-rank order. A collision node (coll
+// true) holds entries whose full 64-bit hashes are equal, in no particular
+// order.
+type node[V any] struct {
+	edit   *edit
+	bitmap uint64
+	coll   bool
+	slots  []slot[V]
+}
+
+// Map is a hash-array-mapped trie from string keys to values of type V.
+//
+// A map is created mutable (a "transient"): Set and Delete update owned
+// nodes in place, so building a map from scratch costs about what building
+// a Go map does. Freeze makes the map permanently immutable; Clone returns
+// a new mutable map sharing all structure with the receiver in O(1), after
+// which mutations of either copy path-copy the O(log n) nodes along the
+// touched path and share everything else. That combination is what gives
+// relation working copies their O(delta) cost: cloning a sealed 100k-tuple
+// instance allocates nothing but the Map header, and each subsequent write
+// copies a handful of nodes.
+//
+// A frozen map may be read from any number of goroutines. A mutable map is
+// single-goroutine, like a Go map; Clone counts as a mutation of the
+// receiver (it revokes the receiver's in-place rights).
+type Map[V any] struct {
+	root  *node[V]
+	count int
+	edit  *edit
+}
+
+// New returns an empty mutable map.
+func New[V any]() *Map[V] { return &Map[V]{edit: &edit{}} }
+
+// hashFn hashes keys (FNV-1a, 64 bit). It is a variable so tests can force
+// total hash collisions to exercise the collision-node paths.
+var hashFn = fnv64a
+
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int { return m.count }
+
+// Frozen reports whether Freeze has been called.
+func (m *Map[V]) Frozen() bool { return m.edit == nil }
+
+// Freeze permanently forbids mutation of m and returns it. Frozen maps are
+// safe for concurrent readers; Clone is the only way onward to a mutable
+// state.
+func (m *Map[V]) Freeze() *Map[V] {
+	m.edit = nil
+	return m
+}
+
+// Clone returns an independent mutable map sharing all structure with m, in
+// O(1). When m itself is still mutable its ownership token is replaced, so
+// both copies path-copy from here on and neither can see the other's later
+// writes.
+func (m *Map[V]) Clone() *Map[V] {
+	if m.edit != nil {
+		m.edit = &edit{}
+	}
+	return &Map[V]{root: m.root, count: m.count, edit: &edit{}}
+}
+
+// Get returns the value stored under key.
+func (m *Map[V]) Get(key string) (V, bool) {
+	h := hashFn(key)
+	n := m.root
+	shift := uint(0)
+	for n != nil {
+		if n.coll {
+			for i := range n.slots {
+				if n.slots[i].key == key {
+					return n.slots[i].val, true
+				}
+			}
+			break
+		}
+		bit := uint64(1) << ((h >> shift) & mask)
+		if n.bitmap&bit == 0 {
+			break
+		}
+		s := &n.slots[rank(n.bitmap, bit)]
+		if s.child != nil {
+			n = s.child
+			shift += chunk
+			continue
+		}
+		if s.hash == h && s.key == key {
+			return s.val, true
+		}
+		break
+	}
+	var zero V
+	return zero, false
+}
+
+// Has reports whether key is present.
+func (m *Map[V]) Has(key string) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// rank returns the slot position of bit: the number of set bitmap bits
+// below it.
+func rank(bitmap, bit uint64) int { return bits.OnesCount64(bitmap & (bit - 1)) }
+
+// Set stores val under key, replacing any existing entry. The map must be
+// mutable.
+func (m *Map[V]) Set(key string, val V) {
+	if m.edit == nil {
+		panic("pmap: Set on frozen map")
+	}
+	var added bool
+	m.root = m.set(m.root, 0, hashFn(key), key, val, &added)
+	if added {
+		m.count++
+	}
+}
+
+func (m *Map[V]) set(n *node[V], shift uint, h uint64, key string, val V, added *bool) *node[V] {
+	if n == nil {
+		*added = true
+		return &node[V]{
+			edit:   m.edit,
+			bitmap: uint64(1) << ((h >> shift) & mask),
+			slots:  []slot[V]{{hash: h, key: key, val: val}},
+		}
+	}
+	if n.coll {
+		for i := range n.slots {
+			if n.slots[i].key == key {
+				n = m.owned(n)
+				n.slots[i].val = val
+				return n
+			}
+		}
+		*added = true
+		n = m.owned(n)
+		n.slots = append(n.slots, slot[V]{hash: h, key: key, val: val})
+		return n
+	}
+	bit := uint64(1) << ((h >> shift) & mask)
+	i := rank(n.bitmap, bit)
+	if n.bitmap&bit == 0 {
+		*added = true
+		if n.edit == m.edit {
+			n.slots = append(n.slots, slot[V]{})
+			copy(n.slots[i+1:], n.slots[i:])
+			n.slots[i] = slot[V]{hash: h, key: key, val: val}
+			n.bitmap |= bit
+			return n
+		}
+		slots := make([]slot[V], len(n.slots)+1)
+		copy(slots, n.slots[:i])
+		slots[i] = slot[V]{hash: h, key: key, val: val}
+		copy(slots[i+1:], n.slots[i:])
+		return &node[V]{edit: m.edit, bitmap: n.bitmap | bit, slots: slots}
+	}
+	s := n.slots[i]
+	switch {
+	case s.child != nil:
+		child := m.set(s.child, shift+chunk, h, key, val, added)
+		if child == s.child {
+			return n
+		}
+		n = m.owned(n)
+		n.slots[i].child = child
+		return n
+	case s.hash == h && s.key == key:
+		n = m.owned(n)
+		n.slots[i].val = val
+		return n
+	default:
+		*added = true
+		child := m.split(shift+chunk, s, slot[V]{hash: h, key: key, val: val})
+		n = m.owned(n)
+		n.slots[i] = slot[V]{child: child}
+		return n
+	}
+}
+
+// split pushes two colliding entries one level down, chaining further levels
+// while their hash fragments keep colliding and ending in a collision node
+// when the hashes are fully equal.
+func (m *Map[V]) split(shift uint, a, b slot[V]) *node[V] {
+	if shift >= 64 {
+		return &node[V]{edit: m.edit, coll: true, slots: []slot[V]{a, b}}
+	}
+	ai := (a.hash >> shift) & mask
+	bi := (b.hash >> shift) & mask
+	if ai == bi {
+		child := m.split(shift+chunk, a, b)
+		return &node[V]{edit: m.edit, bitmap: uint64(1) << ai, slots: []slot[V]{{child: child}}}
+	}
+	n := &node[V]{edit: m.edit, bitmap: uint64(1)<<ai | uint64(1)<<bi}
+	if ai < bi {
+		n.slots = []slot[V]{a, b}
+	} else {
+		n.slots = []slot[V]{b, a}
+	}
+	return n
+}
+
+// owned returns n when the map may mutate it in place, or a copy stamped
+// with the map's token otherwise.
+func (m *Map[V]) owned(n *node[V]) *node[V] {
+	if n.edit == m.edit {
+		return n
+	}
+	c := &node[V]{edit: m.edit, bitmap: n.bitmap, coll: n.coll, slots: make([]slot[V], len(n.slots))}
+	copy(c.slots, n.slots)
+	return c
+}
+
+// Delete removes key, reporting whether it was present. The map must be
+// mutable.
+func (m *Map[V]) Delete(key string) bool {
+	if m.edit == nil {
+		panic("pmap: Delete on frozen map")
+	}
+	var removed bool
+	m.root = m.del(m.root, 0, hashFn(key), key, &removed)
+	if removed {
+		m.count--
+	}
+	return removed
+}
+
+func (m *Map[V]) del(n *node[V], shift uint, h uint64, key string, removed *bool) *node[V] {
+	if n == nil {
+		return nil
+	}
+	if n.coll {
+		for i := range n.slots {
+			if n.slots[i].key == key {
+				*removed = true
+				if len(n.slots) == 1 {
+					return nil
+				}
+				n = m.owned(n)
+				last := len(n.slots) - 1
+				n.slots[i] = n.slots[last]
+				n.slots[last] = slot[V]{}
+				n.slots = n.slots[:last]
+				return n
+			}
+		}
+		return n
+	}
+	bit := uint64(1) << ((h >> shift) & mask)
+	if n.bitmap&bit == 0 {
+		return n
+	}
+	i := rank(n.bitmap, bit)
+	s := n.slots[i]
+	if s.child != nil {
+		child := m.del(s.child, shift+chunk, h, key, removed)
+		if !*removed {
+			return n
+		}
+		if child == nil {
+			// The subtree drained; drop its slot, collapsing this node too
+			// when that was its last one so emptied chains free their nodes
+			// instead of lingering on the hash path.
+			if len(n.slots) == 1 {
+				return nil
+			}
+			return m.removeSlot(n, bit, i)
+		}
+		if child == s.child {
+			return n
+		}
+		n = m.owned(n)
+		n.slots[i].child = child
+		return n
+	}
+	if s.hash != h || s.key != key {
+		return n
+	}
+	*removed = true
+	if len(n.slots) == 1 {
+		return nil
+	}
+	return m.removeSlot(n, bit, i)
+}
+
+// removeSlot drops slot i (bitmap bit) from a regular node with more than
+// one slot.
+func (m *Map[V]) removeSlot(n *node[V], bit uint64, i int) *node[V] {
+	if n.edit == m.edit {
+		copy(n.slots[i:], n.slots[i+1:])
+		n.slots[len(n.slots)-1] = slot[V]{}
+		n.slots = n.slots[:len(n.slots)-1]
+		n.bitmap &^= bit
+		return n
+	}
+	slots := make([]slot[V], len(n.slots)-1)
+	copy(slots, n.slots[:i])
+	copy(slots[i:], n.slots[i+1:])
+	return &node[V]{edit: m.edit, bitmap: n.bitmap &^ bit, slots: slots}
+}
+
+// Range invokes fn for every entry; a non-nil error stops the iteration and
+// is returned. Iteration order is unspecified (it follows hash paths, like
+// a Go map's order it carries no meaning). The map must not be mutated
+// while Range runs.
+func (m *Map[V]) Range(fn func(key string, val V) error) error {
+	return rangeNode(m.root, fn)
+}
+
+func rangeNode[V any](n *node[V], fn func(string, V) error) error {
+	if n == nil {
+		return nil
+	}
+	for i := range n.slots {
+		s := &n.slots[i]
+		if s.child != nil {
+			if err := rangeNode(s.child, fn); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := fn(s.key, s.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RangeValues is Range without the key, saving an indirect call per entry
+// on hot scan paths (the algebra evaluator iterates relations tuple-wise).
+func (m *Map[V]) RangeValues(fn func(val V) error) error {
+	return rangeValues(m.root, fn)
+}
+
+func rangeValues[V any](n *node[V], fn func(V) error) error {
+	if n == nil {
+		return nil
+	}
+	for i := range n.slots {
+		s := &n.slots[i]
+		if s.child != nil {
+			if err := rangeValues(s.child, fn); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := fn(s.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

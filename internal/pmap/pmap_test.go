@@ -1,0 +1,243 @@
+package pmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := New[int]()
+	if m.Len() != 0 {
+		t.Fatalf("empty Len = %d", m.Len())
+	}
+	m.Set("a", 1)
+	m.Set("b", 2)
+	m.Set("a", 3)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if v, ok := m.Get("a"); !ok || v != 3 {
+		t.Fatalf("Get(a) = %d,%v", v, ok)
+	}
+	if _, ok := m.Get("c"); ok {
+		t.Fatal("Get(c) found phantom entry")
+	}
+	if !m.Delete("a") || m.Delete("a") {
+		t.Fatal("Delete(a) not exactly-once")
+	}
+	if m.Len() != 1 || m.Has("a") {
+		t.Fatalf("after delete: Len=%d Has(a)=%v", m.Len(), m.Has("a"))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < 1000; i++ {
+		m.Set(fmt.Sprintf("k%d", i), i)
+	}
+	c := m.Clone()
+	c.Set("k0", -1)
+	c.Delete("k1")
+	m.Set("k2", -2) // the original keeps mutating after Clone: must path-copy
+	m.Set("new", 7)
+	if v, _ := m.Get("k0"); v != 0 {
+		t.Errorf("clone write leaked into original: k0 = %d", v)
+	}
+	if !m.Has("k1") {
+		t.Error("clone delete leaked into original")
+	}
+	if v, _ := c.Get("k2"); v != 2 {
+		t.Errorf("original write leaked into clone: k2 = %d", v)
+	}
+	if c.Has("new") {
+		t.Error("original insert leaked into clone")
+	}
+	if m.Len() != 1001 || c.Len() != 999 {
+		t.Errorf("Len: original=%d clone=%d", m.Len(), c.Len())
+	}
+}
+
+func TestFreezePanics(t *testing.T) {
+	m := New[int]()
+	m.Set("a", 1)
+	m.Freeze()
+	if !m.Frozen() {
+		t.Fatal("Frozen() = false after Freeze")
+	}
+	mustPanic(t, "Set", func() { m.Set("b", 2) })
+	mustPanic(t, "Delete", func() { m.Delete("a") })
+	c := m.Clone()
+	c.Set("b", 2) // clone of a frozen map is mutable
+	if !c.Has("b") || m.Has("b") {
+		t.Fatal("clone of frozen map broken")
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s on frozen map did not panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestCollisionNodes forces every key onto one hash so the whole map
+// degenerates into chained nodes ending in a collision node, exercising the
+// split/collision insert, lookup, delete and clone paths.
+func TestCollisionNodes(t *testing.T) {
+	defer func(orig func(string) uint64) { hashFn = orig }(hashFn)
+	hashFn = func(string) uint64 { return 0xdeadbeef }
+
+	m := New[int]()
+	const n = 40
+	for i := 0; i < n; i++ {
+		m.Set(fmt.Sprintf("k%d", i), i)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Get(fmt.Sprintf("k%d", i)); !ok || v != i {
+			t.Fatalf("Get(k%d) = %d,%v", i, v, ok)
+		}
+	}
+	c := m.Clone()
+	for i := 0; i < n; i += 2 {
+		if !c.Delete(fmt.Sprintf("k%d", i)) {
+			t.Fatalf("Delete(k%d) missed", i)
+		}
+	}
+	if c.Len() != n/2 || m.Len() != n {
+		t.Fatalf("Len after delete: clone=%d original=%d", c.Len(), m.Len())
+	}
+	seen := 0
+	_ = c.Range(func(key string, v int) error {
+		if v%2 == 0 {
+			t.Errorf("deleted entry %s survived", key)
+		}
+		seen++
+		return nil
+	})
+	if seen != n/2 {
+		t.Fatalf("Range visited %d entries, want %d", seen, n/2)
+	}
+	if c.Delete("absent") {
+		t.Error("Delete(absent) on collision node reported true")
+	}
+}
+
+// TestDeleteDrainsToNil: deleting every entry must collapse emptied node
+// chains all the way to a nil root — including chains built by hash-forced
+// splits — not leave empty interior nodes on the hash paths.
+func TestDeleteDrainsToNil(t *testing.T) {
+	check := func(t *testing.T, m *Map[int], n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			m.Set(fmt.Sprintf("k%d", i), i)
+		}
+		for i := 0; i < n; i++ {
+			if !m.Delete(fmt.Sprintf("k%d", i)) {
+				t.Fatalf("Delete(k%d) missed", i)
+			}
+		}
+		if m.Len() != 0 || m.root != nil {
+			t.Fatalf("drained map: Len=%d root=%v, want empty nil root", m.Len(), m.root)
+		}
+	}
+	t.Run("normal hashes", func(t *testing.T) { check(t, New[int](), 500) })
+	t.Run("forced collisions", func(t *testing.T) {
+		defer func(orig func(string) uint64) { hashFn = orig }(hashFn)
+		hashFn = func(string) uint64 { return 42 }
+		check(t, New[int](), 20)
+	})
+	t.Run("path-copied", func(t *testing.T) {
+		m := New[int]()
+		for i := 0; i < 500; i++ {
+			m.Set(fmt.Sprintf("k%d", i), i)
+		}
+		c := m.Clone() // every delete below path-copies
+		for i := 0; i < 500; i++ {
+			c.Delete(fmt.Sprintf("k%d", i))
+		}
+		if c.Len() != 0 || c.root != nil {
+			t.Fatalf("drained clone: Len=%d root=%v", c.Len(), c.root)
+		}
+		if m.Len() != 500 {
+			t.Fatalf("original Len = %d after clone drain", m.Len())
+		}
+	})
+}
+
+// TestRandomAgainstModel drives a random op sequence against the trie and a
+// plain Go map, checking full agreement after every batch. Clones fork both
+// sides so structural sharing across generations is validated too.
+func TestRandomAgainstModel(t *testing.T) {
+	type pair struct {
+		m     *Map[int]
+		model map[string]int
+	}
+	rng := rand.New(rand.NewSource(1))
+	pairs := []pair{{New[int](), map[string]int{}}}
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	check := func(p pair) {
+		t.Helper()
+		if p.m.Len() != len(p.model) {
+			t.Fatalf("Len = %d, model %d", p.m.Len(), len(p.model))
+		}
+		visited := 0
+		_ = p.m.Range(func(k string, v int) error {
+			if mv, ok := p.model[k]; !ok || mv != v {
+				t.Fatalf("trie has %s=%d, model has %d (present=%v)", k, v, mv, ok)
+			}
+			visited++
+			return nil
+		})
+		if visited != len(p.model) {
+			t.Fatalf("Range visited %d, model %d", visited, len(p.model))
+		}
+		for k, mv := range p.model {
+			if v, ok := p.m.Get(k); !ok || v != mv {
+				t.Fatalf("Get(%s) = %d,%v, model %d", k, v, ok, mv)
+			}
+		}
+	}
+	for step := 0; step < 4000; step++ {
+		p := pairs[rng.Intn(len(pairs))]
+		k := keys[rng.Intn(len(keys))]
+		switch op := rng.Intn(10); {
+		case op < 5:
+			v := rng.Intn(1000)
+			p.m.Set(k, v)
+			p.model[k] = v
+		case op < 8:
+			got := p.m.Delete(k)
+			_, want := p.model[k]
+			if got != want {
+				t.Fatalf("Delete(%s) = %v, model %v", k, got, want)
+			}
+			delete(p.model, k)
+		default:
+			if len(pairs) < 6 {
+				model := make(map[string]int, len(p.model))
+				for mk, mv := range p.model {
+					model[mk] = mv
+				}
+				pairs = append(pairs, pair{p.m.Clone(), model})
+			}
+		}
+		if step%97 == 0 {
+			for _, q := range pairs {
+				check(q)
+			}
+		}
+	}
+	for _, q := range pairs {
+		check(q)
+	}
+}

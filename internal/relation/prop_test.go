@@ -1,0 +1,196 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func propSchema() *schema.Relation {
+	return schema.MustRelation("p",
+		schema.Attribute{Name: "a", Type: value.KindInt},
+		schema.Attribute{Name: "b", Type: value.KindInt},
+	)
+}
+
+func propTuple(a, b int64) Tuple { return Tuple{value.Int(a), value.Int(b)} }
+
+// modelPair is a trie-backed relation paired with a plain-map reference
+// model of its expected contents, keyed by canonical tuple key.
+type modelPair struct {
+	rel    *Relation
+	model  map[string]Tuple
+	sealed bool
+}
+
+func (p *modelPair) verify(t *testing.T) {
+	t.Helper()
+	if p.rel.Len() != len(p.model) {
+		t.Fatalf("Len = %d, model has %d", p.rel.Len(), len(p.model))
+	}
+	if p.rel.IsEmpty() != (len(p.model) == 0) {
+		t.Fatalf("IsEmpty = %v with %d model tuples", p.rel.IsEmpty(), len(p.model))
+	}
+	visited := 0
+	err := p.rel.ForEachKey(func(k string, tu Tuple) error {
+		mt, ok := p.model[k]
+		if !ok {
+			return fmt.Errorf("relation holds unexpected tuple %s", tu)
+		}
+		if !mt.Equal(tu) {
+			return fmt.Errorf("key %x maps to %s, model has %s", k, tu, mt)
+		}
+		visited++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != len(p.model) {
+		t.Fatalf("iteration visited %d tuples, model has %d", visited, len(p.model))
+	}
+	for k, mt := range p.model {
+		if !p.rel.ContainsKey(k) || !p.rel.Contains(mt) {
+			t.Fatalf("model tuple %s missing from relation", mt)
+		}
+	}
+	if p.rel.Sealed() != p.sealed {
+		t.Fatalf("Sealed = %v, want %v", p.rel.Sealed(), p.sealed)
+	}
+}
+
+// TestRelationAgainstMapModel drives a random Insert/Delete/Clone/Seal
+// sequence against the trie-backed relation and a plain-map reference model
+// in lockstep, checking identical contents, Len and iteration sets at every
+// step. Clones fork the model too, so structural sharing across generations
+// of working copies — the overlay's clone-then-mutate lifecycle — is what
+// is actually being exercised.
+func TestRelationAgainstMapModel(t *testing.T) {
+	for _, seed := range []int64{1, 2, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			pairs := []*modelPair{{rel: New(propSchema()), model: map[string]Tuple{}}}
+			for step := 0; step < 3000; step++ {
+				p := pairs[rng.Intn(len(pairs))]
+				tu := propTuple(int64(rng.Intn(60)), int64(rng.Intn(4)))
+				switch op := rng.Intn(12); {
+				case op < 5: // insert
+					if p.sealed {
+						continue
+					}
+					if err := p.rel.Insert(tu); err != nil {
+						t.Fatal(err)
+					}
+					p.model[tu.Key()] = tu
+				case op < 8: // delete
+					if p.sealed {
+						continue
+					}
+					got := p.rel.Delete(tu)
+					_, want := p.model[tu.Key()]
+					if got != want {
+						t.Fatalf("Delete(%s) = %v, model %v", tu, got, want)
+					}
+					delete(p.model, tu.Key())
+				case op < 10: // clone (sealed or not: both must yield mutable copies)
+					if len(pairs) >= 8 {
+						continue
+					}
+					model := make(map[string]Tuple, len(p.model))
+					for k, v := range p.model {
+						model[k] = v
+					}
+					pairs = append(pairs, &modelPair{rel: p.rel.Clone(), model: model})
+				default: // seal
+					p.rel.Seal()
+					p.sealed = true
+				}
+				if step%53 == 0 {
+					for _, q := range pairs {
+						q.verify(t)
+					}
+				}
+			}
+			for _, q := range pairs {
+				q.verify(t)
+			}
+		})
+	}
+}
+
+// TestSealedMutationPanics pins the seal contract the storage layer relies
+// on: every mutating method of a sealed instance panics.
+func TestSealedMutationPanics(t *testing.T) {
+	r := MustFromTuples(propSchema(), propTuple(1, 1)).Seal()
+	other := MustFromTuples(propSchema(), propTuple(2, 2))
+	for name, fn := range map[string]func(){
+		"Insert":          func() { _ = r.Insert(propTuple(3, 3)) },
+		"InsertUnchecked": func() { r.InsertUnchecked(propTuple(3, 3)) },
+		"InsertKeyed":     func() { tu := propTuple(3, 3); r.InsertKeyed(tu.Key(), tu) },
+		"Delete":          func() { r.Delete(propTuple(1, 1)) },
+		"DeleteKey":       func() { r.DeleteKey(propTuple(1, 1).Key()) },
+		"UnionInPlace":    func() { r.UnionInPlace(other) },
+		"DiffInPlace":     func() { r.DiffInPlace(other) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on sealed relation did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestCloneWhileReadStress runs concurrent readers of a sealed instance
+// against writers mutating their own clones of it — the snapshot-isolation
+// access pattern — and is meant for the -race detector: structural sharing
+// must never let a writer's path copies become visible to a reader.
+func TestCloneWhileReadStress(t *testing.T) {
+	base := New(propSchema())
+	const n = 20000
+	for i := 0; i < n; i++ {
+		base.InsertUnchecked(propTuple(int64(i), int64(i%7)))
+	}
+	base.Seal()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) { // writer: clone, churn, re-clone
+			defer wg.Done()
+			c := base.Clone()
+			for i := 0; i < 3000; i++ {
+				c.InsertUnchecked(propTuple(int64(n+w*10000+i), 0))
+				c.DeleteKey(propTuple(int64(i), int64(i%7)).Key())
+				if i%1000 == 0 {
+					c = c.Clone()
+				}
+			}
+		}(w)
+		go func() { // reader: iterate and probe the sealed base
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				count := 0
+				_ = base.ForEach(func(Tuple) error { count++; return nil })
+				if count != n {
+					t.Errorf("sealed base iterated %d tuples, want %d", count, n)
+					return
+				}
+				if !base.ContainsKey(propTuple(0, 0).Key()) {
+					t.Error("sealed base lost tuple (0,0)")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if base.Len() != n {
+		t.Errorf("sealed base Len = %d after stress, want %d", base.Len(), n)
+	}
+}

@@ -2,13 +2,41 @@
 // (Definition 2.1): deduplicated collections of tuples over a relation
 // schema. Relations are the unit of data the algebra evaluator, the storage
 // layer and the fragmentation layer all exchange.
+//
+// # Persistent representation
+//
+// An instance is backed by a persistent hash-array-mapped trie (package
+// pmap) keyed by canonical tuple keys, not by a Go map. The trie is what
+// makes the engine's write path O(delta) end to end:
+//
+//   - Clone is O(1). It shares the whole trie with the receiver; the copy
+//     only materializes — node by node, along the touched root-to-leaf
+//     paths — as either side mutates. A transaction's working copy of a
+//     100k-tuple relation therefore costs nothing to create and O(log n)
+//     per written tuple, instead of the former O(n) up-front clone.
+//   - Commits share structure. The storage layer derives the successor
+//     sealed instance from the predecessor plus the transaction's net
+//     ins/del delta, so consecutive database snapshots share all unchanged
+//     subtrees, mirroring how secondary indexes push O(delta) layers.
+//
+// # Seal semantics
+//
+// A relation starts mutable; Seal freezes it permanently (mutations panic).
+// Sealed instances are the unit of copy-on-write sharing in the storage
+// layer: a committed snapshot holds only sealed instances, handed to any
+// number of concurrent readers without copying or locking. Writers Clone
+// first — O(1) — and mutate their private copy; the persistent trie
+// guarantees the sealed original can never observe those writes. Mutable
+// relations are single-goroutine, like Go maps.
 package relation
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
+	"repro/internal/pmap"
 	"repro/internal/schema"
 	"repro/internal/value"
 )
@@ -33,11 +61,21 @@ func (t Tuple) Key() string {
 // intersects those records against committed deltas: two tuples collide on
 // an index iff their KeyOn the index columns are equal.
 func (t Tuple) KeyOn(cols []int) string {
-	buf := make([]byte, 0, 16*len(cols))
+	return string(t.AppendKeyOn(nil, cols))
+}
+
+// AppendKeyOn appends the KeyOn encoding to buf and returns it. Hot
+// per-tuple probe paths (the hash-join build/probe loop) reuse one buffer
+// across tuples and look maps up via the compiler's alloc-free
+// map[string(buf)] form instead of materializing a string per tuple.
+func (t Tuple) AppendKeyOn(buf []byte, cols []int) []byte {
+	if buf == nil {
+		buf = make([]byte, 0, 16*len(cols))
+	}
 	for _, c := range cols {
 		buf = t[c].AppendKey(buf)
 	}
-	return string(buf)
+	return buf
 }
 
 // Equal reports element-wise equality.
@@ -96,23 +134,26 @@ func (t Tuple) Less(o Tuple) bool {
 	return len(t) < len(o)
 }
 
-// Relation is a set of tuples over a schema. The zero value is not usable;
-// construct with New.
-//
-// A relation starts mutable; Seal freezes it permanently. Sealed relations
-// are the unit of copy-on-write sharing in the storage layer: a committed
-// database snapshot holds only sealed instances, so snapshots can be handed
-// to concurrent readers without copying, and writers must Clone (yielding a
-// fresh mutable instance) before changing anything.
+// Relation is a set of tuples over a schema, backed by a persistent trie
+// (see the package documentation for the sharing and seal semantics). The
+// zero value is not usable; construct with New.
 type Relation struct {
 	schema *schema.Relation
-	tuples map[string]Tuple
+	tuples *pmap.Map[Tuple]
 	sealed bool
+	// scan memoizes the full-scan tuple order of a sealed instance: the
+	// first complete ForEach flattens the trie into a contiguous slice and
+	// publishes it, so the repeated whole-relation scans of hot, rarely
+	// written relations (enforcement joins without a covering index) iterate
+	// cache-friendly storage instead of re-walking trie nodes. Sealed
+	// instances are immutable, so the memo can never go stale; concurrent
+	// builders publish equivalent slices and the last store wins.
+	scan atomic.Pointer[[]Tuple]
 }
 
 // New returns an empty relation instance of the given schema.
 func New(s *schema.Relation) *Relation {
-	return &Relation{schema: s, tuples: make(map[string]Tuple)}
+	return &Relation{schema: s, tuples: pmap.New[Tuple]()}
 }
 
 // FromTuples builds a relation from the given tuples, deduplicating. Tuples
@@ -145,6 +186,7 @@ func (r *Relation) Schema() *schema.Relation { return r.schema }
 // instance. Sealing is idempotent; Clone of a sealed relation is mutable.
 func (r *Relation) Seal() *Relation {
 	r.sealed = true
+	r.tuples.Freeze()
 	return r
 }
 
@@ -158,10 +200,10 @@ func (r *Relation) checkMutable() {
 }
 
 // Len returns the cardinality of the relation.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return r.tuples.Len() }
 
 // IsEmpty reports whether the relation has no tuples.
-func (r *Relation) IsEmpty() bool { return len(r.tuples) == 0 }
+func (r *Relation) IsEmpty() bool { return r.tuples.Len() == 0 }
 
 // Insert adds t to the set; inserting a duplicate is a silent no-op per set
 // semantics. The tuple arity must match the schema.
@@ -170,7 +212,7 @@ func (r *Relation) Insert(t Tuple) error {
 	if len(t) != r.schema.Arity() {
 		return fmt.Errorf("relation %s: tuple arity %d, want %d", r.schema.Name, len(t), r.schema.Arity())
 	}
-	r.tuples[t.Key()] = t
+	r.tuples.Set(t.Key(), t)
 	return nil
 }
 
@@ -178,24 +220,18 @@ func (r *Relation) Insert(t Tuple) error {
 // that construct tuples of a known shape.
 func (r *Relation) InsertUnchecked(t Tuple) {
 	r.checkMutable()
-	r.tuples[t.Key()] = t
+	r.tuples.Set(t.Key(), t)
 }
 
 // Delete removes t from the set, reporting whether it was present.
 func (r *Relation) Delete(t Tuple) bool {
 	r.checkMutable()
-	k := t.Key()
-	if _, ok := r.tuples[k]; ok {
-		delete(r.tuples, k)
-		return true
-	}
-	return false
+	return r.tuples.Delete(t.Key())
 }
 
 // Contains reports set membership of t.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.tuples[t.Key()]
-	return ok
+	return r.tuples.Has(t.Key())
 }
 
 // ContainsKey reports membership by canonical tuple key (Tuple.Key); it lets
@@ -203,57 +239,66 @@ func (r *Relation) Contains(t Tuple) bool {
 // its read set, the commit validator intersecting deltas — probe without
 // re-encoding the tuple.
 func (r *Relation) ContainsKey(k string) bool {
-	_, ok := r.tuples[k]
-	return ok
+	return r.tuples.Has(k)
 }
 
 // InsertKeyed adds t under its precomputed canonical key, skipping arity
 // validation and key re-encoding; k must equal t.Key().
 func (r *Relation) InsertKeyed(k string, t Tuple) {
 	r.checkMutable()
-	r.tuples[k] = t
+	r.tuples.Set(k, t)
 }
 
 // DeleteKey removes the tuple with the given canonical key, reporting
 // whether it was present.
 func (r *Relation) DeleteKey(k string) bool {
 	r.checkMutable()
-	if _, ok := r.tuples[k]; ok {
-		delete(r.tuples, k)
-		return true
-	}
-	return false
+	return r.tuples.Delete(k)
 }
 
 // ForEachKey invokes fn for every tuple together with its canonical key;
 // iteration stops early if fn returns a non-nil error, which is propagated.
-// Iteration order is unspecified.
+// Iteration order is unspecified. The relation must not be mutated during
+// the iteration.
 func (r *Relation) ForEachKey(fn func(key string, t Tuple) error) error {
-	for k, t := range r.tuples {
-		if err := fn(k, t); err != nil {
-			return err
-		}
-	}
-	return nil
+	return r.tuples.Range(fn)
 }
 
 // ForEach invokes fn for every tuple; iteration stops early if fn returns a
-// non-nil error, which is propagated. Iteration order is unspecified.
+// non-nil error, which is propagated. Iteration order is unspecified. The
+// relation must not be mutated during the iteration (sealed instances
+// cannot be, and additionally memoize their scan order — see Relation).
 func (r *Relation) ForEach(fn func(Tuple) error) error {
-	for _, t := range r.tuples {
-		if err := fn(t); err != nil {
-			return err
-		}
+	if !r.sealed {
+		return r.tuples.RangeValues(fn)
 	}
+	if p := r.scan.Load(); p != nil {
+		for _, t := range *p {
+			if err := fn(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	flat := make([]Tuple, 0, r.tuples.Len())
+	err := r.tuples.RangeValues(func(t Tuple) error {
+		flat = append(flat, t)
+		return fn(t)
+	})
+	if err != nil {
+		return err // incomplete walk: do not publish a partial memo
+	}
+	r.scan.Store(&flat)
 	return nil
 }
 
 // Tuples returns all tuples in unspecified order.
 func (r *Relation) Tuples() []Tuple {
-	out := make([]Tuple, 0, len(r.tuples))
-	for _, t := range r.tuples {
+	out := make([]Tuple, 0, r.tuples.Len())
+	_ = r.tuples.Range(func(_ string, t Tuple) error {
 		out = append(out, t)
-	}
+		return nil
+	})
 	return out
 }
 
@@ -264,51 +309,69 @@ func (r *Relation) SortedTuples() []Tuple {
 	return out
 }
 
-// Clone returns a deep-enough copy: the tuple map is copied, tuples
-// themselves are immutable by convention and shared.
+// Clone returns an independent mutable copy in O(1): the persistent trie is
+// shared outright, and subsequent mutations of either side path-copy the
+// touched nodes without the other observing them. Tuples themselves are
+// immutable by convention and shared.
 func (r *Relation) Clone() *Relation {
-	c := &Relation{schema: r.schema, tuples: make(map[string]Tuple, len(r.tuples))}
-	for k, t := range r.tuples {
-		c.tuples[k] = t
-	}
-	return c
+	return &Relation{schema: r.schema, tuples: r.tuples.Clone()}
 }
 
 // CloneAs is Clone with the schema renamed; used for auxiliary relations
-// such as pre-transaction states.
+// such as pre-transaction states. Like Clone it is O(1): both the trie and
+// the schema's attribute storage are shared.
 func (r *Relation) CloneAs(name string) *Relation {
-	c := r.Clone()
-	c.schema = r.schema.Clone(name)
-	return c
+	return &Relation{schema: r.schema.Renamed(name), tuples: r.tuples.Clone()}
+}
+
+// CloneWith is Clone with a different schema of the same arity; it is how
+// schema-only operators (rename, set operations over union-compatible
+// inputs) re-label an instance without copying any tuples.
+func (r *Relation) CloneWith(s *schema.Relation) *Relation {
+	if s.Arity() != r.schema.Arity() {
+		panic(fmt.Sprintf("relation %s: CloneWith schema %s of different arity", r.schema.Name, s.Name))
+	}
+	return &Relation{schema: s, tuples: r.tuples.Clone()}
 }
 
 // Equal reports whether two relations contain exactly the same tuple set.
 func (r *Relation) Equal(o *Relation) bool {
-	if len(r.tuples) != len(o.tuples) {
+	if r.tuples.Len() != o.tuples.Len() {
 		return false
 	}
-	for k := range r.tuples {
-		if _, ok := o.tuples[k]; !ok {
-			return false
+	return r.tuples.Range(func(k string, _ Tuple) error {
+		if !o.tuples.Has(k) {
+			return errNotEqual
 		}
-	}
-	return true
+		return nil
+	}) == nil
 }
+
+var errNotEqual = fmt.Errorf("relation: not equal")
 
 // UnionInPlace inserts every tuple of o into r.
 func (r *Relation) UnionInPlace(o *Relation) {
 	r.checkMutable()
-	for k, t := range o.tuples {
-		r.tuples[k] = t
+	if o == r {
+		return
 	}
+	_ = o.tuples.Range(func(k string, t Tuple) error {
+		r.tuples.Set(k, t)
+		return nil
+	})
 }
 
 // DiffInPlace removes every tuple of o from r.
 func (r *Relation) DiffInPlace(o *Relation) {
 	r.checkMutable()
-	for k := range o.tuples {
-		delete(r.tuples, k)
+	if o == r {
+		r.tuples = pmap.New[Tuple]()
+		return
 	}
+	_ = o.tuples.Range(func(k string, _ Tuple) error {
+		r.tuples.Delete(k)
+		return nil
+	})
 }
 
 // String renders the relation with its schema header and sorted tuples, for

@@ -25,13 +25,18 @@
 //     delta to the same relation conflicts only if it touched a key this
 //     transaction read or wrote, or if this transaction scanned the whole
 //     relation.
-//   - Phase 2 (publish): still holding the shard locks, concurrent deltas
-//     to the written relations are merged into the commit's working
-//     instances (sound because validation just proved tuple disjointness),
-//     and the successor snapshot is published under a short global publish
-//     mutex that only assigns the commit time and swaps the snapshot
-//     pointer — the single point that keeps the global clock and snapshot
-//     atomic while disjoint-shard commits validate in parallel.
+//   - Phase 2 (publish): still holding the shard locks, the successor
+//     instance of every written relation is derived from the latest sealed
+//     instance by applying the commit's net ins/del delta to the shared
+//     persistent trie (package pmap) — an O(1) clone plus O(delta) path
+//     copies, mirroring how secondary indexes push O(delta) layers. Because
+//     the latest instance already contains every concurrently committed
+//     delta (validation just proved they are tuple-disjoint from this
+//     commit), deriving from it subsumes the old merge step. The successor
+//     snapshot is then published under a short global publish mutex that
+//     only assigns the commit time and swaps the snapshot pointer — the
+//     single point that keeps the global clock and snapshot atomic while
+//     disjoint-shard commits validate in parallel.
 package storage
 
 import (
@@ -161,11 +166,18 @@ type ReadInfo struct {
 // and wants to install the instances in Changed with the net differentials
 // Ins/Del.
 //
-// When Reads records tuple keys for a changed relation, the instance in
-// Changed must be mutable: the store merges concurrently committed disjoint
-// deltas into it before installing (the instances are sealed on
-// publication). A Commit with nil Reads skips validation and merging and
-// installs Changed verbatim; the caller owns serialization then.
+// For a changed relation carrying a net delta (an Ins or Del entry), the
+// store does not install the instance in Changed at all: it derives the
+// successor from the latest sealed instance plus the delta, O(delta), so
+// consecutive snapshots share trie structure — the instance may then even
+// be nil (the overlay materializes working copies lazily and a write-only
+// transaction has none). Changed still names the written relations and
+// serves as the installed instance for relations without tuple-level
+// deltas; because such an instance is installed verbatim, its read record
+// is forced to whole-relation granularity during validation (a concurrent
+// delta to it conflicts rather than being overwritten). A Commit with nil
+// Reads skips validation and installs Changed verbatim; the caller owns
+// serialization then.
 type Commit struct {
 	BaseTime uint64
 	Reads    map[string]*ReadInfo
@@ -454,10 +466,12 @@ func (d *Database) unlockShards(locked []int) {
 }
 
 // validateShard performs first-committer-wins validation of the commit's
-// reads that hash to shard si, against that shard's log segment, and
-// collects the concurrent deltas that must be merged into the commit's
-// written relations. Callers hold the shard lock.
-func (d *Database) validateShard(c *Commit, si int, homes map[string]int, pending map[string][]*Delta) *Conflict {
+// reads that hash to shard si, against that shard's log segment. It sets
+// *merged when a concurrent disjoint delta touched one of the commit's
+// written relations: the delta's effect survives into the successor
+// instance (derived from the latest state), and the flag feeds the
+// MergedCommits counter. Callers hold the shard lock.
+func (d *Database) validateShard(c *Commit, si int, homes map[string]int, merged *bool) *Conflict {
 	sh := d.shards[si]
 	relevant := false
 	for name := range c.Reads {
@@ -495,8 +509,8 @@ func (d *Database) validateShard(c *Commit, si int, homes map[string]int, pendin
 			if k := ri.overlapKey(ins, del); k != "" {
 				return &Conflict{Time: delta.Time, Relation: name, Key: k}
 			}
-			if c.Changed[name] != nil {
-				pending[name] = append(pending[name], delta)
+			if _, written := c.Changed[name]; written {
+				*merged = true
 			}
 		}
 	}
@@ -539,37 +553,50 @@ var errStopIteration = errors.New("stop")
 // of the commit's read and write sets in canonical order and validates,
 // first-committer-wins, that no transaction committed after c.BaseTime
 // wrote anything this one depends on — at tuple granularity where c.Reads
-// recorded keys. Phase 2 merges concurrently committed disjoint deltas into
-// the written instances and publishes the successor snapshot, advancing the
-// clock atomically under the global publish mutex. A non-nil Conflict (with
+// recorded keys. Phase 2 derives the successor instances from the latest
+// sealed state plus the commit's net deltas (O(delta) on the shared trie,
+// which also absorbs concurrently committed disjoint deltas) and publishes
+// the successor snapshot, advancing the clock atomically under the global
+// publish mutex. A non-nil Conflict (with
 // nil error) means validation failed and the caller should re-execute
 // against a fresh snapshot; errors are reserved for malformed commits,
 // which leave the state untouched.
 func (d *Database) CommitValidated(c Commit) (uint64, *Conflict, error) {
 	cur := d.snap.Load()
-	for name := range c.Changed {
+	for name, w := range c.Changed {
 		if _, ok := cur.rels[name]; !ok {
 			return 0, nil, fmt.Errorf("storage: commit touches unknown relation %q", name)
+		}
+		// A nil instance is only installable when the successor can be
+		// derived: the validated path (non-nil Reads) with a tuple-level
+		// delta. Everything else would dereference nil at publication.
+		if w == nil && (c.Reads == nil || (c.Ins[name] == nil && c.Del[name] == nil)) {
+			return 0, nil, fmt.Errorf("storage: commit names relation %q with neither an installable instance nor a derivable delta", name)
 		}
 	}
 	if c.BaseTime > cur.time {
 		return 0, nil, fmt.Errorf("storage: commit base time %d is ahead of the store (t=%d)", c.BaseTime, cur.time)
 	}
-	// A validated commit (non-nil Reads) must carry a read record for every
-	// relation it writes — installing an instance depends on everything it
-	// holds. Overlay commits satisfy this by construction; for raw callers
-	// that omit one, synthesize a whole-relation read so the write can
-	// never silently clobber a concurrent commit.
+	// A validated commit (non-nil Reads) must read-depend on every relation
+	// it writes. A written relation with a tuple-level delta keeps whatever
+	// granularity the overlay recorded — the successor is derived from the
+	// latest state, so concurrent disjoint deltas survive. A written
+	// relation *without* a delta is installed verbatim, which depends on
+	// everything the instance holds and lacks: its read is forced to
+	// whole-relation granularity (synthesized if absent, widened if keyed),
+	// so a concurrent delta conflicts instead of being silently overwritten.
+	// Overlay commits always carry deltas; this guards raw callers.
 	if c.Reads != nil {
 		var aug map[string]*ReadInfo
 		for name := range c.Changed {
-			if c.Reads[name] != nil {
+			ri := c.Reads[name]
+			if ri != nil && (ri.Full || c.Ins[name] != nil || c.Del[name] != nil) {
 				continue
 			}
 			if aug == nil {
 				aug = make(map[string]*ReadInfo, len(c.Reads)+1)
-				for n, ri := range c.Reads {
-					aug[n] = ri
+				for n, r := range c.Reads {
+					aug[n] = r
 				}
 			}
 			aug[name] = &ReadInfo{Full: true}
@@ -582,30 +609,47 @@ func (d *Database) CommitValidated(c Commit) (uint64, *Conflict, error) {
 	locked, homes := d.lockShardSet(&c)
 	defer d.unlockShards(locked)
 
-	// Phase 1: validate the read set shard-locally, collecting the
-	// concurrent deltas that must be merged into our written relations.
-	pending := make(map[string][]*Delta)
+	// Phase 1: validate the read set shard-locally, noting whether any
+	// concurrent disjoint delta touched a written relation (its effect is
+	// absorbed by deriving the successor from the latest state below).
+	merged := false
 	for _, si := range locked {
-		if conflict := d.validateShard(&c, si, homes, pending); conflict != nil {
+		if conflict := d.validateShard(&c, si, homes, &merged); conflict != nil {
 			d.conflicts.Add(1)
 			return 0, conflict, nil
 		}
 	}
 
-	// Phase 2: merge and publish. Validation proved the pending deltas are
-	// tuple-disjoint from everything this transaction read or wrote, so
-	// replaying them (in commit order) onto the working instances yields
-	// exactly the state the transaction would have produced on the current
-	// snapshot.
-	for name, deltas := range pending {
-		w := c.Changed[name]
-		for _, delta := range deltas {
-			if del := delta.Del[name]; del != nil {
-				w.DiffInPlace(del)
+	// Phase 2: derive and publish. For every written relation with a
+	// tuple-level net delta, the successor instance is derived from the
+	// latest sealed instance — an O(1) trie clone plus O(delta) path-copying
+	// inserts and deletes — rather than installing the transaction's working
+	// copy. The latest instance already contains every concurrently
+	// committed delta, and validation just proved those are tuple-disjoint
+	// from this commit's reads and writes, so base + concurrent + net delta
+	// is exactly the state the transaction would have produced on the
+	// current snapshot (the former explicit merge step). Holding the home
+	// shard locks keeps the latest instances of the written relations stable
+	// until publication. Relations without tuple detail (raw ApplyCommit
+	// callers) install Changed verbatim.
+	install := c.Changed
+	if c.Reads != nil {
+		cur = d.snap.Load()
+		install = make(map[string]*relation.Relation, len(c.Changed))
+		for name, w := range c.Changed {
+			ins, del := c.Ins[name], c.Del[name]
+			if ins == nil && del == nil {
+				install[name] = w
+				continue
 			}
-			if ins := delta.Ins[name]; ins != nil {
-				w.UnionInPlace(ins)
+			succ := cur.rels[name].Clone()
+			if del != nil {
+				succ.DiffInPlace(del)
 			}
+			if ins != nil {
+				succ.UnionInPlace(ins)
+			}
+			install[name] = succ
 		}
 	}
 
@@ -644,7 +688,7 @@ func (d *Database) CommitValidated(c Commit) (uint64, *Conflict, error) {
 
 	d.pubMu.Lock()
 	cur = d.snap.Load()
-	next := cur.withInstalled(c.Changed, cur.time+1, derived)
+	next := cur.withInstalled(install, cur.time+1, derived)
 	delta := &Delta{Time: next.time, Ins: c.Ins, Del: c.Del, writes: writes}
 	for _, si := range writeShards(d, writes, homes) {
 		sh := d.shards[si]
@@ -661,7 +705,7 @@ func (d *Database) CommitValidated(c Commit) (uint64, *Conflict, error) {
 	if len(locked) > 1 {
 		d.crossShard.Add(1)
 	}
-	if len(pending) > 0 {
+	if merged {
 		d.merged.Add(1)
 	}
 	return next.time, nil, nil

@@ -74,6 +74,91 @@ func TestApplyCommitAdvancesTime(t *testing.T) {
 	}
 }
 
+// A validated commit that installs an instance without a tuple-level delta
+// depends on the whole relation (the instance is published verbatim), so a
+// concurrent delta — even to a tuple outside its keyed read set — must
+// conflict rather than be silently overwritten by the installed instance.
+func TestNoDeltaInstallConflictsWithConcurrentDelta(t *testing.T) {
+	db := New(storageSchema())
+	rs, _ := storageSchema().Relation("r")
+
+	// The raw committer bases itself on time 0 and prepares a full
+	// replacement instance holding only tuple 1, with a keyed read of 1.
+	replacement := relation.MustFromTuples(rs, intTuple(1))
+
+	// A concurrent transaction commits tuple 2 first.
+	if _, conflict, err := db.CommitValidated(Commit{
+		Reads:   map[string]*ReadInfo{"r": {Keys: map[string]bool{intTuple(2).Key(): true}}},
+		Changed: map[string]*relation.Relation{"r": nil},
+		Ins:     map[string]*relation.Relation{"r": relation.MustFromTuples(rs, intTuple(2))},
+	}); err != nil || conflict != nil {
+		t.Fatalf("concurrent delta commit: conflict=%v err=%v", conflict, err)
+	}
+
+	_, conflict, err := db.CommitValidated(Commit{
+		BaseTime: 0,
+		Reads:    map[string]*ReadInfo{"r": {Keys: map[string]bool{intTuple(1).Key(): true}}},
+		Changed:  map[string]*relation.Relation{"r": replacement},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict == nil {
+		t.Fatal("verbatim install over a concurrent delta committed — tuple 2 would be lost")
+	}
+	r, _ := db.Relation("r")
+	if !r.Contains(intTuple(2)) {
+		t.Error("concurrent delta's tuple 2 missing from the published state")
+	}
+}
+
+// A nil Changed instance is only installable when the store can derive the
+// successor: validated commits (non-nil Reads) carrying a tuple-level
+// delta. Every other shape must be rejected up front, not panic at
+// publication.
+func TestNilInstanceCommitRejected(t *testing.T) {
+	rs, _ := storageSchema().Relation("r")
+	delta := relation.MustFromTuples(rs, relation.Tuple{value.Int(1)})
+	cases := []struct {
+		name string
+		c    Commit
+	}{
+		{"nil reads, nil instance, with delta", Commit{
+			Changed: map[string]*relation.Relation{"r": nil},
+			Ins:     map[string]*relation.Relation{"r": delta},
+		}},
+		{"validated, nil instance, no delta", Commit{
+			Reads:   map[string]*ReadInfo{"r": {Full: true}},
+			Changed: map[string]*relation.Relation{"r": nil},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := New(storageSchema())
+			if _, _, err := db.CommitValidated(tc.c); err == nil {
+				t.Error("nil-instance commit accepted")
+			}
+			if db.Time() != 0 {
+				t.Error("rejected commit advanced the clock")
+			}
+		})
+	}
+	// The derivable shape commits fine.
+	db := New(storageSchema())
+	_, conflict, err := db.CommitValidated(Commit{
+		Reads:   map[string]*ReadInfo{"r": {Keys: map[string]bool{delta.Tuples()[0].Key(): true}}},
+		Changed: map[string]*relation.Relation{"r": nil},
+		Ins:     map[string]*relation.Relation{"r": delta},
+	})
+	if err != nil || conflict != nil {
+		t.Fatalf("derivable nil-instance commit: conflict=%v err=%v", conflict, err)
+	}
+	r, _ := db.Relation("r")
+	if r.Len() != 1 {
+		t.Errorf("derived successor has %d tuples, want 1", r.Len())
+	}
+}
+
 func TestLoadReplacesInstance(t *testing.T) {
 	sch := storageSchema()
 	db := New(sch)

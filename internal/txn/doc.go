@@ -40,6 +40,18 @@
 //     Reads of ins(R)/del(R) are transaction-local and record no base
 //     read.
 //
+//   - O(delta) working state. Relation instances are persistent tries
+//     (package relation over package pmap), so the overlay never pays
+//     O(tuples) for a working copy: writes stream into the ins/del
+//     differentials, the full working instance is materialized lazily —
+//     an O(1) structural clone of the sealed snapshot instance plus
+//     O(delta) path copies — only when a statement actually reads the
+//     relation's current state, and a write-only transaction materializes
+//     nothing at all. The commit point derives each successor sealed
+//     instance the same way, from the latest snapshot's trie plus the net
+//     delta, so a transaction's storage cost is proportional to what it
+//     changed, never to how big the relation is.
+//
 //   - Probe-granular reads. When the snapshot carries a secondary index
 //     (package index) covering an equality selection or the non-delta side
 //     of an enforcement join, the overlay answers the expression through

@@ -45,7 +45,12 @@ import (
 // delta, so ins(R) and del(R) always describe the net transition from the
 // pre-transaction state to the current working state.
 type Overlay struct {
-	base    *storage.Snapshot
+	base *storage.Snapshot
+	// working holds materialized current instances, created lazily: writes
+	// maintain only the ins/del differentials, and the full working state of
+	// a relation is assembled (base ⊖ del ⊕ ins, an O(1) trie clone plus
+	// O(delta) path copies) the first time Rel(cur) actually needs it. A
+	// write-only transaction never materializes anything.
 	working map[string]*relation.Relation
 	ins     map[string]*relation.Relation
 	del     map[string]*relation.Relation
@@ -155,6 +160,13 @@ func (o *Overlay) IndexFor(name string, aux algebra.AuxKind, cols []int) ([]int,
 	if aux == algebra.AuxCur {
 		if w, ok := o.working[name]; ok {
 			size = w.Len()
+		} else {
+			if di := o.ins[name]; di != nil {
+				size += di.Len()
+			}
+			if dd := o.del[name]; dd != nil {
+				size -= dd.Len()
+			}
 		}
 	}
 	return x.Cols(), size, true
@@ -209,10 +221,7 @@ func (o *Overlay) Rel(name string, aux algebra.AuxKind) (*relation.Relation, err
 	switch aux {
 	case algebra.AuxCur:
 		o.markFullRead(name)
-		if w, ok := o.working[name]; ok {
-			return w, nil
-		}
-		return o.base.Relation(name)
+		return o.materialize(name)
 	case algebra.AuxOld:
 		o.markFullRead(name)
 		return o.base.Relation(name) // the pinned snapshot is D^t
@@ -252,10 +261,13 @@ func (o *Overlay) SetTemp(name string, r *relation.Relation) error {
 	return nil
 }
 
-// mutable returns the copy-on-write working instance of a base relation.
-// Creating it records no read by itself: each insert or delete records the
-// key it observed, which is exactly the dependence the commit installs.
-func (o *Overlay) mutable(name string) (*relation.Relation, error) {
+// materialize returns the current working instance of a base relation: the
+// already-materialized copy, the sealed snapshot instance itself when the
+// transaction has no net delta on it, or a freshly assembled base ⊖ del ⊕
+// ins — an O(1) structural clone plus O(delta) path copies, cached so later
+// writes can keep it maintained incrementally. There is no eager per-tuple
+// copy anywhere on the write path.
+func (o *Overlay) materialize(name string) (*relation.Relation, error) {
 	if w, ok := o.working[name]; ok {
 		return w, nil
 	}
@@ -263,35 +275,78 @@ func (o *Overlay) mutable(name string) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	di, dd := o.ins[name], o.del[name]
+	if (di == nil || di.IsEmpty()) && (dd == nil || dd.IsEmpty()) {
+		return base, nil // untouched: the sealed snapshot instance serves reads
+	}
 	w := base.Clone()
+	if dd != nil {
+		w.DiffInPlace(dd)
+	}
+	if di != nil {
+		w.UnionInPlace(di)
+	}
 	o.working[name] = w
 	return w, nil
 }
 
+// mutationState resolves everything one insert/delete statement needs: the
+// pinned base instance, both differentials, the working instance if one was
+// materialized, and a safe-to-iterate src. A statement's source expression
+// may evaluate to the very relation the mutation is about to change —
+// delete(R, R), insert(R, del(R)) — and the trie forbids mutating a map
+// while ranging over it (the old Go-map backing happened to tolerate it),
+// so an aliasing src is detached by an O(1) structural clone first.
+func (o *Overlay) mutationState(rel string, src *relation.Relation) (base, w, insD, delD, safeSrc *relation.Relation, err error) {
+	base, err = o.base.Relation(rel)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	insD, err = o.delta(o.ins, rel)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	delD, err = o.delta(o.del, rel)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	w = o.working[rel] // maintained only if already materialized
+	if src == w || src == insD || src == delD {
+		src = src.Clone()
+	}
+	return base, w, insD, delD, src, nil
+}
+
+// present reports membership of the canonical key k in the current working
+// state: the materialized instance answers directly, otherwise deleted keys
+// are absent, inserted keys present, and everything else defers to the
+// pinned base instance.
+func present(base, w, insD, delD *relation.Relation, k string) bool {
+	if w != nil {
+		return w.ContainsKey(k)
+	}
+	return !delD.ContainsKey(k) && (insD.ContainsKey(k) || base.ContainsKey(k))
+}
+
 // InsertTuples implements algebra.ExecEnv.
 func (o *Overlay) InsertTuples(rel string, src *relation.Relation) error {
-	w, err := o.mutable(rel)
+	base, w, insD, delD, src, err := o.mutationState(rel, src)
 	if err != nil {
 		return err
 	}
-	insD, err := o.delta(o.ins, rel)
-	if err != nil {
-		return err
-	}
-	delD, err := o.delta(o.del, rel)
-	if err != nil {
-		return err
-	}
+	arity := base.Schema().Arity()
 	return src.ForEach(func(t relation.Tuple) error {
-		if len(t) != w.Schema().Arity() {
-			return fmt.Errorf("txn: insert into %s: tuple arity %d, want %d", rel, len(t), w.Schema().Arity())
+		if len(t) != arity {
+			return fmt.Errorf("txn: insert into %s: tuple arity %d, want %d", rel, len(t), arity)
 		}
 		k := t.Key()
 		o.markKeyRead(rel, k)
-		if w.ContainsKey(k) {
+		if present(base, w, insD, delD, k) {
 			return nil // set semantics: duplicate insert is a no-op
 		}
-		w.InsertKeyed(k, t)
+		if w != nil {
+			w.InsertKeyed(k, t)
+		}
 		o.stats.TuplesInserted++
 		if delD.ContainsKey(k) {
 			delD.DeleteKey(k) // cancelled a prior delete: net no-op
@@ -304,23 +359,18 @@ func (o *Overlay) InsertTuples(rel string, src *relation.Relation) error {
 
 // DeleteTuples implements algebra.ExecEnv.
 func (o *Overlay) DeleteTuples(rel string, src *relation.Relation) error {
-	w, err := o.mutable(rel)
-	if err != nil {
-		return err
-	}
-	insD, err := o.delta(o.ins, rel)
-	if err != nil {
-		return err
-	}
-	delD, err := o.delta(o.del, rel)
+	base, w, insD, delD, src, err := o.mutationState(rel, src)
 	if err != nil {
 		return err
 	}
 	return src.ForEach(func(t relation.Tuple) error {
 		k := t.Key()
 		o.markKeyRead(rel, k)
-		if !w.DeleteKey(k) {
+		if !present(base, w, insD, delD, k) {
 			return nil // deleting an absent tuple is a no-op
+		}
+		if w != nil {
+			w.DeleteKey(k)
 		}
 		o.stats.TuplesDeleted++
 		if insD.ContainsKey(k) {
@@ -332,26 +382,33 @@ func (o *Overlay) DeleteTuples(rel string, src *relation.Relation) error {
 	})
 }
 
-// Changed returns the working copies of the relations the transaction
-// touched, ready for ApplyCommit.
-func (o *Overlay) Changed() map[string]*relation.Relation { return o.working }
-
 // CommitRecord packages the overlay's outcome for CommitValidated: base
 // time, per-relation read records, and — filtered to relations with a
-// non-empty net delta — the working instances to install plus the
-// differentials serving as write set. Relations whose deltas cancelled to
-// nothing are dropped: their working copy equals the snapshot instance, so
-// installing it would only cause spurious conflicts for others.
+// non-empty net delta — the written relations plus the differentials
+// serving as write set. The store derives each successor instance from the
+// latest sealed trie plus the ins/del delta, so Changed serves purely as
+// the set of written names (every entry carries a delta, so its instances
+// are nil — the store never installs an instance that a delta can derive).
+// Relations whose deltas cancelled to nothing are dropped: their working
+// state equals the snapshot instance, so naming them would only cause
+// spurious conflicts for others.
 func (o *Overlay) CommitRecord() storage.Commit {
-	changed := make(map[string]*relation.Relation, len(o.working))
-	ins := make(map[string]*relation.Relation, len(o.working))
-	del := make(map[string]*relation.Relation, len(o.working))
-	for name, w := range o.working {
+	names := make(map[string]bool, len(o.ins)+len(o.del))
+	for name := range o.ins {
+		names[name] = true
+	}
+	for name := range o.del {
+		names[name] = true
+	}
+	changed := make(map[string]*relation.Relation, len(names))
+	ins := make(map[string]*relation.Relation, len(names))
+	del := make(map[string]*relation.Relation, len(names))
+	for name := range names {
 		di, dd := o.ins[name], o.del[name]
 		if (di == nil || di.IsEmpty()) && (dd == nil || dd.IsEmpty()) {
 			continue
 		}
-		changed[name] = w
+		changed[name] = nil
 		if di != nil && !di.IsEmpty() {
 			ins[name] = di
 		}

@@ -204,6 +204,43 @@ func TestOverlayReadRecordsPerStatementShape(t *testing.T) {
 			want: []string{"child:keys=2", "parent:probes=0×2"},
 		},
 		{
+			name: "update equality without an index scans",
+			run: func(t *testing.T, ov *Overlay) {
+				prog := algebra.Program{&algebra.Update{
+					Rel: "parent", Where: eqConst("id", 2),
+					Sets: []algebra.SetClause{{Attr: "name", Expr: &algebra.Const{V: value.String("B")}}},
+				}}
+				execProgram(t, ov, prog)
+			},
+			want: []string{"parent:full"},
+		},
+		{
+			// The update probes parent(id) for its candidates instead of
+			// materializing the relation; the rewrite itself then records the
+			// deleted and inserted tuple keys.
+			name:    "update equality with an index probes one key",
+			indexed: true,
+			run: func(t *testing.T, ov *Overlay) {
+				prog := algebra.Program{&algebra.Update{
+					Rel: "parent", Where: eqConst("id", 2),
+					Sets: []algebra.SetClause{{Attr: "name", Expr: &algebra.Const{V: value.String("B")}}},
+				}}
+				execProgram(t, ov, prog)
+				if ov.Stats().TuplesDeleted != 1 || ov.Stats().TuplesInserted != 1 {
+					t.Errorf("probed update rewrote del=%d ins=%d tuples, want 1/1",
+						ov.Stats().TuplesDeleted, ov.Stats().TuplesInserted)
+				}
+				w, err := ov.Rel("parent", algebra.AuxIns)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !w.Contains(parentT(2, "B")) {
+					t.Error("probed update did not produce the rewritten image")
+				}
+			},
+			want: []string{"parent:keys=2", "parent:probes=0×1"},
+		},
+		{
 			name:    "a full read subsumes earlier probes",
 			indexed: true,
 			run: func(t *testing.T, ov *Overlay) {

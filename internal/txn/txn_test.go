@@ -64,6 +64,76 @@ func TestCommitInstallsNextState(t *testing.T) {
 	}
 }
 
+// TestSelfReferentialStatements: a statement's source expression may
+// evaluate to the relation (or differential) the mutation itself changes —
+// delete(R, R) empties R, insert(R, del(R)) restores what the transaction
+// deleted. The overlay must detach such aliases before iterating (the trie
+// forbids mutation during a range; the old map backing merely tolerated
+// it).
+func TestSelfReferentialStatements(t *testing.T) {
+	t.Run("delete R from R empties it", func(t *testing.T) {
+		db := newStore(t, item(1, 10), item(2, 20), item(3, 30))
+		exec := NewExecutor(db)
+		res, err := exec.Exec(New(
+			// Materialize the working instance first so src aliases it.
+			&algebra.Delete{Rel: "item", Src: lit(item(1, 10))},
+			&algebra.Delete{Rel: "item", Src: algebra.NewRel("item")},
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Committed {
+			t.Fatalf("aborted: %v", res.AbortReason)
+		}
+		r, _ := db.Relation("item")
+		if r.Len() != 0 {
+			t.Errorf("item count = %d, want 0", r.Len())
+		}
+		if res.Stats.TuplesDeleted != 3 {
+			t.Errorf("deleted = %d, want 3", res.Stats.TuplesDeleted)
+		}
+	})
+	t.Run("insert del(R) back into R cancels the delete", func(t *testing.T) {
+		db := newStore(t, item(1, 10), item(2, 20))
+		exec := NewExecutor(db)
+		res, err := exec.Exec(New(
+			&algebra.Delete{Rel: "item", Src: lit(item(1, 10), item(2, 20))},
+			&algebra.Insert{Rel: "item", Src: algebra.NewAuxRel("item", algebra.AuxDel)},
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Committed {
+			t.Fatalf("aborted: %v", res.AbortReason)
+		}
+		r, _ := db.Relation("item")
+		if r.Len() != 2 {
+			t.Errorf("item count = %d, want 2", r.Len())
+		}
+		if db.Time() != 1 {
+			t.Errorf("logical time = %d, want 1 (cancelled deltas still commit)", db.Time())
+		}
+	})
+	t.Run("delete ins(R) from R cancels the insert", func(t *testing.T) {
+		db := newStore(t, item(1, 10))
+		exec := NewExecutor(db)
+		res, err := exec.Exec(New(
+			&algebra.Insert{Rel: "item", Src: lit(item(2, 20), item(3, 30))},
+			&algebra.Delete{Rel: "item", Src: algebra.NewAuxRel("item", algebra.AuxIns)},
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Committed {
+			t.Fatalf("aborted: %v", res.AbortReason)
+		}
+		r, _ := db.Relation("item")
+		if r.Len() != 1 {
+			t.Errorf("item count = %d, want 1", r.Len())
+		}
+	})
+}
+
 func TestAbortLeavesStateUntouched(t *testing.T) {
 	db := newStore(t, item(1, 10))
 	exec := NewExecutor(db)
