@@ -505,6 +505,19 @@ func newShardedDB(b *testing.B, shards, parents int) *DB {
 // with auto-indexing (alarmprobe) the same transactions issue a handful of
 // key probes, their footprints are disjoint probe keys, and concurrent
 // deleters merge-commit on the shared parent relation instead of retrying.
+//
+// "alarmrangescan" and "alarmrangeprobe" are the ordered-index counterpart:
+// every transaction bumps a distinct low-quantity tuple of one of eight
+// preloaded 4000-tuple stock relations, each guarded by an existential
+// reserve constraint whose check selects stock by a threshold comparison
+// (qty >= 100000 — only an untouched sentinel qualifies). Without indexes
+// (alarmrangescan) both the update predicate and the threshold check scan,
+// so concurrent updaters of one relation conflict and retry; with declared
+// stock(id) hash indexes and auto-built stock(qty) ordered indexes
+// (alarmrangeprobe) the update probes its key and the check probes the
+// threshold interval, footprints are disjoint keys plus intervals the
+// writes project outside of, and concurrent updaters merge-commit.
+//
 // Reported txns/s is the headline; retries/txn shows the price of
 // contention and merged/txn the rate of delta-merged (conflict-avoided)
 // commits.
@@ -524,6 +537,11 @@ func BenchmarkConcurrentSubmit(b *testing.B) {
 			return newAlarmDB(b, 8, parents, 4000, n, indexed)
 		}
 	}
+	rangeAlarm := func(indexed bool) func(*testing.B, int) *DB {
+		return func(b *testing.B, _ int) *DB {
+			return newRangeAlarmDB(b, 8, 4000, indexed)
+		}
+	}
 	insertInto := func(shard func(int) int) func(int) string {
 		return func(i int) string {
 			return fmt.Sprintf(`begin insert(child%d, values[(%d, %d, 1)]); end`, shard(i), i, i%parents)
@@ -531,6 +549,11 @@ func BenchmarkConcurrentSubmit(b *testing.B) {
 	}
 	deleteSpare := func(i int) string {
 		return fmt.Sprintf(`begin delete(parent, select(parent, id = %d)); end`, spareBase+i)
+	}
+	bumpStock := func(i int) string {
+		// Distinct (relation, id) pairs across any realistic in-flight
+		// window, so probed runs never collide on a tuple.
+		return fmt.Sprintf(`begin update(stock%d, id = %d, [qty = qty + 1]); end`, i%8, (i/8)%4000)
 	}
 	for _, conflict := range []workload{
 		{"low", std, insertInto(func(i int) int { return i % shards })},
@@ -545,6 +568,8 @@ func BenchmarkConcurrentSubmit(b *testing.B) {
 		}},
 		{"alarmscan", alarm(false), deleteSpare},
 		{"alarmprobe", alarm(true), deleteSpare},
+		{"alarmrangescan", rangeAlarm(false), bumpStock},
+		{"alarmrangeprobe", rangeAlarm(true), bumpStock},
 	} {
 		for _, workers := range []int{1, 2, 4, 8, 16} {
 			b.Run(fmt.Sprintf("conflict=%s/workers=%d", conflict.name, workers), func(b *testing.B) {

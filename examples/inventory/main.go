@@ -20,9 +20,11 @@ import (
 
 func main() {
 	// Indexes declared up front are built as soon as the relations exist;
-	// db.CreateIndex("orders(state)") could add more later.
+	// db.CreateIndex("orders(state)") could add more later. The "ordered"
+	// suffix declares an ordered (range) index: comparison lookups like
+	// "qty < 5" probe the key interval instead of scanning.
 	db := repro.Open(&repro.Options{
-		Indexes: []string{"stock(sku)", "orders(id)"},
+		Indexes: []string{"stock(sku)", "orders(id)", "stock(qty) ordered"},
 	})
 
 	db.MustCreateRelation(`relation stock(sku string, qty int, price float)`)
@@ -93,6 +95,13 @@ func main() {
 		update(stock, sku = "gadget", [qty = qty - 50]);
 	end`))
 	fmt.Printf("oversell committed=%v constraint=%s\n", res.Committed, res.Constraint)
+
+	// Range lookup: the comparison probes the stock(qty) ordered index —
+	// a bounded interval scan instead of a full scan, and the read record
+	// covers only the probed interval, so a concurrent transaction writing
+	// any quantity outside it merge-commits instead of conflicting.
+	lowStock, _ := db.Query(`select(stock, qty < 8)`)
+	fmt.Printf("low stock (qty < 8): %v\n", lowStock.Data)
 
 	rows, _ := db.Query(`stock`)
 	fmt.Printf("final stock: %v\n", rows.Data)

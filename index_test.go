@@ -231,6 +231,236 @@ func TestIndexedUpdateProbes(t *testing.T) {
 	}
 }
 
+// TestOrderedIndexDeclarations: ordered declarations parse, build, list
+// with the "ordered" suffix, and deduplicate within their own namespace.
+func TestOrderedIndexDeclarations(t *testing.T) {
+	db := Open(&Options{Indexes: []string{"stock(qty) ordered", "stock(id)"}})
+	db.MustCreateRelation(`relation stock(id int, qty int)`)
+	got := db.Indexes()
+	want := []string{"stock(id)", "stock(qty) ordered"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Fatalf("Indexes() = %v, want %v", got, want)
+	}
+	if err := db.CreateIndex("stock(qty) ordered"); err == nil {
+		t.Error("duplicate ordered index accepted")
+	}
+	// A hash index over the same column is a different namespace.
+	if err := db.CreateIndex("stock(qty)"); err != nil {
+		t.Errorf("hash index alongside ordered rejected: %v", err)
+	}
+	if err := db.CreateIndex("stock(nosuch) ordered"); err == nil {
+		t.Error("ordered index over unknown attribute accepted")
+	}
+}
+
+// TestSubmitRangeProbes: a comparison-guarded selection over an ordered
+// index answers by bounded range probe — the Result reports range probes,
+// the probe agrees with the scan path, and a threshold-guarded alarm still
+// aborts a violating transaction through the probed check.
+func TestSubmitRangeProbes(t *testing.T) {
+	db := Open(&Options{UseDifferential: true, AutoIndex: true, Indexes: []string{"stock(id)"}})
+	db.MustCreateRelation(`relation stock(id int, qty int)`)
+	// There must always be at least one well-stocked item: an existential
+	// constraint whose check selects stock by a threshold comparison. With
+	// AutoIndex it builds stock(qty) ordered and the check range-probes.
+	db.MustDefineConstraint("reserve", `exists x (x in stock and x.qty >= 1000)`)
+	if got := db.Indexes(); strings.Join(got, ";") != "stock(id);stock(qty) ordered" {
+		t.Fatalf("Indexes() = %v, want auto-built ordered stock(qty)", got)
+	}
+	if err := db.Load("stock", [][]any{{1, 5}, {2, 70}, {3, 2000}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A query through the facade range-probes and matches the scan result.
+	probed, err := db.Query(`select(stock, qty < 100)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanned, err := db.Query(`select(stock, qty + 0 < 100)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probed.Data) != 2 || len(scanned.Data) != 2 {
+		t.Fatalf("qty < 100: probe %d rows, scan %d, want 2 and 2", len(probed.Data), len(scanned.Data))
+	}
+
+	// A benign update commits; its alarm check probed the interval rather
+	// than scanning, and the Result reports the range probes.
+	res, err := db.Submit(`begin update(stock, id = 1, [qty = qty + 1]); end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("benign update aborted: %s", res.Reason)
+	}
+	if res.RangeProbes == 0 {
+		t.Error("threshold-guarded check issued no range probes despite the ordered index")
+	}
+	if res.Probes < res.RangeProbes {
+		t.Errorf("Probes = %d < RangeProbes = %d; Probes must aggregate both", res.Probes, res.RangeProbes)
+	}
+
+	// Draining the last well-stocked item violates the reserve constraint
+	// through the same probed check.
+	res, err = db.Submit(`begin update(stock, id = 3, [qty = 0]); end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("draining the reserve committed despite the existential constraint")
+	}
+	if res.Constraint != "reserve" {
+		t.Errorf("violated constraint = %q", res.Constraint)
+	}
+}
+
+// TestRangeProbeNaNData: value.Compare answers 0 for NaN against any
+// number, so NaN data satisfies inclusive comparisons (x <= c, x >= c) but
+// not strict ones — and the probe path must agree with the scan path on
+// both, which requires the probe intervals to admit the NaN encodings that
+// live outside [-Inf, +Inf] in the numeric band.
+func TestRangeProbeNaNData(t *testing.T) {
+	db := Open(&Options{Indexes: []string{"r(x) ordered"}})
+	db.MustCreateRelation(`relation r(x float, id int)`)
+	negNaN := math.Float64frombits(0xFFF8000000000000)
+	if err := db.Load("r", [][]any{{math.NaN(), 1}, {negNaN, 2}, {2.0, 3}, {7.0, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		pred string
+		want int
+	}{
+		{"x <= 5.0", 3}, // both NaNs and 2.0
+		{"x < 5.0", 1},  // 2.0 only
+		{"x >= 5.0", 3}, // both NaNs and 7.0
+		{"x > 5.0", 1},  // 7.0 only
+	} {
+		probed, err := db.Query(fmt.Sprintf(`select(r, %s)`, c.pred))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanned, err := db.Query(fmt.Sprintf(`select(r, x + 0.0 %s)`, c.pred[1:]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(probed.Data) != c.want || len(scanned.Data) != c.want {
+			t.Errorf("%s: probe %d rows, scan %d, want %d", c.pred, len(probed.Data), len(scanned.Data), c.want)
+		}
+	}
+}
+
+const rangeSentinel = 1_000_000
+
+// newRangeAlarmDB builds the threshold-guarded alarm workload: nShards
+// stock relations, each holding lowRows low-quantity tuples (the update
+// targets) plus one high-quantity sentinel, guarded by an existential
+// reserve constraint ("some item must stay above the threshold") whose
+// enforcement check selects stock by comparison. With indexed=true the
+// update predicates probe declared stock(id) hash indexes and the checks
+// range-probe auto-built stock(qty) ordered indexes; with indexed=false the
+// same transactions scan, which is the benchmark's before/after contrast.
+func newRangeAlarmDB(t testing.TB, nShards, lowRows int, indexed bool) *DB {
+	t.Helper()
+	opts := &Options{UseDifferential: true, AutoIndex: indexed, MaxCommitRetries: 1_000_000}
+	if indexed {
+		for s := 0; s < nShards; s++ {
+			opts.Indexes = append(opts.Indexes, fmt.Sprintf("stock%d(id)", s))
+		}
+	}
+	db := Open(opts)
+	rows := make([][]any, 0, lowRows+1)
+	for i := 0; i < lowRows; i++ {
+		rows = append(rows, []any{i, i % 100})
+	}
+	rows = append(rows, []any{rangeSentinel, rangeSentinel})
+	for s := 0; s < nShards; s++ {
+		db.MustCreateRelation(fmt.Sprintf(`relation stock%d(id int, qty int)`, s))
+		db.MustDefineConstraint(fmt.Sprintf("reserve%d", s),
+			fmt.Sprintf(`exists x (x in stock%d and x.qty >= 100000)`, s))
+		if err := db.Load(fmt.Sprintf("stock%d", s), rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestRangeProbeCrossShardStress exercises concurrent range probes against
+// cross-shard commits: every transaction updates a distinct low-quantity
+// tuple of one stock relation (hash probe on id), and its reserve check
+// range-probes the qty interval [threshold, ∞), which only the untouched
+// sentinel inhabits. All write footprints project outside every probed
+// interval, so every transaction must commit without a single retry while
+// the ordered indexes stay consistent. Run with -race.
+func TestRangeProbeCrossShardStress(t *testing.T) {
+	const (
+		nShards   = 4
+		lowRows   = 400
+		perWorker = 60
+	)
+	db := newRangeAlarmDB(t, nShards, lowRows, true)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*nShards*perWorker)
+	// Two workers per stock relation, updating disjoint id halves: their
+	// commits overlap on the relation and must merge rather than retry.
+	for w := 0; w < 2*nShards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := (w/nShards)*perWorker + i // distinct ids within the relation
+				src := fmt.Sprintf(`begin update(stock%d, id = %d, [qty = qty + 1]); end`, w%nShards, id)
+				res, err := db.SubmitConcurrent(src)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Committed {
+					errs <- fmt.Errorf("update aborted: %s", res.Reason)
+					return
+				}
+				if res.Retries != 0 {
+					errs <- fmt.Errorf("disjoint-interval update retried %d times (interval read too wide)", res.Retries)
+					return
+				}
+				if res.RangeProbes == 0 {
+					errs <- fmt.Errorf("update ran without range probes despite ordered indexes")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	stats := db.CommitStats()
+	if stats.Conflicts != 0 {
+		t.Errorf("Conflicts = %d, want 0", stats.Conflicts)
+	}
+	for s := 0; s < nShards; s++ {
+		if n, err := db.Count(fmt.Sprintf("stock%d", s)); err != nil || n != lowRows+1 {
+			t.Fatalf("stock%d count = %d (err %v), want %d", s, n, err, lowRows+1)
+		}
+		// The probe path must agree with an unindexable scan on the final
+		// state, above and below the threshold.
+		for _, pred := range []string{"qty >= 100000", "qty < 50"} {
+			probed, err := db.Query(fmt.Sprintf(`select(stock%d, %s)`, s, pred))
+			if err != nil {
+				t.Fatal(err)
+			}
+			scanned, err := db.Query(fmt.Sprintf(`select(stock%d, qty + 0 >= 0 and %s)`, s, pred))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(probed.Data) != len(scanned.Data) {
+				t.Fatalf("stock%d %s: probe answered %d rows, scan %d", s, pred, len(probed.Data), len(scanned.Data))
+			}
+		}
+	}
+	t.Logf("merged commits: %d of %d", stats.MergedCommits, stats.Commits)
+}
+
 // newAlarmDB builds the selective-alarm workload: nShards child relations
 // (each with its own referential rule onto one shared parent relation),
 // parents 0..nParents-1 referenced by preloaded children, and nSpares

@@ -150,6 +150,11 @@ type Select struct {
 	// index, Eval probes it instead of scanning.
 	eqCols []int
 	eqVals []value.Value
+	// Constant ordering conjuncts ("attr < const" and friends, negation
+	// pushed through) per bounded column. When no hash probe applies and
+	// the environment has an ordered index led by the equality columns and
+	// a bounded column, Eval issues a bounded range probe instead.
+	ranges []rangePlan
 }
 
 // NewSelect builds a selection.
@@ -168,7 +173,15 @@ func (s *Select) TypeCheck(env *TypeEnv) (*schema.Relation, error) {
 	if k != value.KindBool && k != value.KindNull {
 		return nil, fmt.Errorf("algebra: selection predicate has kind %s", k)
 	}
-	s.eqCols, s.eqVals = extractConstEq(s.Pred)
+	// Probes evaluate the predicate only on candidates, so planning is
+	// gated on the predicate being unable to error on the tuples a probe
+	// would skip (ProbeSafe) — index presence must never change a
+	// statement's error into an empty success.
+	s.eqCols, s.eqVals, s.ranges = nil, nil, nil
+	if ProbeSafe(s.Pred) {
+		s.eqCols, s.eqVals = extractConstEq(s.Pred)
+		s.ranges = extractConstBounds(s.Pred)
+	}
 	s.out = in
 	return in, nil
 }
@@ -209,6 +222,9 @@ func extractConstEq(pred Scalar) (cols []int, vals []value.Value) {
 // Eval implements Expr.
 func (s *Select) Eval(env Env) (*relation.Relation, error) {
 	if out, ok, err := s.evalProbe(env); ok || err != nil {
+		return out, err
+	}
+	if out, ok, err := s.evalRangeProbe(env); ok || err != nil {
 		return out, err
 	}
 	in, err := s.In.Eval(env)
@@ -272,15 +288,9 @@ func (s *Select) evalProbe(env Env) (*relation.Relation, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	out := relation.New(s.out)
-	for _, t := range candidates {
-		keep, err := evalBool(s.Pred, t)
-		if err != nil {
-			return nil, false, err
-		}
-		if keep {
-			out.InsertUnchecked(t)
-		}
+	out, err := s.filterCandidates(candidates)
+	if err != nil {
+		return nil, false, err
 	}
 	return out, true, nil
 }

@@ -1,0 +1,388 @@
+package algebra
+
+import (
+	"math"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// RangeBound is one endpoint of a range predicate: a constant and whether
+// the comparison admits equality.
+type RangeBound struct {
+	V    value.Value
+	Incl bool
+}
+
+// RangeProbeEnv is the optional extension of Env implemented by
+// environments backed by ordered secondary indexes (the transaction overlay
+// over an indexed snapshot). The evaluator uses it to turn comparison
+// conjuncts — <, <=, >, >= against constants, including the negated forms
+// enforcement guards arrive in — into bounded range probes: instead of
+// materializing a base relation, it scans only the key interval the
+// predicate names, and the environment records an interval read, shrinking
+// the optimistic conflict footprint from the whole relation to the probed
+// interval.
+type RangeProbeEnv interface {
+	Env
+	// OrderedIndexFor returns the column list of an ordered index on the
+	// named base relation usable for a range probe: every leading column up
+	// to prefix has an equality binding in eq, and the column at position
+	// prefix is boundCol. ok is false when the incarnation is not indexed
+	// (only the current and pre-transaction states are) or no ordered index
+	// qualifies.
+	OrderedIndexFor(name string, aux AuxKind, eq map[int]bool, boundCol int) (idx []int, prefix int, ok bool)
+	// RangeProbe returns the tuples of the incarnation whose idx[:prefix]
+	// columns equal eqVals (parallel to idx[:prefix]) and whose idx[prefix]
+	// column satisfies the lo/hi bounds — nil bounds are limited to
+	// boundKind's ordered-rank band; includeNull additionally admits null
+	// (the negated-comparison case) and includeNaN admits NaN (the
+	// inclusive-numeric-comparison case) — recording an interval read. The
+	// returned tuples are shared; callers must not mutate them.
+	RangeProbe(name string, aux AuxKind, idx []int, prefix int, eqVals []value.Value,
+		lo, hi *RangeBound, boundKind value.Kind, includeNull, includeNaN bool) ([]relation.Tuple, error)
+}
+
+// rangePlan is one range-probeable column of a selection predicate, bound
+// at TypeCheck time: the interval the conjuncts on the column pin down,
+// plus whether the conjuncts admit null (negated comparisons do) or NaN
+// (inclusive numeric comparisons do — value.Compare answers 0 for NaN
+// against any number, so NaN data satisfies <= and >= whatever the bound).
+// Candidates are always re-verified with the full predicate, so the plan
+// only has to yield a sound superset.
+type rangePlan struct {
+	col         int
+	lo, hi      *RangeBound
+	kind        value.Kind // kind of the bounding constants (int/float unify)
+	includeNull bool
+	includeNaN  bool
+	bad         bool // contradictory or incomparable bounds: never probe
+}
+
+// extractConstBounds walks a predicate collecting "attr op const" ordering
+// comparisons (in either operand order) from its top-level conjunction,
+// pushing negation through Not, And and Or — enforcement guards reach the
+// evaluator as not(cond), so ¬(qty >= 0) must plan as qty < 0. Because
+// ordering against null is false whatever the operator, a negated
+// comparison is satisfied by null, which the plan records in includeNull;
+// the probe then widens its intervals to cover the null encoding.
+//
+// Conjuncts on one column intersect (the tightest bound wins). Conjuncts
+// the extractor cannot use — null or NaN constants, non-constant operands,
+// disjunctions — are simply not used for narrowing, which is sound: the
+// probe interval stays a superset of the tuples the full predicate accepts.
+// Bounds of incomparable constant kinds mark the column bad (no value
+// satisfies both, but Compare would error rather than answer false, so the
+// scan path must keep the error semantics). The returned plans are ordered
+// by column for deterministic index selection.
+func extractConstBounds(pred Scalar) []rangePlan {
+	if !ProbeSafe(pred) {
+		return nil
+	}
+	byCol := make(map[int]*rangePlan)
+	var walk func(p Scalar, neg bool)
+	walk = func(p Scalar, neg bool) {
+		switch x := p.(type) {
+		case *And:
+			if !neg {
+				walk(x.L, false)
+				walk(x.R, false)
+			}
+		case *Or:
+			if neg { // ¬(a ∨ b) ≡ ¬a ∧ ¬b
+				walk(x.L, true)
+				walk(x.R, true)
+			}
+		case *Not:
+			walk(x.X, !neg)
+		case *Cmp:
+			op := x.Op
+			attr, aok := x.L.(*Attr)
+			lit, lok := x.R.(*Const)
+			if !aok || !lok {
+				attr, aok = x.R.(*Attr)
+				lit, lok = x.L.(*Const)
+				op = flipCmp(op) // C op attr  ≡  attr flip(op) C
+			}
+			if !aok || !lok || attr.Index < 0 {
+				return
+			}
+			if neg {
+				op = op.Negate()
+			}
+			if op == CmpEQ || op == CmpNE {
+				return // equality conjuncts are the hash-probe planner's
+			}
+			v := lit.V
+			if v.IsNull() || (v.Kind() == value.KindFloat && math.IsNaN(v.AsFloat())) {
+				return // ordering against null/NaN never holds; unusable as a bound
+			}
+			pl := byCol[attr.Index]
+			if pl == nil {
+				pl = &rangePlan{col: attr.Index, kind: v.Kind(), includeNull: true, includeNaN: true}
+				byCol[attr.Index] = pl
+			}
+			// A bound whose kind cannot be ordered against the column's data
+			// poisons the plan rather than narrowing it: the scan path raises
+			// a comparison error for every non-null value, and an index probe
+			// over the bound's (empty) kind band would turn that error into a
+			// silent empty result.
+			if value.OrderedRank(v.Kind()) != value.OrderedRank(pl.kind) ||
+				value.OrderedRank(v.Kind()) != value.OrderedRank(attr.kind) {
+				pl.bad = true // incomparable kinds: keep scan semantics
+				return
+			}
+			b := &RangeBound{V: v, Incl: op == CmpLE || op == CmpGE}
+			switch op {
+			case CmpLT, CmpLE:
+				pl.hi = tightenBound(pl.hi, b, false, pl)
+			case CmpGT, CmpGE:
+				pl.lo = tightenBound(pl.lo, b, true, pl)
+			}
+			// Null satisfies the conjunct only in its negated form; NaN data
+			// satisfies it only when the effective operator admits equality
+			// (Compare answers 0 for NaN against any number, so NaN <= c and
+			// NaN >= c hold while NaN < c and NaN > c do not — negation
+			// already folded into op above). There is no exemption for
+			// int-declared columns: TypesCompatible admits floats into them,
+			// so NaN data is legal there too.
+			pl.includeNull = pl.includeNull && neg
+			pl.includeNaN = pl.includeNaN && b.Incl
+		}
+	}
+	walk(pred, false)
+	// A poisoned column poisons the whole predicate, not just its own
+	// plans: the scan path raises its comparison error on every tuple the
+	// bad conjunct reaches, and a probe planned on a *different* column
+	// whose interval holds no candidates would never run the re-verifier
+	// that surfaces it — the query would silently succeed empty.
+	for _, pl := range byCol {
+		if pl.bad {
+			return nil
+		}
+	}
+	plans := make([]rangePlan, 0, len(byCol))
+	for _, pl := range byCol {
+		if pl.lo == nil && pl.hi == nil {
+			continue
+		}
+		plans = append(plans, *pl)
+	}
+	for i := 1; i < len(plans); i++ { // insertion sort by column
+		for j := i; j > 0 && plans[j-1].col > plans[j].col; j-- {
+			plans[j-1], plans[j] = plans[j], plans[j-1]
+		}
+	}
+	return plans
+}
+
+// ProbeSafe reports whether evaluating the bound predicate is statically
+// guaranteed not to raise an error on any tuple. A probe — hash or range —
+// evaluates the predicate only on the candidates its keys or intervals
+// admit, while the scan path evaluates it on every tuple; a predicate that
+// can error (an incomparable ordering pair like "name < 3" over a string
+// column or "name < id", or a division that may hit zero) must therefore
+// keep the scan path, or index presence would silently turn the statement's
+// error into an empty result. Equality operators never error (Equal accepts
+// any kinds), null operands short-circuit to false before Compare runs, and
+// Bind has already fixed every operand's static kind, so the check is a
+// rank comparison per ordering node plus a division scan.
+func ProbeSafe(pred Scalar) bool {
+	if pred == nil {
+		return true
+	}
+	switch x := pred.(type) {
+	case *Const, *Attr:
+		return true
+	case *Arith:
+		// Division is the one arithmetic that errors at evaluation
+		// (operand kinds are Bind-checked, null propagates null).
+		return x.Op != value.OpDiv && ProbeSafe(x.L) && ProbeSafe(x.R)
+	case *And:
+		return ProbeSafe(x.L) && ProbeSafe(x.R)
+	case *Or:
+		return ProbeSafe(x.L) && ProbeSafe(x.R)
+	case *Not:
+		return ProbeSafe(x.X)
+	case *Cmp:
+		if !ProbeSafe(x.L) || !ProbeSafe(x.R) {
+			return false
+		}
+		if x.Op == CmpEQ || x.Op == CmpNE {
+			return true
+		}
+		lr, lok, lnull := staticRank(x.L)
+		rr, rok, rnull := staticRank(x.R)
+		if lnull || rnull {
+			return true // ordering against null evaluates to false, not error
+		}
+		return lok && rok && lr == rr
+	default:
+		return false // unknown scalar shapes: assume they may error
+	}
+}
+
+// staticRank resolves the ordered-rank band of a scalar's statically known
+// result kind. isNull marks a literal null (comparable to anything: Cmp
+// short-circuits it to false). ok is false when the kind cannot be pinned
+// down — the caller must then assume the comparison may error.
+func staticRank(p Scalar) (rank byte, ok, isNull bool) {
+	switch x := p.(type) {
+	case *Const:
+		if x.V.IsNull() {
+			return 0, true, true
+		}
+		return value.OrderedRank(x.V.Kind()), true, false
+	case *Attr:
+		if x.kind == value.KindNull {
+			return 0, false, false
+		}
+		// Column values are of the declared kind or null; null
+		// short-circuits, so the declared rank is authoritative.
+		return value.OrderedRank(x.kind), true, false
+	case *Arith:
+		return value.OrderedRankNumber, true, false // Bind enforces numeric operands
+	case *Cmp, *And, *Or, *Not:
+		return value.OrderedRank(value.KindBool), true, false
+	default:
+		return 0, false, false
+	}
+}
+
+// flipCmp mirrors a comparison across its operands: C op attr ≡ attr
+// flipCmp(op) C. Equality operators are symmetric.
+func flipCmp(op CmpOp) CmpOp {
+	switch op {
+	case CmpLT:
+		return CmpGT
+	case CmpLE:
+		return CmpGE
+	case CmpGT:
+		return CmpLT
+	case CmpGE:
+		return CmpLE
+	default:
+		return op
+	}
+}
+
+// tightenBound intersects a new bound into an existing one: for a lower
+// bound the greater constant wins, for an upper bound the smaller; equal
+// constants keep the stricter (exclusive) form. Incomparable constants mark
+// the plan bad.
+func tightenBound(old, add *RangeBound, lower bool, pl *rangePlan) *RangeBound {
+	if old == nil {
+		return add
+	}
+	c, err := old.V.Compare(add.V)
+	if err != nil {
+		pl.bad = true
+		return old
+	}
+	switch {
+	case c == 0:
+		return &RangeBound{V: old.V, Incl: old.Incl && add.Incl}
+	case (lower && c < 0) || (!lower && c > 0):
+		return add
+	default:
+		return old
+	}
+}
+
+// rangeProbeCandidates plans and issues one bounded range probe against a
+// base relation: it picks the first plan (by column order) for which the
+// environment has an ordered index whose leading columns carry the
+// predicate's constant-equality bindings and whose next column is the
+// plan's bounded one, and probes it. probed=false means no plan found an
+// index and the caller should fall back to its scan path. Both the Select
+// evaluator and Update.Exec share this planning step, so the two range
+// paths cannot diverge.
+func rangeProbeCandidates(pe RangeProbeEnv, name string, aux AuxKind,
+	eqCols []int, eqVals []value.Value, plans []rangePlan) ([]relation.Tuple, bool, error) {
+	eq := make(map[int]bool, len(eqCols))
+	valOf := make(map[int]value.Value, len(eqCols))
+	for i, c := range eqCols {
+		eq[c] = true
+		valOf[c] = eqVals[i]
+	}
+	for _, rp := range plans {
+		idx, prefix, ok := pe.OrderedIndexFor(name, aux, eq, rp.col)
+		if !ok {
+			continue
+		}
+		vals := make([]value.Value, prefix)
+		for i := 0; i < prefix; i++ {
+			vals[i] = valOf[idx[i]]
+		}
+		out, err := pe.RangeProbe(name, aux, idx, prefix, vals, rp.lo, rp.hi, rp.kind, rp.includeNull, rp.includeNaN)
+		return out, err == nil, err
+	}
+	return nil, false, nil
+}
+
+// evalRangeProbe answers a selection over a direct base-relation reference
+// through a bounded range probe. The full predicate re-verifies every
+// candidate, so the interval — a superset of the matching tuples — is
+// sound; the interval read the environment records covers exactly that
+// superset. ok=false falls back to the scan path.
+func (s *Select) evalRangeProbe(env Env) (*relation.Relation, bool, error) {
+	if len(s.ranges) == 0 {
+		return nil, false, nil
+	}
+	r, ok := s.In.(*Rel)
+	if !ok || (r.Aux != AuxCur && r.Aux != AuxOld) {
+		return nil, false, nil
+	}
+	pe, ok := env.(RangeProbeEnv)
+	if !ok {
+		return nil, false, nil
+	}
+	candidates, probed, err := rangeProbeCandidates(pe, r.Name, r.Aux, s.eqCols, s.eqVals, s.ranges)
+	if err != nil || !probed {
+		return nil, false, err
+	}
+	out, err := s.filterCandidates(candidates)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// filterCandidates re-verifies probed candidates with the full selection
+// predicate — the shared final step of the hash-probe and range-probe
+// paths, which both yield candidate supersets.
+func (s *Select) filterCandidates(candidates []relation.Tuple) (*relation.Relation, error) {
+	out := relation.New(s.out)
+	for _, t := range candidates {
+		keep, err := evalBool(s.Pred, t)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			out.InsertUnchecked(t)
+		}
+	}
+	return out, nil
+}
+
+// RangeCompareColumns reports the columns of schema s that pred compares
+// against constants with an ordering operator (including under negation),
+// deduplicated and ascending. The predicate is cloned and re-bound, so
+// unbound (or differently bound) scalars are accepted. It is how the
+// translator derives which attributes a comparison-guarded constraint's
+// enforcement selections would range-probe, feeding ordered index hints.
+func RangeCompareColumns(pred Scalar, s *schema.Relation) ([]int, error) {
+	if pred == nil {
+		return nil, nil
+	}
+	p := CloneScalar(pred)
+	if _, err := p.Bind(s); err != nil {
+		return nil, err
+	}
+	var cols []int
+	for _, pl := range extractConstBounds(p) {
+		cols = append(cols, pl.col)
+	}
+	return cols, nil
+}

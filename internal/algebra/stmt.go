@@ -190,14 +190,17 @@ type Update struct {
 	Sets  []SetClause
 
 	// Bound at TypeCheck time: the target schema, plus the constant-equality
-	// conjuncts of Where (parallel column positions and literal values).
-	// When the environment has a covering index, Exec probes it for the
-	// matching tuples instead of materializing the whole current instance —
-	// the probed-key read it records keeps a selective update from dragging
-	// the full relation into the optimistic conflict footprint.
+	// and constant-ordering conjuncts of Where (parallel column positions
+	// and literal values; range plans per bounded column). When the
+	// environment has a covering hash index — or, for comparison conjuncts,
+	// an ordered index — Exec probes it for the matching tuples instead of
+	// materializing the whole current instance; the probed-key or interval
+	// read it records keeps a selective update from dragging the full
+	// relation into the optimistic conflict footprint.
 	target *schema.Relation
 	eqCols []int
 	eqVals []value.Value
+	ranges []rangePlan
 }
 
 // TypeCheck implements Stmt.
@@ -208,6 +211,7 @@ func (u *Update) TypeCheck(env *TypeEnv) error {
 	}
 	u.target = target
 	u.eqCols, u.eqVals = nil, nil
+	u.ranges = nil
 	if u.Where != nil {
 		k, err := u.Where.Bind(target)
 		if err != nil {
@@ -216,7 +220,12 @@ func (u *Update) TypeCheck(env *TypeEnv) error {
 		if k != value.KindBool && k != value.KindNull {
 			return fmt.Errorf("algebra: update predicate has kind %s", k)
 		}
-		u.eqCols, u.eqVals = extractConstEq(u.Where)
+		// Gated like Select.TypeCheck: a Where that may error on skipped
+		// tuples keeps the scan path and its error semantics.
+		if ProbeSafe(u.Where) {
+			u.eqCols, u.eqVals = extractConstEq(u.Where)
+			u.ranges = extractConstBounds(u.Where)
+		}
 	}
 	if len(u.Sets) == 0 {
 		return fmt.Errorf("algebra: update of %s with no set clauses", u.Rel)
@@ -298,24 +307,16 @@ func (u *Update) apply(t relation.Tuple, oldSet, newSet *relation.Relation) erro
 
 // execProbe answers the update's candidate scan through an index probe when
 // Where has constant-equality conjuncts and the environment maintains a
-// covering index on the current incarnation. The full Where predicate is
-// re-applied to every candidate, so an index over any subset of the
-// equality columns yields a sound candidate superset. probed=false falls
-// back to the full scan.
+// covering hash index on the current incarnation, or constant-ordering
+// conjuncts and an ordered index led by the equality columns. The full
+// Where predicate is re-applied to every candidate, so any sound candidate
+// superset suffices. probed=false falls back to the full scan.
 func (u *Update) execProbe(env ExecEnv) (oldSet, newSet *relation.Relation, probed bool, err error) {
-	if len(u.eqCols) == 0 || u.target == nil {
+	if u.target == nil {
 		return nil, nil, false, nil
 	}
-	pe, ok := env.(ProbeEnv)
-	if !ok {
-		return nil, nil, false, nil
-	}
-	idx, _, ok := pe.IndexFor(u.Rel, AuxCur, u.eqCols)
-	if !ok {
-		return nil, nil, false, nil
-	}
-	candidates, err := pe.Probe(u.Rel, AuxCur, idx, probeVals(idx, u.eqCols, u.eqVals))
-	if err != nil {
+	candidates, probed, err := u.probeCandidates(env)
+	if err != nil || !probed {
 		return nil, nil, false, err
 	}
 	oldSet = relation.New(u.target)
@@ -326,6 +327,27 @@ func (u *Update) execProbe(env ExecEnv) (oldSet, newSet *relation.Relation, prob
 		}
 	}
 	return oldSet, newSet, true, nil
+}
+
+// probeCandidates fetches the update's candidate tuples by hash probe
+// (preferred: exact keys) or bounded range probe.
+func (u *Update) probeCandidates(env ExecEnv) ([]relation.Tuple, bool, error) {
+	if len(u.eqCols) > 0 {
+		if pe, ok := env.(ProbeEnv); ok {
+			if idx, _, ok := pe.IndexFor(u.Rel, AuxCur, u.eqCols); ok {
+				out, err := pe.Probe(u.Rel, AuxCur, idx, probeVals(idx, u.eqCols, u.eqVals))
+				return out, err == nil, err
+			}
+		}
+	}
+	if len(u.ranges) == 0 {
+		return nil, false, nil
+	}
+	pe, ok := env.(RangeProbeEnv)
+	if !ok {
+		return nil, false, nil
+	}
+	return rangeProbeCandidates(pe, u.Rel, AuxCur, u.eqCols, u.eqVals, u.ranges)
 }
 
 func (u *Update) String() string {

@@ -62,4 +62,35 @@
 // environments that do not implement ProbeEnv (fragment-local checking).
 // Transaction-local differentials (ins/del) are never indexed — they are
 // small and carry no base-read dependency at all.
+//
+// # Ordered indexes and interval reads
+//
+// Ordered (range) indexes extend the same discipline to comparison
+// predicates — the guard shapes of the paper's differential enforcement
+// programs ("alarm if any stock fell below threshold"). An Ordered index
+// keeps sorted runs of order-preserving key encodings
+// (value.AppendOrderedKey via relation.Tuple.OrderedKeyOn; attribute order
+// is the sort order), layered exactly like the hash index: Apply pushes one
+// committed net delta as an O(delta log delta) sorted run plus a delete
+// shadow, Range walks the chain newest-first with binary searches, and the
+// chain folds back into one sorted base under the same amortization bounds.
+// Snapshots publish ordered indexes in the same atomic swap as hash
+// indexes, through the shared Set.
+//
+//   - select(R, attr < const ∧ ...) — and <=, >, >=, between-style
+//     conjunctions, also when they reach the evaluator negated, as
+//     enforcement guards do — probes the ordered index whose leading
+//     columns carry equality bindings and whose next column is the bounded
+//     one, then re-verifies candidates with the full predicate.
+//   - Every bound shape normalizes to half-open key intervals [Lo, Hi)
+//     (KeyRange, RangesFor): kind-rank bytes bound missing endpoints, and a
+//     trailing 0xFF turns inclusive-upper/exclusive-lower bounds into the
+//     half-open form, valid over both full index keys and prefix-projected
+//     keys.
+//   - The overlay records each range probe as an interval read
+//     (storage.RangeRead) instead of a whole-relation read; the commit
+//     validator projects concurrent deltas onto the probed column prefix
+//     and conflicts only when a written tuple's projection falls inside a
+//     probed interval — so a transaction that probed qty < 10 merge-commits
+//     with a concurrent writer of qty = 500.
 package index

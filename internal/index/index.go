@@ -229,13 +229,17 @@ func (x *Index) compact() *Index {
 	return &Index{cols: x.cols, buckets: buckets, size: x.size}
 }
 
-// Set is the immutable collection of indexes defined on one relation, keyed
-// by column signature. The zero-value pointer (nil) is a valid empty set.
+// Set is the immutable collection of indexes defined on one relation — hash
+// indexes and ordered indexes in separate namespaces, each keyed by column
+// signature (hash signatures are canonical ascending; ordered signatures
+// keep declared order, which is the sort order). The zero-value pointer
+// (nil) is a valid empty set.
 type Set struct {
-	by map[string]*Index
+	by  map[string]*Index
+	ord map[string]*Ordered
 }
 
-// NewSet builds a set from the given indexes.
+// NewSet builds a set from the given hash indexes.
 func NewSet(indexes ...*Index) *Set {
 	s := &Set{by: make(map[string]*Index, len(indexes))}
 	for _, x := range indexes {
@@ -244,12 +248,12 @@ func NewSet(indexes ...*Index) *Set {
 	return s
 }
 
-// Len returns the number of indexes in the set.
+// Len returns the number of indexes in the set, hash and ordered.
 func (s *Set) Len() int {
 	if s == nil {
 		return 0
 	}
-	return len(s.by)
+	return len(s.by) + len(s.ord)
 }
 
 // Exact returns the index over exactly the given columns, or nil.
@@ -311,21 +315,107 @@ func (s *Set) All() []*Index {
 	return out
 }
 
-// With returns a new set with x added, replacing any index over the same
-// columns. The receiver is unchanged; nil receivers are allowed.
-func (s *Set) With(x *Index) *Set {
-	n := &Set{by: make(map[string]*Index, s.Len()+1)}
-	if s != nil {
-		for sig, old := range s.by {
-			n.by[sig] = old
+// OrderedExact returns the ordered index over exactly the given column
+// list (order-significant), or nil.
+func (s *Set) OrderedExact(cols []int) *Ordered {
+	if s == nil {
+		return nil
+	}
+	return s.ord[Sig(cols)]
+}
+
+// OrderedAll returns the ordered indexes ordered by signature.
+func (s *Set) OrderedAll() []*Ordered {
+	if s == nil {
+		return nil
+	}
+	sigs := make([]string, 0, len(s.ord))
+	for sig := range s.ord {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	out := make([]*Ordered, len(sigs))
+	for i, sig := range sigs {
+		out[i] = s.ord[sig]
+	}
+	return out
+}
+
+// OrderedFor returns the ordered index usable for a range probe with
+// equality bindings on the columns in eq and a bound on boundCol: its
+// leading prefix columns must all carry equality bindings and its next
+// column must be boundCol. It returns the index and the equality-prefix
+// length, preferring the longest prefix (the narrowest interval) with
+// signature order breaking ties, or nil when no ordered index qualifies.
+func (s *Set) OrderedFor(eq map[int]bool, boundCol int) (*Ordered, int) {
+	if s == nil {
+		return nil, 0
+	}
+	var best *Ordered
+	bestPrefix := -1
+	bestSig := ""
+	for sig, x := range s.ord {
+		p := 0
+		for p < len(x.cols) && eq[x.cols[p]] {
+			p++
+		}
+		if p >= len(x.cols) || x.cols[p] != boundCol {
+			continue
+		}
+		if p > bestPrefix || (p == bestPrefix && sig < bestSig) {
+			best, bestPrefix, bestSig = x, p, sig
 		}
 	}
+	if best == nil {
+		return nil, 0
+	}
+	return best, bestPrefix
+}
+
+// clone returns a shallow copy of the set's maps with room for one more.
+func (s *Set) clone() *Set {
+	n := &Set{by: make(map[string]*Index, len(s.byMap())+1)}
+	for sig, old := range s.byMap() {
+		n.by[sig] = old
+	}
+	if s != nil && len(s.ord) > 0 {
+		n.ord = make(map[string]*Ordered, len(s.ord)+1)
+		for sig, old := range s.ord {
+			n.ord[sig] = old
+		}
+	}
+	return n
+}
+
+func (s *Set) byMap() map[string]*Index {
+	if s == nil {
+		return nil
+	}
+	return s.by
+}
+
+// With returns a new set with x added, replacing any hash index over the
+// same columns. The receiver is unchanged; nil receivers are allowed.
+func (s *Set) With(x *Index) *Set {
+	n := s.clone()
 	n.by[Sig(x.cols)] = x
 	return n
 }
 
+// WithOrdered returns a new set with x added, replacing any ordered index
+// over the same column list. The receiver is unchanged; nil receivers are
+// allowed.
+func (s *Set) WithOrdered(x *Ordered) *Set {
+	n := s.clone()
+	if n.ord == nil {
+		n.ord = make(map[string]*Ordered, 1)
+	}
+	n.ord[Sig(x.cols)] = x
+	return n
+}
+
 // Apply derives the successor set after a committed net delta, applying the
-// delta to every index; O(indexes × delta).
+// delta to every index, hash and ordered; O(indexes × delta).
 func (s *Set) Apply(ins, del *relation.Relation) *Set {
 	if s.Len() == 0 {
 		return s
@@ -333,6 +423,12 @@ func (s *Set) Apply(ins, del *relation.Relation) *Set {
 	n := &Set{by: make(map[string]*Index, len(s.by))}
 	for sig, x := range s.by {
 		n.by[sig] = x.Apply(ins, del)
+	}
+	if len(s.ord) > 0 {
+		n.ord = make(map[string]*Ordered, len(s.ord))
+		for sig, x := range s.ord {
+			n.ord[sig] = x.Apply(ins, del)
+		}
 	}
 	return n
 }
@@ -348,16 +444,28 @@ func (s *Set) Rebuild(r *relation.Relation) *Set {
 	for sig, x := range s.by {
 		n.by[sig] = Build(r, x.cols)
 	}
+	if len(s.ord) > 0 {
+		n.ord = make(map[string]*Ordered, len(s.ord))
+		for sig, x := range s.ord {
+			n.ord[sig] = BuildOrdered(r, x.cols)
+		}
+	}
 	return n
 }
 
-// ParseDecl parses an index declaration of the form "relation(attr, ...)",
-// the textual syntax Options.Indexes and DB.CreateIndex accept.
-func ParseDecl(decl string) (rel string, attrs []string, err error) {
+// ParseDecl parses an index declaration of the form "relation(attr, ...)"
+// — optionally suffixed with the keyword "ordered" for an ordered (range)
+// index, whose attribute order is the sort order — the textual syntax
+// Options.Indexes and DB.CreateIndex accept.
+func ParseDecl(decl string) (rel string, attrs []string, ordered bool, err error) {
 	s := strings.TrimSpace(decl)
+	if rest, ok := strings.CutSuffix(s, "ordered"); ok && strings.HasSuffix(strings.TrimSpace(rest), ")") {
+		ordered = true
+		s = strings.TrimSpace(rest)
+	}
 	open := strings.IndexByte(s, '(')
 	if open <= 0 || !strings.HasSuffix(s, ")") {
-		return "", nil, fmt.Errorf("index: malformed declaration %q, want \"relation(attr, ...)\"", decl)
+		return "", nil, false, fmt.Errorf("index: malformed declaration %q, want \"relation(attr, ...)\" or \"relation(attr, ...) ordered\"", decl)
 	}
 	rel = strings.TrimSpace(s[:open])
 	body := s[open+1 : len(s)-1]
@@ -365,16 +473,16 @@ func ParseDecl(decl string) (rel string, attrs []string, err error) {
 	for _, part := range strings.Split(body, ",") {
 		a := strings.TrimSpace(part)
 		if a == "" {
-			return "", nil, fmt.Errorf("index: declaration %q has an empty attribute", decl)
+			return "", nil, false, fmt.Errorf("index: declaration %q has an empty attribute", decl)
 		}
 		if seen[a] {
-			return "", nil, fmt.Errorf("index: declaration %q repeats attribute %q", decl, a)
+			return "", nil, false, fmt.Errorf("index: declaration %q repeats attribute %q", decl, a)
 		}
 		seen[a] = true
 		attrs = append(attrs, a)
 	}
 	if len(attrs) == 0 {
-		return "", nil, fmt.Errorf("index: declaration %q has no attributes", decl)
+		return "", nil, false, fmt.Errorf("index: declaration %q has no attributes", decl)
 	}
-	return rel, attrs, nil
+	return rel, attrs, ordered, nil
 }

@@ -201,18 +201,23 @@ func TestParseDecl(t *testing.T) {
 		decl    string
 		rel     string
 		attrs   []string
+		ordered bool
 		wantErr bool
 	}{
-		{"child(parent)", "child", []string{"parent"}, false},
-		{" child ( parent , qty ) ", "child", []string{"parent", "qty"}, false},
-		{"child", "", nil, true},
-		{"child()", "", nil, true},
-		{"(parent)", "", nil, true},
-		{"child(parent,parent)", "", nil, true},
-		{"child(parent,)", "", nil, true},
+		{"child(parent)", "child", []string{"parent"}, false, false},
+		{" child ( parent , qty ) ", "child", []string{"parent", "qty"}, false, false},
+		{"child(qty) ordered", "child", []string{"qty"}, true, false},
+		{" child ( qty , parent )  ordered ", "child", []string{"qty", "parent"}, true, false},
+		{"child(ordered)", "child", []string{"ordered"}, false, false},
+		{"child", "", nil, false, true},
+		{"child()", "", nil, false, true},
+		{"(parent)", "", nil, false, true},
+		{"child(parent,parent)", "", nil, false, true},
+		{"child(parent,)", "", nil, false, true},
+		{"child(qty) sorted", "", nil, false, true},
 	}
 	for _, c := range cases {
-		rel, attrs, err := ParseDecl(c.decl)
+		rel, attrs, ordered, err := ParseDecl(c.decl)
 		if c.wantErr {
 			if err == nil {
 				t.Errorf("ParseDecl(%q): want error", c.decl)
@@ -223,8 +228,8 @@ func TestParseDecl(t *testing.T) {
 			t.Errorf("ParseDecl(%q): %v", c.decl, err)
 			continue
 		}
-		if rel != c.rel || !reflect.DeepEqual(attrs, c.attrs) {
-			t.Errorf("ParseDecl(%q) = %q %v", c.decl, rel, attrs)
+		if rel != c.rel || !reflect.DeepEqual(attrs, c.attrs) || ordered != c.ordered {
+			t.Errorf("ParseDecl(%q) = %q %v ordered=%v", c.decl, rel, attrs, ordered)
 		}
 	}
 }
@@ -298,7 +303,7 @@ func TestProbeAfterManyMixedCommits(t *testing.T) {
 
 func TestDefString(t *testing.T) {
 	// Sanity for the decl round trip used by the facade's Indexes().
-	rel, attrs, err := ParseDecl("child(parent, qty)")
+	rel, attrs, _, err := ParseDecl("child(parent, qty)")
 	if err != nil {
 		t.Fatal(err)
 	}

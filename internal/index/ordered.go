@@ -1,0 +1,344 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// KeyRange is a half-open interval [Lo, Hi) over ordered key encodings
+// (value.AppendOrderedKey / relation.Tuple.OrderedKeyOn). Every bound shape
+// a range probe produces — inclusive, exclusive, or kind-limited on either
+// side — normalizes to this one form (see RangesFor), so both the ordered
+// index scan and the commit validator's interval-membership test are plain
+// string comparisons.
+type KeyRange struct {
+	Lo, Hi string
+}
+
+// Contains reports whether the encoded key falls inside the interval.
+func (kr KeyRange) Contains(key string) bool { return kr.Lo <= key && key < kr.Hi }
+
+// Empty reports whether the interval can contain no key at all.
+func (kr KeyRange) Empty() bool { return kr.Lo >= kr.Hi }
+
+// RangesFor builds the probe intervals for a range predicate over one
+// ordered index: the index's leading prefix columns are fixed to eqVals
+// (equality conjuncts), and the next column is bounded by lo and/or hi —
+// constants of kind boundKind — with the given inclusivities. A missing
+// bound falls back to the limit of boundKind's rank band, so intervals are
+// always kind-limited and never need an "unbounded" representation.
+//
+// Normalization to half-open intervals leans on two encoding facts: no
+// complete value encoding continues with 0xFF (string escapes emit 0xFF only
+// after 0x00, numerics are fixed-width, rank bytes stop below 0xFF), and
+// every encoding starts with its rank byte. Hence over both full index keys
+// and prefix-projected keys:
+//
+//   - an exclusive lower bound "key > enc(v)" is "key >= enc(v) + 0xFF";
+//   - an inclusive upper bound "key <= enc(v)" is "key < enc(v) + 0xFF".
+//
+// includeNull widens the result for negated comparisons, which null values
+// satisfy (ordering against null is false, so its negation is true): either
+// the main interval is extended down to the start of the column's key space,
+// or — when a lower bound is present — a second point interval covering
+// exactly the null encoding is added.
+//
+// includeNaN widens the result for inclusive numeric bounds, which NaN
+// values satisfy (value.Compare answers 0 for NaN against any number, so
+// NaN <= c and NaN >= c are true): the NaN encodings live below -Inf and
+// above +Inf inside the numeric band, so whichever zones an explicit bound
+// cut off are added back as extra intervals. The caller probes every
+// returned interval and records each as an interval read.
+func RangesFor(eqVals []value.Value, boundKind value.Kind,
+	lo, hi *value.Value, loIncl, hiIncl, includeNull, includeNaN bool) []KeyRange {
+	prefix := make([]byte, 0, 16*(len(eqVals)+1))
+	for _, v := range eqVals {
+		prefix = v.AppendOrderedKey(prefix)
+	}
+	rank := value.OrderedRank(boundKind)
+
+	loKey := string(prefix) + string([]byte{rank})
+	if lo != nil {
+		loKey = string(lo.AppendOrderedKey(append([]byte(nil), prefix...)))
+		if !loIncl {
+			loKey += "\xff"
+		}
+	}
+	hiKey := string(prefix) + string([]byte{rank + 0x10})
+	if hi != nil {
+		hiKey = string(hi.AppendOrderedKey(append([]byte(nil), prefix...)))
+		if hiIncl {
+			hiKey += "\xff"
+		}
+	}
+
+	var out []KeyRange
+	nullLo := string(prefix) + string([]byte{value.OrderedRankNull})
+	switch {
+	case includeNull && lo == nil:
+		// No lower bound: one contiguous interval from the null encoding up.
+		out = append(out, KeyRange{Lo: nullLo, Hi: hiKey})
+	case includeNull:
+		// A lower bound splits null off into its own point interval.
+		out = append(out, KeyRange{Lo: nullLo, Hi: string(prefix) + string([]byte{value.OrderedRankNull + 1})})
+		out = append(out, KeyRange{Lo: loKey, Hi: hiKey})
+	default:
+		out = append(out, KeyRange{Lo: loKey, Hi: hiKey})
+	}
+	if includeNaN && rank == value.OrderedRankNumber {
+		// Negative NaNs encode below -Inf: a lower bound cut that zone off.
+		if lo != nil {
+			negInf := value.Float(math.Inf(-1))
+			out = append(out, KeyRange{
+				Lo: string(prefix) + string([]byte{rank}),
+				Hi: string(negInf.AppendOrderedKey(append([]byte(nil), prefix...))),
+			})
+		}
+		// Positive NaNs encode above +Inf: an upper bound cut that zone off.
+		if hi != nil {
+			posInf := value.Float(math.Inf(1))
+			out = append(out, KeyRange{
+				Lo: string(posInf.AppendOrderedKey(append([]byte(nil), prefix...))) + "\xff",
+				Hi: string(prefix) + string([]byte{rank + 0x10}),
+			})
+		}
+	}
+	kept := out[:0]
+	for _, kr := range out {
+		if !kr.Empty() {
+			kept = append(kept, kr)
+		}
+	}
+	return kept
+}
+
+// Ordered is an immutable secondary ordered index over a list of column
+// positions of one relation instance: sorted runs of ordered key encodings
+// (relation.Tuple.OrderedKeyOn over the index columns, whose order is
+// significant) to the tuples carrying them. Like the hash Index, it is
+// either a base run (sorted keys with parallel buckets) or a delta layer
+// over a parent, holding one committed transaction's net inserts and net
+// deletes as sorted runs. Range walks the chain newest-first, binary-
+// searching every run and shadowing deleted tuple keys; Apply pushes a layer in
+// O(delta log delta); the chain folds back into a single sorted base when
+// it exceeds maxDepth or the accumulated layer entries rival the indexed
+// size — the same amortization as the hash index.
+type Ordered struct {
+	cols []int
+
+	// Base run (parent == nil): distinct ordered keys ascending, with the
+	// tuples carrying each key in the parallel bucket.
+	keys    []string
+	buckets [][]relation.Tuple
+
+	// Delta layer (parent != nil): net inserts and net deletes as sorted
+	// runs — deletes carry the canonical tuple keys shadowed under each
+	// ordered key, so a probe binary-searches both runs and pays only for
+	// entries inside its interval.
+	parent     *Ordered
+	insKeys    []string
+	insBuckets [][]relation.Tuple
+	delKeys    []string
+	delBuckets [][]string
+
+	depth   int
+	size    int // net number of indexed tuples
+	layered int // ins+del entries accumulated in the layer chain
+}
+
+// BuildOrdered constructs a base ordered index over the relation's current
+// tuples; O(n log n). cols must be valid positions in the relation's schema;
+// their order is the index's sort order.
+func BuildOrdered(r *relation.Relation, cols []int) *Ordered {
+	grouped := make(map[string][]relation.Tuple)
+	_ = r.ForEach(func(t relation.Tuple) error {
+		k := t.OrderedKeyOn(cols)
+		grouped[k] = append(grouped[k], t)
+		return nil
+	})
+	keys, buckets := sortRuns(grouped)
+	return &Ordered{cols: append([]int(nil), cols...), keys: keys, buckets: buckets, size: r.Len()}
+}
+
+// sortRuns flattens a key-grouped map into parallel sorted slices.
+func sortRuns(grouped map[string][]relation.Tuple) ([]string, [][]relation.Tuple) {
+	keys := make([]string, 0, len(grouped))
+	for k := range grouped {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buckets := make([][]relation.Tuple, len(keys))
+	for i, k := range keys {
+		buckets[i] = grouped[k]
+	}
+	return keys, buckets
+}
+
+// Cols returns the indexed column positions in sort-order significance.
+// Callers must not mutate the returned slice.
+func (x *Ordered) Cols() []int { return x.cols }
+
+// Len returns the net number of indexed tuples.
+func (x *Ordered) Len() int { return x.size }
+
+// Depth returns the number of delta layers above the base run; 0 for a
+// freshly built or just-compacted index. Exposed for tests and metrics.
+func (x *Ordered) Depth() int { return x.depth }
+
+// Range returns the tuples whose ordered key falls in [lo, hi), walking the
+// layer chain newest-first and shadowing deleted tuple keys. The returned
+// tuples are shared with the index; callers must not mutate them. Output
+// order is unspecified (candidates are re-verified and set-inserted by every
+// caller).
+func (x *Ordered) Range(kr KeyRange) []relation.Tuple {
+	if kr.Empty() {
+		return nil
+	}
+	var out []relation.Tuple
+	var deleted map[string]bool
+	// collect appends a bucket's surviving tuples; with no delete shadow
+	// accumulated yet the whole bucket survives, skipping the per-tuple
+	// canonical-key computation on the common layer-free fast path.
+	collect := func(bucket []relation.Tuple) {
+		if deleted == nil {
+			out = append(out, bucket...)
+			return
+		}
+		for _, t := range bucket {
+			if !deleted[t.Key()] {
+				out = append(out, t)
+			}
+		}
+	}
+	for n := x; n != nil; n = n.parent {
+		if n.parent == nil {
+			i := sort.SearchStrings(n.keys, kr.Lo)
+			for ; i < len(n.keys) && n.keys[i] < kr.Hi; i++ {
+				collect(n.buckets[i])
+			}
+			break
+		}
+		i := sort.SearchStrings(n.insKeys, kr.Lo)
+		for ; i < len(n.insKeys) && n.insKeys[i] < kr.Hi; i++ {
+			collect(n.insBuckets[i])
+		}
+		// Only shadows inside the interval can affect tuples the scan may
+		// collect, so the delete run is binary-searched just like the
+		// insert run — probes never pay for out-of-interval deletes.
+		i = sort.SearchStrings(n.delKeys, kr.Lo)
+		for ; i < len(n.delKeys) && n.delKeys[i] < kr.Hi; i++ {
+			if deleted == nil {
+				deleted = make(map[string]bool, len(n.delBuckets[i]))
+			}
+			for _, k := range n.delBuckets[i] {
+				deleted[k] = true
+			}
+		}
+	}
+	return out
+}
+
+// Apply derives the successor ordered index after a committed net delta:
+// ins holds tuples absent from the indexed instance, del tuples present in
+// it (the net-differential invariant the transaction overlay maintains).
+// Either may be nil or empty. The receiver is unchanged; the derivation is
+// O(delta log delta) except when it triggers an amortized compaction.
+func (x *Ordered) Apply(ins, del *relation.Relation) *Ordered {
+	insN, delN := 0, 0
+	if ins != nil {
+		insN = ins.Len()
+	}
+	if del != nil {
+		delN = del.Len()
+	}
+	if insN == 0 && delN == 0 {
+		return x
+	}
+	layer := &Ordered{
+		cols:    x.cols,
+		parent:  x,
+		depth:   x.depth + 1,
+		size:    x.size + insN - delN,
+		layered: x.layered + insN + delN,
+	}
+	if insN > 0 {
+		grouped := make(map[string][]relation.Tuple, insN)
+		_ = ins.ForEach(func(t relation.Tuple) error {
+			k := t.OrderedKeyOn(x.cols)
+			grouped[k] = append(grouped[k], t)
+			return nil
+		})
+		layer.insKeys, layer.insBuckets = sortRuns(grouped)
+	}
+	if delN > 0 {
+		grouped := make(map[string][]string, delN)
+		_ = del.ForEachKey(func(tk string, t relation.Tuple) error {
+			k := t.OrderedKeyOn(x.cols)
+			grouped[k] = append(grouped[k], tk)
+			return nil
+		})
+		layer.delKeys = make([]string, 0, len(grouped))
+		for k := range grouped {
+			layer.delKeys = append(layer.delKeys, k)
+		}
+		sort.Strings(layer.delKeys)
+		layer.delBuckets = make([][]string, len(layer.delKeys))
+		for i, k := range layer.delKeys {
+			layer.delBuckets[i] = grouped[k]
+		}
+	}
+	if layer.depth > maxDepth || layer.layered > layer.size/compactDivide+compactSlack {
+		return layer.compact()
+	}
+	return layer
+}
+
+// compact folds the layer chain into a fresh sorted base run. Shared bucket
+// slices are never mutated (divergent chains may hang off one base after
+// Database.Clone), so every modified bucket is rebuilt into new backing.
+func (x *Ordered) compact() *Ordered {
+	var layers []*Ordered
+	n := x
+	for n.parent != nil {
+		layers = append(layers, n)
+		n = n.parent
+	}
+	grouped := make(map[string][]relation.Tuple, len(n.keys))
+	for i, k := range n.keys {
+		grouped[k] = n.buckets[i]
+	}
+	for i := len(layers) - 1; i >= 0; i-- {
+		ly := layers[i]
+		for j, key := range ly.delKeys {
+			dels := make(map[string]bool, len(ly.delBuckets[j]))
+			for _, k := range ly.delBuckets[j] {
+				dels[k] = true
+			}
+			old := grouped[key]
+			nb := make([]relation.Tuple, 0, len(old))
+			for _, t := range old {
+				if !dels[t.Key()] {
+					nb = append(nb, t)
+				}
+			}
+			if len(nb) == 0 {
+				delete(grouped, key)
+			} else {
+				grouped[key] = nb
+			}
+		}
+		for j, key := range ly.insKeys {
+			ts := ly.insBuckets[j]
+			old := grouped[key]
+			nb := make([]relation.Tuple, 0, len(old)+len(ts))
+			nb = append(nb, old...)
+			nb = append(nb, ts...)
+			grouped[key] = nb
+		}
+	}
+	keys, buckets := sortRuns(grouped)
+	return &Ordered{cols: x.cols, keys: keys, buckets: buckets, size: x.size}
+}

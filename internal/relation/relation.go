@@ -78,6 +78,29 @@ func (t Tuple) AppendKeyOn(buf []byte, cols []int) []byte {
 	return buf
 }
 
+// OrderedKeyOn returns the order-preserving encoding
+// (value.AppendOrderedKey) of the projection of t onto the given column
+// positions, in the given order. It is the key encoding of ordered secondary
+// indexes and of the interval reads the transaction overlay records for
+// range probes: bytes-comparing two projections agrees with comparing the
+// projected values column by column, so interval membership of an encoded
+// key is interval membership of the tuple.
+func (t Tuple) OrderedKeyOn(cols []int) string {
+	return string(t.AppendOrderedKeyOn(nil, cols))
+}
+
+// AppendOrderedKeyOn appends the OrderedKeyOn encoding to buf and returns
+// it, for callers reusing one buffer across tuples.
+func (t Tuple) AppendOrderedKeyOn(buf []byte, cols []int) []byte {
+	if buf == nil {
+		buf = make([]byte, 0, 16*len(cols))
+	}
+	for _, c := range cols {
+		buf = t[c].AppendOrderedKey(buf)
+	}
+	return buf
+}
+
 // Equal reports element-wise equality.
 func (t Tuple) Equal(o Tuple) bool {
 	if len(t) != len(o) {

@@ -144,6 +144,17 @@ type ProbeRead struct {
 	Keys map[string]bool
 }
 
+// RangeRead records the range probes a transaction issued against one
+// relation on one ordered column prefix: the half-open intervals
+// (index.KeyRange over relation.Tuple.OrderedKeyOn encodings of Cols) it
+// scanned. A range probe observes every tuple whose projection falls in an
+// interval — including the absence of any — so a concurrent delta conflicts
+// iff one of its tuples projects into a probed interval.
+type RangeRead struct {
+	Cols   []int
+	Ranges []index.KeyRange
+}
+
 // ReadInfo describes how a transaction read one relation, at the finest
 // granularity the overlay could record.
 type ReadInfo struct {
@@ -159,6 +170,10 @@ type ReadInfo struct {
 	// (index.Sig), when Full is false: a concurrent write conflicts only if
 	// one of its tuples projects onto a probed key.
 	Probes map[string]*ProbeRead
+	// Ranges holds the interval-read records, keyed by the signature of the
+	// probed ordered column prefix, when Full is false: a concurrent write
+	// conflicts only if one of its tuples projects into a probed interval.
+	Ranges map[string]*RangeRead
 }
 
 // Commit is a validated commit request: the outcome of a transaction that
@@ -400,8 +415,51 @@ func (d *Database) DefineIndex(rel string, cols []int) error {
 	return nil
 }
 
-// IndexDefs returns the column sets of the indexes defined on the named
-// relation, ordered by signature; nil when it has none.
+// DefineOrderedIndex declares a secondary ordered (range) index on the
+// named relation over the given column positions — whose order is the sort
+// order and is therefore preserved, not canonicalized — builds it from the
+// current instance, and publishes it with the snapshot. Like DefineIndex it
+// is a schema-management call that must not run concurrently with commits;
+// duplicate definitions over the same column list are rejected.
+func (d *Database) DefineOrderedIndex(rel string, cols []int) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("storage: ordered index on %q needs at least one column", rel)
+	}
+	rs, ok := d.sch.Relation(rel)
+	if !ok {
+		return fmt.Errorf("storage: ordered index on unknown relation %q", rel)
+	}
+	seen := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		if c < 0 || c >= rs.Arity() {
+			return fmt.Errorf("storage: ordered index on %q: column %d out of range (arity %d)", rel, c, rs.Arity())
+		}
+		if seen[c] {
+			return fmt.Errorf("storage: ordered index on %q repeats column %d", rel, c)
+		}
+		seen[c] = true
+	}
+	d.pubMu.Lock()
+	defer d.pubMu.Unlock()
+	cur := d.snap.Load()
+	r, ok := cur.rels[rel]
+	if !ok {
+		return fmt.Errorf("storage: ordered index on relation %q with no instance", rel)
+	}
+	if cur.idx[rel].OrderedExact(cols) != nil {
+		return fmt.Errorf("storage: duplicate ordered index on %q(%s)", rel, index.Sig(cols))
+	}
+	idx := make(map[string]*index.Set, len(cur.idx)+1)
+	for n, s := range cur.idx {
+		idx[n] = s
+	}
+	idx[rel] = idx[rel].WithOrdered(index.BuildOrdered(r, cols))
+	d.snap.Store(&Snapshot{sch: cur.sch, rels: cur.rels, idx: idx, time: cur.time})
+	return nil
+}
+
+// IndexDefs returns the column sets of the hash indexes defined on the
+// named relation, ordered by signature; nil when it has none.
 func (d *Database) IndexDefs(rel string) [][]int {
 	set := d.Snapshot().IndexSet(rel)
 	if set.Len() == 0 {
@@ -409,6 +467,21 @@ func (d *Database) IndexDefs(rel string) [][]int {
 	}
 	out := make([][]int, 0, set.Len())
 	for _, x := range set.All() {
+		out = append(out, append([]int(nil), x.Cols()...))
+	}
+	return out
+}
+
+// OrderedIndexDefs returns the column lists (sort-order significant) of the
+// ordered indexes defined on the named relation, ordered by signature; nil
+// when it has none.
+func (d *Database) OrderedIndexDefs(rel string) [][]int {
+	set := d.Snapshot().IndexSet(rel)
+	if set.Len() == 0 {
+		return nil
+	}
+	var out [][]int
+	for _, x := range set.OrderedAll() {
 		out = append(out, append([]int(nil), x.Cols()...))
 	}
 	return out
@@ -518,9 +591,11 @@ func (d *Database) validateShard(c *Commit, si int, homes map[string]int, merged
 }
 
 // overlapKey returns a tuple key from the delta relations that the read
-// record depends on — either its canonical key was observed directly
-// (Keys), or its projection onto a probed column set matches a probed key
-// (Probes) — or "" when the delta is disjoint from everything read.
+// record depends on — its canonical key was observed directly (Keys), its
+// projection onto a probed column set matches a probed key (Probes), or its
+// projection onto a probed ordered column prefix falls inside a probed
+// interval (Ranges) — or "" when the delta is disjoint from everything
+// read.
 func (ri *ReadInfo) overlapKey(ins, del *relation.Relation) string {
 	for _, r := range []*relation.Relation{ins, del} {
 		if r == nil {
@@ -536,6 +611,15 @@ func (ri *ReadInfo) overlapKey(ins, del *relation.Relation) string {
 				if pr.Keys[t.KeyOn(pr.Cols)] {
 					hit = k
 					return errStopIteration
+				}
+			}
+			for _, rr := range ri.Ranges {
+				ok := t.OrderedKeyOn(rr.Cols)
+				for _, kr := range rr.Ranges {
+					if kr.Contains(ok) {
+						hit = k
+						return errStopIteration
+					}
 				}
 			}
 			return nil

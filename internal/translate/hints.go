@@ -8,25 +8,33 @@ import (
 )
 
 // IndexHint names a relation and the attribute columns its enforcement
-// joins equate — the schema-driven input to automatic secondary indexing.
-// Columns are canonical: ascending and duplicate-free.
+// expressions access — the schema-driven input to automatic secondary
+// indexing. A hash hint (Ordered false) carries the canonical (ascending,
+// duplicate-free) equality-join columns; an ordered hint (Ordered true)
+// carries a single comparison-guarded column whose declared order is the
+// sort order of the ordered index worth building.
 type IndexHint struct {
 	Relation string
 	Columns  []int
 	Attrs    []string
+	Ordered  bool
 }
 
 // IndexHints derives the secondary indexes worth building for a translated
 // constraint: for every referential or pair conjunct, the equality-join
-// columns of both sides. Both directions matter — the referential check
-// antijoin(ins(child), parent) probes parent on its key columns, while the
-// deletion-side check semijoin(child, del(parent)) probes child on its
-// foreign-key columns. Conjuncts without equality joins (or whose
-// predicates cannot be re-bound) contribute nothing.
+// columns of both sides, and for every comparison-guarded domain or
+// existential conjunct, an ordered index per compared column. Both join
+// directions matter — the referential check antijoin(ins(child), parent)
+// probes parent on its key columns, while the deletion-side check
+// semijoin(child, del(parent)) probes child on its foreign-key columns —
+// and comparison guards ("qty >= threshold") turn their enforcement
+// selections into bounded range probes over the ordered hints. Conjuncts
+// without usable columns (or whose predicates cannot be re-bound)
+// contribute nothing.
 func IndexHints(parts []*Part, db *schema.Database) []IndexHint {
 	seen := make(map[string]bool)
 	var out []IndexHint
-	add := func(rel string, cols []int) {
+	add := func(rel string, cols []int, ordered bool) {
 		if len(cols) == 0 {
 			return
 		}
@@ -35,9 +43,14 @@ func IndexHints(parts []*Part, db *schema.Database) []IndexHint {
 			return
 		}
 		canon := append([]int(nil), cols...)
-		sort.Ints(canon)
-		canon = dedupInts(canon)
+		if !ordered {
+			sort.Ints(canon)
+			canon = dedupInts(canon)
+		}
 		key := rel + "\x00"
+		if ordered {
+			key = rel + "\x00ordered\x00"
+		}
 		attrs := make([]string, len(canon))
 		for i, c := range canon {
 			if c < 0 || c >= rs.Arity() {
@@ -50,26 +63,49 @@ func IndexHints(parts []*Part, db *schema.Database) []IndexHint {
 			return
 		}
 		seen[key] = true
-		out = append(out, IndexHint{Relation: rel, Columns: canon, Attrs: attrs})
+		out = append(out, IndexHint{Relation: rel, Columns: canon, Attrs: attrs, Ordered: ordered})
+	}
+	addRangeCols := func(rel string, pred algebra.Scalar) {
+		if pred == nil {
+			return
+		}
+		rs, ok := db.Relation(rel)
+		if !ok {
+			return
+		}
+		cols, err := algebra.RangeCompareColumns(pred, rs)
+		if err != nil {
+			return
+		}
+		for _, c := range cols {
+			add(rel, []int{c}, true)
+		}
 	}
 	for _, p := range parts {
-		if p.Class != ClassReferential && p.Class != ClassPair {
-			continue
+		switch p.Class {
+		case ClassReferential, ClassPair:
+			if p.JoinPred == nil {
+				continue
+			}
+			ls, lok := db.Relation(p.Rel.Name)
+			rs, rok := db.Relation(p.Other.Name)
+			if !lok || !rok {
+				continue
+			}
+			eqL, eqR, err := algebra.EquiJoinColumns(p.JoinPred, ls, rs)
+			if err != nil {
+				continue
+			}
+			add(p.Rel.Name, eqL, false)
+			add(p.Other.Name, eqR, false)
+		case ClassDomain:
+			// The enforcement selection applies Guard and ¬Cond; both sides'
+			// comparison columns are range-probe candidates.
+			addRangeCols(p.Rel.Name, p.Guard)
+			addRangeCols(p.Rel.Name, p.Cond)
+		case ClassExistential:
+			addRangeCols(p.Rel.Name, p.Cond)
 		}
-		if p.JoinPred == nil {
-			continue
-		}
-		ls, lok := db.Relation(p.Rel.Name)
-		rs, rok := db.Relation(p.Other.Name)
-		if !lok || !rok {
-			continue
-		}
-		eqL, eqR, err := algebra.EquiJoinColumns(p.JoinPred, ls, rs)
-		if err != nil {
-			continue
-		}
-		add(p.Rel.Name, eqL)
-		add(p.Other.Name, eqR)
 	}
 	return out
 }

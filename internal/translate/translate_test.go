@@ -237,12 +237,16 @@ func TestIndexHintsFromReferential(t *testing.T) {
 	}
 }
 
-// TestIndexHintsSkipNonJoinClasses: domain and aggregate constraints have
-// no enforcement join, so they hint nothing; duplicate hints collapse.
+// TestIndexHintsSkipNonJoinClasses: comparison-guarded domain constraints
+// hint an ordered index on the compared column (their enforcement
+// selections range-probe it); aggregate constraints hint nothing; duplicate
+// hints collapse.
 func TestIndexHintsSkipNonJoinClasses(t *testing.T) {
 	res := mustTranslate(t, `forall x (x in r implies x.a >= 0)`)
-	if hints := translate.IndexHints(res.Parts, testSchema()); len(hints) != 0 {
-		t.Fatalf("domain constraint hinted %v", hints)
+	hints := translate.IndexHints(res.Parts, testSchema())
+	if len(hints) != 1 || !hints[0].Ordered || hints[0].Relation != "r" ||
+		strings.Join(hints[0].Attrs, ",") != "a" {
+		t.Fatalf("domain constraint hinted %v, want one ordered r(a)", hints)
 	}
 	res = mustTranslate(t, `CNT(r) <= 100`)
 	if hints := translate.IndexHints(res.Parts, testSchema()); len(hints) != 0 {
@@ -250,7 +254,7 @@ func TestIndexHintsSkipNonJoinClasses(t *testing.T) {
 	}
 	// Parts repeating the same join contribute each hint once.
 	res = mustTranslate(t, `forall x (x in r implies exists y (y in s and x.b = y.k))`)
-	hints := translate.IndexHints(append(append([]*translate.Part{}, res.Parts...), res.Parts...), testSchema())
+	hints = translate.IndexHints(append(append([]*translate.Part{}, res.Parts...), res.Parts...), testSchema())
 	if len(hints) != 2 {
 		t.Fatalf("duplicate joins produced %d hints: %v", len(hints), hints)
 	}

@@ -19,6 +19,10 @@ type Stats struct {
 	// scans (algebra.ProbeEnv); each one recorded a probed-key read rather
 	// than a whole-relation read.
 	IndexProbes int
+	// RangeProbes counts ordered-index range probes issued instead of
+	// relation scans (algebra.RangeProbeEnv); each one recorded an interval
+	// read rather than a whole-relation read.
+	RangeProbes int
 }
 
 // Result reports the outcome of executing a transaction. When Committed is

@@ -34,6 +34,13 @@ import (
 //     index columns — including their absence — so the (columns, key) pair
 //     is recorded and the validator conflicts only with concurrent deltas
 //     whose tuples project onto a probed key;
+//   - range-probing an ordered index (algebra.RangeProbeEnv, used for
+//     comparison selections and Update.Exec range predicates) is an
+//     interval read: the expression observed exactly the tuples whose
+//     projection onto the probed column prefix falls in the probed
+//     half-open intervals — including the absence of any — so the
+//     (columns, intervals) pair is recorded and the validator conflicts
+//     only with concurrent deltas whose tuples project into an interval;
 //   - reading ins(R)/del(R) (AuxIns/AuxDel) touches transaction-local
 //     differentials only and records no base read at all — their content is
 //     fully determined by the transaction's own statements plus the keyed
@@ -110,6 +117,7 @@ func (o *Overlay) markFullRead(name string) {
 	ri.Full = true
 	ri.Keys = nil
 	ri.Probes = nil
+	ri.Ranges = nil
 }
 
 // markKeyRead records a keyed read (tuple-presence observation) of a base
@@ -142,6 +150,113 @@ func (o *Overlay) markProbeRead(name string, cols []int, key string) {
 		ri.Probes[sig] = pr
 	}
 	pr.Keys[key] = true
+}
+
+// markRangeRead records an interval read (cols, key range) of a base
+// relation; subsumed by an earlier or later full read. Identical intervals
+// (a guard re-probed by several statements) collapse onto one record.
+func (o *Overlay) markRangeRead(name string, cols []int, kr index.KeyRange) {
+	ri := o.readInfo(name)
+	if ri.Full {
+		return
+	}
+	sig := index.Sig(cols)
+	rr := ri.Ranges[sig]
+	if rr == nil {
+		if ri.Ranges == nil {
+			ri.Ranges = make(map[string]*storage.RangeRead)
+		}
+		rr = &storage.RangeRead{Cols: append([]int(nil), cols...)}
+		ri.Ranges[sig] = rr
+	}
+	for _, old := range rr.Ranges {
+		if old == kr {
+			return
+		}
+	}
+	rr.Ranges = append(rr.Ranges, kr)
+}
+
+// OrderedIndexFor implements algebra.RangeProbeEnv: it resolves an ordered
+// index of the pinned snapshot whose leading columns carry equality
+// bindings and whose next column is the bounded one. Only the current and
+// pre-transaction incarnations are indexed; the transaction-local
+// differentials are small and carry no base-read dependency.
+func (o *Overlay) OrderedIndexFor(name string, aux algebra.AuxKind, eq map[int]bool, boundCol int) ([]int, int, bool) {
+	if aux != algebra.AuxCur && aux != algebra.AuxOld {
+		return nil, 0, false
+	}
+	x, prefix := o.base.IndexSet(name).OrderedFor(eq, boundCol)
+	if x == nil {
+		return nil, 0, false
+	}
+	return x.Cols(), prefix, true
+}
+
+// RangeProbe implements algebra.RangeProbeEnv: it answers a bounded range
+// probe against the pinned snapshot's ordered index, overlays the
+// transaction's own net deltas for the current incarnation (the snapshot
+// index cannot see uncommitted writes), and records each scanned interval
+// as an interval read instead of a full-relation read.
+func (o *Overlay) RangeProbe(name string, aux algebra.AuxKind, idx []int, prefix int,
+	eqVals []value.Value, lo, hi *algebra.RangeBound, boundKind value.Kind,
+	includeNull, includeNaN bool) ([]relation.Tuple, error) {
+	x := o.base.IndexSet(name).OrderedExact(idx)
+	if x == nil {
+		return nil, fmt.Errorf("txn: no ordered index %s(%s) to range-probe", name, index.Sig(idx))
+	}
+	var loV, hiV *value.Value
+	var loIncl, hiIncl bool
+	if lo != nil {
+		loV, loIncl = &lo.V, lo.Incl
+	}
+	if hi != nil {
+		hiV, hiIncl = &hi.V, hi.Incl
+	}
+	ranges := index.RangesFor(eqVals, boundKind, loV, hiV, loIncl, hiIncl, includeNull, includeNaN)
+	probeCols := idx[:prefix+1]
+	o.stats.RangeProbes++
+	var out []relation.Tuple
+	for _, kr := range ranges {
+		o.markRangeRead(name, probeCols, kr)
+		out = append(out, x.Range(kr)...)
+	}
+	if aux != algebra.AuxCur {
+		return out, nil // old(R) is exactly the pinned snapshot
+	}
+	out = o.filterOwnDeletes(name, out)
+	if di := o.ins[name]; di != nil && !di.IsEmpty() {
+		var buf []byte
+		_ = di.ForEach(func(t relation.Tuple) error {
+			buf = t.AppendOrderedKeyOn(buf[:0], probeCols)
+			for _, kr := range ranges {
+				if kr.Contains(string(buf)) {
+					out = append(out, t)
+					return nil
+				}
+			}
+			return nil
+		})
+	}
+	return out, nil
+}
+
+// filterOwnDeletes drops probed snapshot tuples the transaction has itself
+// deleted — the local-delta adjustment shared by the hash-probe and
+// range-probe paths. The input slice may be shared with an index; a fresh
+// slice is returned whenever anything is filtered.
+func (o *Overlay) filterOwnDeletes(name string, out []relation.Tuple) []relation.Tuple {
+	dd := o.del[name]
+	if dd == nil || dd.IsEmpty() {
+		return out
+	}
+	kept := make([]relation.Tuple, 0, len(out))
+	for _, t := range out {
+		if !dd.ContainsKey(t.Key()) {
+			kept = append(kept, t)
+		}
+	}
+	return kept
 }
 
 // IndexFor implements algebra.ProbeEnv: it resolves the widest secondary
@@ -188,15 +303,7 @@ func (o *Overlay) Probe(name string, aux algebra.AuxKind, idx []int, vals []valu
 	if aux != algebra.AuxCur {
 		return out, nil // old(R) is exactly the pinned snapshot
 	}
-	if dd := o.del[name]; dd != nil && !dd.IsEmpty() {
-		kept := make([]relation.Tuple, 0, len(out))
-		for _, t := range out {
-			if !dd.ContainsKey(t.Key()) {
-				kept = append(kept, t)
-			}
-		}
-		out = kept
-	}
+	out = o.filterOwnDeletes(name, out)
 	if di := o.ins[name]; di != nil && !di.IsEmpty() {
 		// The shared probe slice must not be appended to in place.
 		var extra []relation.Tuple

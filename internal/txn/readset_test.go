@@ -39,7 +39,7 @@ func childT(id, parent int64) relation.Tuple {
 }
 
 // newPairStore builds a parent/child store; indexed adds parent(id) and
-// child(parent) secondary indexes.
+// child(parent) secondary hash indexes.
 func newPairStore(t testing.TB, indexed bool) *storage.Database {
 	t.Helper()
 	db := storage.New(schema.MustDatabase(parentSchemaT(), childSchemaT()))
@@ -62,9 +62,23 @@ func newPairStore(t testing.TB, indexed bool) *storage.Database {
 	return db
 }
 
+// newRangeStore is newPairStore plus ordered indexes on parent(id) and
+// child(id), so comparison selections range-probe.
+func newRangeStore(t testing.TB, hashIndexed bool) *storage.Database {
+	t.Helper()
+	db := newPairStore(t, hashIndexed)
+	if err := db.DefineOrderedIndex("parent", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineOrderedIndex("child", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
 // describeReads renders an overlay's read records as sorted
-// "relation:kind" strings — full, keys=N, or probes=SIG×N — so tests can
-// assert the exact record shape a statement produced.
+// "relation:kind" strings — full, keys=N, probes=SIG×N, or ranges=SIG×N —
+// so tests can assert the exact record shape a statement produced.
 func describeReads(o *Overlay) []string {
 	var out []string
 	for name, ri := range o.Reads() {
@@ -79,15 +93,23 @@ func describeReads(o *Overlay) []string {
 			for sig, pr := range ri.Probes {
 				sigs = append(sigs, fmt.Sprintf("%s:probes=%s×%d", name, sig, len(pr.Keys)))
 			}
+			for sig, rr := range ri.Ranges {
+				sigs = append(sigs, fmt.Sprintf("%s:ranges=%s×%d", name, sig, len(rr.Ranges)))
+			}
 			sort.Strings(sigs)
 			out = append(out, sigs...)
-			if len(ri.Keys) == 0 && len(ri.Probes) == 0 {
+			if len(ri.Keys) == 0 && len(ri.Probes) == 0 && len(ri.Ranges) == 0 {
 				out = append(out, name+":empty")
 			}
 		}
 	}
 	sort.Strings(out)
 	return out
+}
+
+// cmpConst builds "attr op const" over an int attribute.
+func cmpConst(attr string, op algebra.CmpOp, v int64) algebra.Scalar {
+	return &algebra.Cmp{Op: op, L: algebra.AttrByName(attr), R: &algebra.Const{V: value.Int(v)}}
 }
 
 // eqConst builds "attr = const" over an int attribute.
@@ -287,6 +309,341 @@ func execProgram(t *testing.T, ov *Overlay, prog algebra.Program) {
 	}
 	if err := prog.Exec(ov); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestOverlayRangeReadRecords pins the read-record shape of comparison
+// selections — full vs probed-key vs interval read per statement shape —
+// including the guarded semijoin of a deletion-side enforcement check
+// before and after the ordered index exists.
+func TestOverlayRangeReadRecords(t *testing.T) {
+	cases := []struct {
+		name  string
+		store func(t testing.TB) *storage.Database
+		run   func(t *testing.T, ov *Overlay)
+		want  []string
+	}{
+		{
+			name:  "range selection without an ordered index scans",
+			store: func(t testing.TB) *storage.Database { return newPairStore(t, true) },
+			run: func(t *testing.T, ov *Overlay) {
+				execProgram(t, ov, algebra.Program{&algebra.Assign{Temp: "q",
+					Expr: algebra.NewSelect(algebra.NewRel("parent"), cmpConst("id", algebra.CmpGE, 2))}})
+			},
+			want: []string{"parent:full"},
+		},
+		{
+			name:  "range selection with an ordered index records one interval",
+			store: func(t testing.TB) *storage.Database { return newRangeStore(t, false) },
+			run: func(t *testing.T, ov *Overlay) {
+				execProgram(t, ov, algebra.Program{&algebra.Assign{Temp: "q",
+					Expr: algebra.NewSelect(algebra.NewRel("parent"), cmpConst("id", algebra.CmpGT, 1))}})
+			},
+			want: []string{"parent:ranges=0×1"},
+		},
+		{
+			// An inclusive bound admits NaN data (Compare answers 0 for NaN
+			// against any number), whose encodings a lower bound cuts off:
+			// the probe records the main interval plus the NaN zone.
+			name:  "inclusive lower bound splits off the NaN zone",
+			store: func(t testing.TB) *storage.Database { return newRangeStore(t, false) },
+			run: func(t *testing.T, ov *Overlay) {
+				execProgram(t, ov, algebra.Program{&algebra.Assign{Temp: "q",
+					Expr: algebra.NewSelect(algebra.NewRel("parent"), cmpConst("id", algebra.CmpGE, 2))}})
+			},
+			want: []string{"parent:ranges=0×2"},
+		},
+		{
+			// A between-style conjunction tightens into a single interval.
+			name:  "between selection records one interval",
+			store: func(t testing.TB) *storage.Database { return newRangeStore(t, false) },
+			run: func(t *testing.T, ov *Overlay) {
+				pred := &algebra.And{
+					L: cmpConst("id", algebra.CmpGE, 2),
+					R: cmpConst("id", algebra.CmpLT, 3),
+				}
+				prog := algebra.Program{&algebra.Assign{Temp: "q",
+					Expr: algebra.NewSelect(algebra.NewRel("parent"), pred)}}
+				execProgram(t, ov, prog)
+				q, err := ov.Temp("q")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if q.Len() != 1 || !q.Contains(parentT(2, "b")) {
+					t.Errorf("between probe returned %d tuples, want exactly parent 2", q.Len())
+				}
+			},
+			want: []string{"parent:ranges=0×1"},
+		},
+		{
+			// Enforcement guards arrive negated: ¬(id >= 2) must still plan
+			// as a bounded probe (id < 2, widened to admit null) and record
+			// one contiguous interval.
+			name:  "negated guard records one interval",
+			store: func(t testing.TB) *storage.Database { return newRangeStore(t, false) },
+			run: func(t *testing.T, ov *Overlay) {
+				execProgram(t, ov, algebra.Program{&algebra.Assign{Temp: "q",
+					Expr: algebra.NewSelect(algebra.NewRel("parent"),
+						&algebra.Not{X: cmpConst("id", algebra.CmpGE, 2)})}})
+			},
+			want: []string{"parent:ranges=0×1"},
+		},
+		{
+			// ¬(id <= 2) is id > 2 or null: the null encoding sits below the
+			// numeric band, so the probe records a null point interval plus
+			// the open numeric interval.
+			name:  "negated lower bound splits off the null interval",
+			store: func(t testing.TB) *storage.Database { return newRangeStore(t, false) },
+			run: func(t *testing.T, ov *Overlay) {
+				execProgram(t, ov, algebra.Program{&algebra.Assign{Temp: "q",
+					Expr: algebra.NewSelect(algebra.NewRel("parent"),
+						&algebra.Not{X: cmpConst("id", algebra.CmpLE, 2)})}})
+			},
+			want: []string{"parent:ranges=0×2"},
+		},
+		{
+			// The deletion-side enforcement shape with a comparison guard:
+			// the delete's selection and the semijoin's guarded left side
+			// scan without an ordered index, degrading child to a full read.
+			name:  "guarded semijoin without an ordered index scans child",
+			store: func(t testing.TB) *storage.Database { return newPairStore(t, true) },
+			run: func(t *testing.T, ov *Overlay) {
+				deleteParent(t, ov, parentT(3, "c"))
+				execProgram(t, ov, algebra.Program{&algebra.Assign{Temp: "q",
+					Expr: algebra.NewSemiJoin(
+						algebra.NewSelect(algebra.NewRel("child"), cmpConst("id", algebra.CmpGT, 11)),
+						algebra.NewAuxRel("parent", algebra.AuxDel), refPred())}})
+			},
+			want: []string{"child:full", "parent:keys=1", "parent:probes=0×1"},
+		},
+		{
+			// Same transaction after CreateIndex("child(id) ordered"): the
+			// guarded left side range-probes, so the whole footprint is one
+			// probed parent key, the deleted tuple key, and one child
+			// interval.
+			name:  "guarded semijoin with an ordered index records an interval",
+			store: func(t testing.TB) *storage.Database { return newRangeStore(t, true) },
+			run: func(t *testing.T, ov *Overlay) {
+				deleteParent(t, ov, parentT(3, "c"))
+				execProgram(t, ov, algebra.Program{&algebra.Assign{Temp: "q",
+					Expr: algebra.NewSemiJoin(
+						algebra.NewSelect(algebra.NewRel("child"), cmpConst("id", algebra.CmpGT, 11)),
+						algebra.NewAuxRel("parent", algebra.AuxDel), refPred())}})
+			},
+			want: []string{"child:ranges=0×1", "parent:keys=1", "parent:probes=0×1"},
+		},
+		{
+			// An update whose Where is a comparison probes the ordered index
+			// for its candidates; the rewrite then records the old and new
+			// tuple keys.
+			name:  "update with a range predicate records an interval",
+			store: func(t testing.TB) *storage.Database { return newRangeStore(t, false) },
+			run: func(t *testing.T, ov *Overlay) {
+				prog := algebra.Program{&algebra.Update{
+					Rel: "parent", Where: cmpConst("id", algebra.CmpGT, 2),
+					Sets: []algebra.SetClause{{Attr: "name", Expr: &algebra.Const{V: value.String("C")}}},
+				}}
+				execProgram(t, ov, prog)
+				if ov.Stats().TuplesDeleted != 1 || ov.Stats().TuplesInserted != 1 {
+					t.Errorf("range update rewrote del=%d ins=%d tuples, want 1/1",
+						ov.Stats().TuplesDeleted, ov.Stats().TuplesInserted)
+				}
+				w, err := ov.Rel("parent", algebra.AuxIns)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !w.Contains(parentT(3, "C")) {
+					t.Error("range update did not produce the rewritten image")
+				}
+			},
+			want: []string{"parent:keys=2", "parent:ranges=0×1"},
+		},
+		{
+			name:  "a full read subsumes earlier interval reads",
+			store: func(t testing.TB) *storage.Database { return newRangeStore(t, false) },
+			run: func(t *testing.T, ov *Overlay) {
+				execProgram(t, ov, algebra.Program{
+					&algebra.Assign{Temp: "q",
+						Expr: algebra.NewSelect(algebra.NewRel("parent"), cmpConst("id", algebra.CmpLT, 2))},
+					&algebra.Assign{Temp: "r", Expr: algebra.NewRel("parent")},
+				})
+			},
+			want: []string{"parent:full"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			db := c.store(t)
+			ov := NewOverlay(db)
+			c.run(t, ov)
+			got := describeReads(ov)
+			if strings.Join(got, ";") != strings.Join(c.want, ";") {
+				t.Errorf("read records = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestRangeKindMismatchKeepsScanError: a comparison whose constant kind
+// cannot be ordered against the column's data must fail identically with
+// and without an ordered index — the probe path may not turn the scan
+// path's comparison error into a silent empty result.
+func TestRangeKindMismatchKeepsScanError(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		// indexed=true builds both the hash and the ordered index, so both
+		// probe paths are shown to stay on the erroring scan path.
+		db := newPairStore(t, indexed)
+		if indexed {
+			if err := db.DefineOrderedIndex("parent", []int{0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for name, pred := range map[string]algebra.Scalar{
+			"column vs mismatched constant": &algebra.Cmp{Op: algebra.CmpLT,
+				L: algebra.AttrByName("id"), R: &algebra.Const{V: value.String("x")}},
+			// The bad conjunct sits on one column while the indexable range
+			// sits on another whose interval matches nothing: a probe
+			// planned despite the poison would silently return empty
+			// instead of erroring.
+			"poison on one column, empty probe on another": &algebra.And{
+				L: &algebra.Cmp{Op: algebra.CmpLT,
+					L: algebra.AttrByName("name"), R: &algebra.Const{V: value.Int(3)}},
+				R: &algebra.Cmp{Op: algebra.CmpGT,
+					L: algebra.AttrByName("id"), R: &algebra.Const{V: value.Int(1000)}},
+			},
+			// Attr-vs-attr incomparable ordering is never a bound, but it
+			// errors on scan all the same.
+			"incomparable columns beside an empty probe": &algebra.And{
+				L: &algebra.Cmp{Op: algebra.CmpLT,
+					L: algebra.AttrByName("name"), R: algebra.AttrByName("id")},
+				R: &algebra.Cmp{Op: algebra.CmpGT,
+					L: algebra.AttrByName("id"), R: &algebra.Const{V: value.Int(1000)}},
+			},
+			// Division errors at evaluation; a probe must not skip the
+			// tuples that would raise it. Gates the range path here and the
+			// hash path via the equality conjunct.
+			"division by zero beside an empty range probe": &algebra.And{
+				L: &algebra.Cmp{Op: algebra.CmpGT,
+					L: &algebra.Arith{Op: value.OpDiv, L: algebra.AttrByName("id"), R: &algebra.Const{V: value.Int(0)}},
+					R: &algebra.Const{V: value.Int(1)}},
+				R: &algebra.Cmp{Op: algebra.CmpGT,
+					L: algebra.AttrByName("id"), R: &algebra.Const{V: value.Int(1000)}},
+			},
+			"division by zero beside an absent-key equality probe": &algebra.And{
+				L: &algebra.Cmp{Op: algebra.CmpGT,
+					L: &algebra.Arith{Op: value.OpDiv, L: algebra.AttrByName("id"), R: &algebra.Const{V: value.Int(0)}},
+					R: &algebra.Const{V: value.Int(1)}},
+				R: eqConst("id", 777),
+			},
+		} {
+			ov := NewOverlay(db)
+			prog := algebra.Program{&algebra.Assign{Temp: "q",
+				Expr: algebra.NewSelect(algebra.NewRel("parent"), pred)}}
+			tenv := algebra.NewTypeEnv(ov.Base().Schema())
+			if err := prog.TypeCheck(tenv); err != nil {
+				t.Fatal(err)
+			}
+			if err := prog.Exec(ov); err == nil {
+				t.Errorf("indexed=%v, %s: succeeded, want comparison error", indexed, name)
+			}
+		}
+	}
+}
+
+// TestRangeProbeSeesOwnWrites: a range probe against the current
+// incarnation must overlay the transaction's uncommitted inserts and
+// deletes on the snapshot's ordered index.
+func TestRangeProbeSeesOwnWrites(t *testing.T) {
+	db := newRangeStore(t, false)
+	ov := NewOverlay(db)
+	if err := ov.DeleteTuples("child", relation.MustFromTuples(childSchemaT(), childT(11, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.InsertTuples("child", relation.MustFromTuples(childSchemaT(), childT(13, 2))); err != nil {
+		t.Fatal(err)
+	}
+	prog := algebra.Program{&algebra.Assign{Temp: "q",
+		Expr: algebra.NewSelect(algebra.NewRel("child"), cmpConst("id", algebra.CmpGE, 11))}}
+	execProgram(t, ov, prog)
+	q, err := ov.Temp("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int64]bool{}
+	_ = q.ForEach(func(tt relation.Tuple) error {
+		ids[tt[0].AsInt()] = true
+		return nil
+	})
+	if len(ids) != 2 || !ids[12] || !ids[13] {
+		t.Errorf("range probe over own writes = %v, want {12, 13}", ids)
+	}
+	// old(child) ignores the local writes.
+	prog = algebra.Program{&algebra.Assign{Temp: "r",
+		Expr: algebra.NewSelect(algebra.NewAuxRel("child", algebra.AuxOld), cmpConst("id", algebra.CmpGE, 11))}}
+	execProgram(t, ov, prog)
+	r, err := ov.Temp("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("old range probe = %d tuples, want the snapshot's 2", r.Len())
+	}
+}
+
+// TestDisjointIntervalMergeCommit is the engine-level statement of the PR's
+// acceptance criterion: a transaction that probed the interval id < 5 must
+// merge-commit with a concurrent writer of id = 500 — the write projects
+// outside the probed interval, so tuple-granular validation has no
+// dependency to protect.
+func TestDisjointIntervalMergeCommit(t *testing.T) {
+	db := newRangeStore(t, false)
+	seq := NewSequencer(db)
+
+	// T1: threshold-guarded check (observes that no child has id < 5) plus
+	// an insert into the same relation, so the concurrent disjoint delta
+	// must be merged into its write set at commit.
+	ov1 := NewOverlay(db)
+	execProgram(t, ov1, algebra.Program{&algebra.Assign{Temp: "q",
+		Expr: algebra.NewSelect(algebra.NewRel("child"), cmpConst("id", algebra.CmpLT, 5))}})
+	if err := ov1.InsertTuples("child", relation.MustFromTuples(childSchemaT(), childT(6, 1))); err != nil {
+		t.Fatal(err)
+	}
+
+	// T2: concurrent writer far outside the probed interval.
+	ov2 := NewOverlay(db)
+	if err := ov2.InsertTuples("child", relation.MustFromTuples(childSchemaT(), childT(500, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, conflict, err := seq.TryCommit(ov2); err != nil || conflict != nil {
+		t.Fatalf("T2: conflict=%v err=%v", conflict, err)
+	}
+	if _, conflict, err := seq.TryCommit(ov1); err != nil || conflict != nil {
+		t.Fatalf("T1 should merge-commit past a disjoint-interval writer, got conflict=%v err=%v", conflict, err)
+	}
+	if got := db.Stats().MergedCommits; got != 1 {
+		t.Errorf("MergedCommits = %d, want 1", got)
+	}
+
+	// The converse: a writer inside the probed interval must still conflict.
+	ov3 := NewOverlay(db)
+	execProgram(t, ov3, algebra.Program{&algebra.Assign{Temp: "q",
+		Expr: algebra.NewSelect(algebra.NewRel("child"), cmpConst("id", algebra.CmpLT, 5))}})
+	if err := ov3.InsertTuples("child", relation.MustFromTuples(childSchemaT(), childT(7, 1))); err != nil {
+		t.Fatal(err)
+	}
+	ov4 := NewOverlay(db)
+	if err := ov4.InsertTuples("child", relation.MustFromTuples(childSchemaT(), childT(3, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, conflict, err := seq.TryCommit(ov4); err != nil || conflict != nil {
+		t.Fatalf("T4: conflict=%v err=%v", conflict, err)
+	}
+	_, conflict, err := seq.TryCommit(ov3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict == nil {
+		t.Fatal("T3 probed an interval a concurrent commit wrote into and still committed")
 	}
 }
 

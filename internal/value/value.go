@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // Kind enumerates the dynamic type of a Value.
@@ -282,6 +283,152 @@ func (v Value) AppendKey(dst []byte) []byte {
 		return append(dst, 'f')
 	default:
 		return append(dst, '?')
+	}
+}
+
+// Order-preserving encoding. AppendKey above is equality-canonical but not
+// order-preserving: floats keep their raw IEEE-754 image (negative floats
+// sort after positive ones byte-wise) and strings carry a length prefix (a
+// longer string with a smaller prefix sorts after a shorter larger one).
+// Ordered secondary indexes need bytes.Compare over encoded keys to agree
+// with Sort over values, so they use the AppendOrderedKey encoding below.
+//
+// Each value encodes as a kind-rank byte — ordered like Sort's kind ranks:
+// null < bool < numeric < string — followed by a payload whose byte order
+// matches the value order within the kind:
+//
+//   - numerics go through their float64 image (so Int(1) and Float(1.0)
+//     share a key, as in AppendKey, and -0.0 collapses onto +0.0) with the
+//     classic monotone bit transform: flip the sign bit of non-negatives,
+//     flip every bit of negatives;
+//   - strings escape embedded NUL (0x00 -> 0x00 0xFF) and close with a 0x00
+//     terminator, so no string's encoding is cut short by another's and
+//     prefix strings sort first, exactly like the raw strings do.
+//
+// The rank bytes leave gaps below OrderedRankNull and above OrderedRankEnd
+// so range bounds can be widened per kind, and no payload byte stream ever
+// begins with 0xFF after a complete value encoding — which is what lets a
+// half-open key interval [lo, hi) express every bound shape (see
+// index.RangesFor).
+const (
+	OrderedRankNull   = 0x10 // null
+	OrderedRankBool   = 0x20 // false < true
+	OrderedRankNumber = 0x30 // ints and floats through their float64 image
+	OrderedRankString = 0x40 // escaped bytes, 0x00-terminated
+	OrderedRankEnd    = 0x50 // exclusive upper bound of all rank bytes
+)
+
+// OrderedRank returns the rank byte that starts every ordered-key encoding
+// of a value of kind k. Int and Float share OrderedRankNumber.
+func OrderedRank(k Kind) byte {
+	switch k {
+	case KindNull:
+		return OrderedRankNull
+	case KindBool:
+		return OrderedRankBool
+	case KindInt, KindFloat:
+		return OrderedRankNumber
+	case KindString:
+		return OrderedRankString
+	default:
+		return OrderedRankEnd
+	}
+}
+
+// AppendOrderedKey appends the order-preserving encoding of v to dst: for
+// any two non-NaN values a and b, bytes.Compare of their encodings equals
+// Sort(a, b), and the encodings collapse exactly when AppendKey's do. NaN
+// floats have no consistent position in this order — Compare answers 0 for
+// NaN against any number — so they encode to the band edges (negative NaNs
+// below -Inf, positive NaNs above +Inf) and range-probe planners admit them
+// explicitly (index.RangesFor includeNaN).
+func (v Value) AppendOrderedKey(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, OrderedRankNull)
+	case KindBool:
+		if v.b {
+			return append(dst, OrderedRankBool, 1)
+		}
+		return append(dst, OrderedRankBool, 0)
+	case KindInt, KindFloat:
+		f := v.AsFloat()
+		if f == 0 {
+			f = 0 // collapse -0.0 onto +0.0, matching Equal and AppendKey
+		}
+		bits := math.Float64bits(f)
+		if bits&(1<<63) != 0 {
+			bits = ^bits // negative: flip all bits (reverses magnitude order)
+		} else {
+			bits |= 1 << 63 // non-negative: set the sign bit (sorts after)
+		}
+		dst = append(dst, OrderedRankNumber)
+		return append(dst,
+			byte(bits>>56), byte(bits>>48), byte(bits>>40), byte(bits>>32),
+			byte(bits>>24), byte(bits>>16), byte(bits>>8), byte(bits))
+	case KindString:
+		dst = append(dst, OrderedRankString)
+		for i := 0; i < len(v.s); i++ {
+			if v.s[i] == 0x00 {
+				dst = append(dst, 0x00, 0xFF)
+			} else {
+				dst = append(dst, v.s[i])
+			}
+		}
+		return append(dst, 0x00)
+	default:
+		return append(dst, OrderedRankEnd)
+	}
+}
+
+// DecodeOrderedKey decodes the first value of an ordered-key encoding,
+// returning it and the remaining bytes. Numerics decode as Float (the
+// encoding collapses Int(1) and Float(1.0) onto one image, so the decoded
+// value is Equal to the original rather than identical). It is the
+// round-trip witness the key-encoding fuzz target checks.
+func DecodeOrderedKey(key []byte) (Value, []byte, error) {
+	if len(key) == 0 {
+		return Null(), nil, fmt.Errorf("value: empty ordered key")
+	}
+	switch key[0] {
+	case OrderedRankNull:
+		return Null(), key[1:], nil
+	case OrderedRankBool:
+		if len(key) < 2 {
+			return Null(), nil, fmt.Errorf("value: truncated ordered bool")
+		}
+		return Bool(key[1] != 0), key[2:], nil
+	case OrderedRankNumber:
+		if len(key) < 9 {
+			return Null(), nil, fmt.Errorf("value: truncated ordered number")
+		}
+		bits := uint64(key[1])<<56 | uint64(key[2])<<48 | uint64(key[3])<<40 |
+			uint64(key[4])<<32 | uint64(key[5])<<24 | uint64(key[6])<<16 |
+			uint64(key[7])<<8 | uint64(key[8])
+		if bits&(1<<63) != 0 {
+			bits &^= 1 << 63
+		} else {
+			bits = ^bits
+		}
+		return Float(math.Float64frombits(bits)), key[9:], nil
+	case OrderedRankString:
+		var sb strings.Builder
+		for i := 1; i < len(key); i++ {
+			switch key[i] {
+			case 0x00:
+				if i+1 < len(key) && key[i+1] == 0xFF {
+					sb.WriteByte(0x00)
+					i++
+					continue
+				}
+				return String(sb.String()), key[i+1:], nil
+			default:
+				sb.WriteByte(key[i])
+			}
+		}
+		return Null(), nil, fmt.Errorf("value: unterminated ordered string")
+	default:
+		return Null(), nil, fmt.Errorf("value: unknown ordered rank byte %#x", key[0])
 	}
 }
 

@@ -73,19 +73,26 @@ type Options struct {
 	// commit concurrently. 0 means the default (storage.DefaultShards);
 	// 1 restores the fully serial commit point.
 	CommitShards int
-	// Indexes declares secondary hash indexes as "relation(attr, ...)"
-	// strings. Each declaration is applied when the named relation is
+	// Indexes declares secondary indexes as "relation(attr, ...)" strings —
+	// hash indexes by default, or ordered (range) indexes with the suffix
+	// "ordered", as in "stock(qty) ordered", whose attribute order is the
+	// sort order. Each declaration is applied when the named relation is
 	// created, so the list may be set before any CreateRelation call;
-	// indexes can also be added later with DB.CreateIndex. Indexed
+	// indexes can also be added later with DB.CreateIndex. Hash-indexed
 	// relations answer equality selections and enforcement joins with key
-	// probes instead of scans, and probed transactions record probed-key
-	// reads instead of whole-relation reads.
+	// probes instead of scans; ordered indexes additionally answer
+	// comparison selections (qty < threshold, between-style conjunctions,
+	// and the negated guards of enforcement programs) with bounded range
+	// probes. Probed transactions record probed-key or interval reads
+	// instead of whole-relation reads.
 	Indexes []string
-	// AutoIndex derives secondary indexes automatically from the
-	// equality-join attributes of referential and pair constraints at rule
-	// definition time — both join directions, so the insertion-side check
-	// probes the referenced relation and the deletion-side check probes
-	// the referencing one.
+	// AutoIndex derives secondary indexes automatically at rule definition
+	// time: hash indexes from the equality-join attributes of referential
+	// and pair constraints — both join directions, so the insertion-side
+	// check probes the referenced relation and the deletion-side check
+	// probes the referencing one — and ordered indexes from the
+	// comparison-guarded attributes of domain and existential constraints,
+	// so threshold-guarded alarm checks range-probe instead of scanning.
 	AutoIndex bool
 }
 
@@ -110,7 +117,7 @@ func (o *Options) Validate() error {
 			o.MaxModificationDepth)
 	}
 	for _, decl := range o.Indexes {
-		if _, _, err := index.ParseDecl(decl); err != nil {
+		if _, _, _, err := index.ParseDecl(decl); err != nil {
 			return fmt.Errorf("repro: Options.Indexes: %w", err)
 		}
 	}
@@ -219,10 +226,14 @@ func (db *DB) CreateRelation(ddl string) error {
 	// the schema or store, so a declaration naming a missing attribute
 	// fails the creation atomically instead of leaving the relation
 	// half-created.
-	var pending [][]int
+	type pendingIndex struct {
+		cols    []int
+		ordered bool
+	}
+	var pending []pendingIndex
 	seen := make(map[string]bool)
 	for _, decl := range db.opts.Indexes {
-		rel, attrs, err := index.ParseDecl(decl)
+		rel, attrs, ordered, err := index.ParseDecl(decl)
 		if err != nil || rel != rs.Name {
 			continue // Validate caught malformed declarations at Open
 		}
@@ -234,11 +245,20 @@ func (db *DB) CreateRelation(ddl string) error {
 			}
 			cols[i] = idx
 		}
-		canon := append([]int(nil), cols...)
-		sort.Ints(canon)
-		if sig := index.Sig(canon); !seen[sig] {
+		// Hash signatures canonicalize to ascending order; ordered
+		// signatures keep declared order (it is the sort order) and live in
+		// their own namespace.
+		sigCols := cols
+		sigPrefix := ""
+		if !ordered {
+			sigCols = append([]int(nil), cols...)
+			sort.Ints(sigCols)
+		} else {
+			sigPrefix = "ordered:"
+		}
+		if sig := sigPrefix + index.Sig(sigCols); !seen[sig] {
 			seen[sig] = true
-			pending = append(pending, cols)
+			pending = append(pending, pendingIndex{cols: cols, ordered: ordered})
 		}
 	}
 	if err := db.sch.Add(rs); err != nil {
@@ -247,20 +267,28 @@ func (db *DB) CreateRelation(ddl string) error {
 	if err := db.store.AddRelation(rs); err != nil {
 		return err
 	}
-	for _, cols := range pending {
-		if err := db.store.DefineIndex(rs.Name, cols); err != nil {
+	for _, p := range pending {
+		var err error
+		if p.ordered {
+			err = db.store.DefineOrderedIndex(rs.Name, p.cols)
+		} else {
+			err = db.store.DefineIndex(rs.Name, p.cols)
+		}
+		if err != nil {
 			return fmt.Errorf("repro: applying Options.Indexes: %w", err)
 		}
 	}
 	return nil
 }
 
-// CreateIndex declares a secondary hash index from "relation(attr, ...)"
-// text, building it from the relation's current contents. Like the other
-// definition calls it must not run concurrently with submissions. Indexes
-// over the same attribute set are rejected as duplicates.
+// CreateIndex declares a secondary index from "relation(attr, ...)" text —
+// a hash index, or an ordered (range) index with the "ordered" suffix, as
+// in "stock(qty) ordered" — building it from the relation's current
+// contents. Like the other definition calls it must not run concurrently
+// with submissions. Indexes over the same attribute set (within their kind)
+// are rejected as duplicates.
 func (db *DB) CreateIndex(decl string) error {
-	rel, attrs, err := index.ParseDecl(decl)
+	rel, attrs, ordered, err := index.ParseDecl(decl)
 	if err != nil {
 		return err
 	}
@@ -276,6 +304,9 @@ func (db *DB) CreateIndex(decl string) error {
 		}
 		cols[i] = idx
 	}
+	if ordered {
+		return db.store.DefineOrderedIndex(rel, cols)
+	}
 	return db.store.DefineIndex(rel, cols)
 }
 
@@ -288,7 +319,7 @@ func (db *DB) MustCreateIndex(decl string) {
 }
 
 // Indexes returns the defined secondary indexes as "relation(attr, ...)"
-// declarations, sorted.
+// declarations — ordered indexes carry the "ordered" suffix — sorted.
 func (db *DB) Indexes() []string {
 	var out []string
 	for _, name := range db.sch.Names() {
@@ -299,6 +330,13 @@ func (db *DB) Indexes() []string {
 				attrs[i] = rs.Attrs[c].Name
 			}
 			out = append(out, fmt.Sprintf("%s(%s)", name, strings.Join(attrs, ", ")))
+		}
+		for _, cols := range db.store.OrderedIndexDefs(name) {
+			attrs := make([]string, len(cols))
+			for i, c := range cols {
+				attrs[i] = rs.Attrs[c].Name
+			}
+			out = append(out, fmt.Sprintf("%s(%s) ordered", name, strings.Join(attrs, ", ")))
 		}
 	}
 	sort.Strings(out)
@@ -316,8 +354,12 @@ func (db *DB) autoIndex(ruleName string) error {
 		return nil
 	}
 	for _, h := range ip.IndexHints {
+		defs := db.store.IndexDefs(h.Relation)
+		if h.Ordered {
+			defs = db.store.OrderedIndexDefs(h.Relation)
+		}
 		exists := false
-		for _, cols := range db.store.IndexDefs(h.Relation) {
+		for _, cols := range defs {
 			if index.Sig(cols) == index.Sig(h.Columns) {
 				exists = true
 				break
@@ -326,7 +368,13 @@ func (db *DB) autoIndex(ruleName string) error {
 		if exists {
 			continue
 		}
-		if err := db.store.DefineIndex(h.Relation, h.Columns); err != nil {
+		var err error
+		if h.Ordered {
+			err = db.store.DefineOrderedIndex(h.Relation, h.Columns)
+		} else {
+			err = db.store.DefineIndex(h.Relation, h.Columns)
+		}
+		if err != nil {
 			return fmt.Errorf("repro: auto-indexing for rule %s: %w", ruleName, err)
 		}
 	}
@@ -498,15 +546,16 @@ type ModReport struct {
 
 // Result reports the outcome of a submitted transaction.
 type Result struct {
-	Committed  bool
-	Constraint string // violated constraint name when integrity aborted
-	Reason     string // abort reason text, empty on commit
-	Report     *ModReport
-	Inserted   int
-	Deleted    int
-	Probes     int    // secondary-index probes issued instead of scans
-	Retries    int    // conflict-induced re-executions before the outcome
-	CommitTime uint64 // logical time of the installed state; 0 if aborted
+	Committed   bool
+	Constraint  string // violated constraint name when integrity aborted
+	Reason      string // abort reason text, empty on commit
+	Report      *ModReport
+	Inserted    int
+	Deleted     int
+	Probes      int    // secondary-index probes issued instead of scans (key + range)
+	RangeProbes int    // ordered-index range probes among Probes, each recording an interval read
+	Retries     int    // conflict-induced re-executions before the outcome
+	CommitTime  uint64 // logical time of the installed state; 0 if aborted
 }
 
 // Submit parses "begin ... end" transaction text, modifies it under the
@@ -632,12 +681,13 @@ func (db *DB) submit(t *txn.Transaction, withIntegrity bool) (*Result, error) {
 
 func (db *DB) toResult(res *txn.Result, report *core.Report) *Result {
 	out := &Result{
-		Committed:  res.Committed,
-		Inserted:   res.Stats.TuplesInserted,
-		Deleted:    res.Stats.TuplesDeleted,
-		Probes:     res.Stats.IndexProbes,
-		Retries:    res.Retries,
-		CommitTime: res.CommitTime,
+		Committed:   res.Committed,
+		Inserted:    res.Stats.TuplesInserted,
+		Deleted:     res.Stats.TuplesDeleted,
+		Probes:      res.Stats.IndexProbes + res.Stats.RangeProbes,
+		RangeProbes: res.Stats.RangeProbes,
+		Retries:     res.Retries,
+		CommitTime:  res.CommitTime,
 	}
 	if res.AbortReason != nil {
 		out.Reason = res.AbortReason.Error()
