@@ -450,9 +450,20 @@ func BenchmarkLargeRelationWrite(b *testing.B) {
 // touch different relations have disjoint write sets, so the conflict rate
 // is controlled entirely by how submitters pick targets.
 func newShardedDB(b *testing.B, shards, parents int) *DB {
+	return newShardedDBOpts(b, shards, parents, nil)
+}
+
+// newShardedDBOpts is newShardedDB with an optional Options hook, for
+// benchmarks that sweep facade knobs (epoch caps, probe tuning) over the
+// same workload.
+func newShardedDBOpts(b *testing.B, shards, parents int, mut func(*Options)) *DB {
 	const childRows = 4000
 	b.Helper()
-	db := Open(&Options{UseDifferential: true, MaxCommitRetries: 1_000_000})
+	opts := Options{UseDifferential: true, MaxCommitRetries: 1_000_000}
+	if mut != nil {
+		mut(&opts)
+	}
+	db := Open(&opts)
 	if err := db.CreateRelation(`relation parent(id int, name string)`); err != nil {
 		b.Fatal(err)
 	}
@@ -571,7 +582,7 @@ func BenchmarkConcurrentSubmit(b *testing.B) {
 		{"alarmrangescan", rangeAlarm(false), bumpStock},
 		{"alarmrangeprobe", rangeAlarm(true), bumpStock},
 	} {
-		for _, workers := range []int{1, 2, 4, 8, 16} {
+		for _, workers := range []int{1, 2, 4, 8, 16, 32} {
 			b.Run(fmt.Sprintf("conflict=%s/workers=%d", conflict.name, workers), func(b *testing.B) {
 				db := conflict.setup(b, b.N)
 				srcs := make([]string, b.N)
@@ -595,7 +606,57 @@ func BenchmarkConcurrentSubmit(b *testing.B) {
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "txns/s")
 				b.ReportMetric(float64(retries)/float64(b.N), "retries/txn")
 				b.ReportMetric(float64(stats.MergedCommits)/float64(b.N), "merged/txn")
+				if stats.Epochs > 0 {
+					b.ReportMetric(float64(stats.Commits)/float64(stats.Epochs), "txns/epoch")
+				}
 			})
 		}
+	}
+}
+
+// BenchmarkGroupCommitBatch sweeps the epoch size cap over the low-conflict
+// insert workload at a fixed worker count. batch=1 degenerates to the old
+// one-commit-per-epoch sequencer (every commit pays its own validation
+// snapshot, derivation, and published swap); batch=0 lets each epoch absorb
+// the whole pending queue. The spread between them is the price of the
+// per-commit critical section that group commit amortizes, and txns/epoch
+// shows how much batching the queue actually achieved.
+func BenchmarkGroupCommitBatch(b *testing.B) {
+	const (
+		shards  = 16
+		parents = 1000
+		workers = 16
+	)
+	for _, batch := range []int{1, 4, 32, 0} {
+		name := fmt.Sprintf("batch=%d", batch)
+		if batch == 0 {
+			name = "batch=all"
+		}
+		b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+			db := newShardedDBOpts(b, shards, parents, func(o *Options) {
+				o.GroupCommitBatch = batch
+			})
+			srcs := make([]string, b.N)
+			for i := range srcs {
+				srcs[i] = fmt.Sprintf(`begin insert(child%d, values[(%d, %d, 1)]); end`,
+					i%shards, i, i%parents)
+			}
+			b.ResetTimer()
+			results := db.ExecParallel(srcs, workers)
+			b.StopTimer()
+			for _, pr := range results {
+				if pr.Err != nil {
+					b.Fatal(pr.Err)
+				}
+				if !pr.Result.Committed {
+					b.Fatalf("aborted: %s", pr.Result.Reason)
+				}
+			}
+			stats := db.CommitStats()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "txns/s")
+			if stats.Epochs > 0 {
+				b.ReportMetric(float64(stats.Commits)/float64(stats.Epochs), "txns/epoch")
+			}
+		})
 	}
 }

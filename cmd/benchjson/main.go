@@ -194,9 +194,17 @@ func memCell(base, cur Benchmark, hasBase bool, unit string) string {
 	return fmt.Sprintf("%.0f→%.0f (%+.1f%%)", bv, cv, (cv-bv)/bv*100)
 }
 
+// regressPct is the headline-rate drop (in percent) past which a row is
+// flagged. Comparison output is advisory — the job still exits 0 — but the
+// ⚠ marks and the trailing list make a >10% txns/s regression impossible
+// to miss in the job summary.
+const regressPct = 10.0
+
 // runCompare prints a markdown comparison of current against baseline,
 // benchmark by benchmark: the headline ops/sec rate plus the B/op and
-// allocs/op movements when either document recorded them.
+// allocs/op movements when either document recorded them. Rows whose
+// headline rate dropped more than regressPct are flagged and repeated in a
+// trailing regression list.
 func runCompare(basePath, curPath string) error {
 	base, err := load(basePath)
 	if err != nil {
@@ -218,6 +226,7 @@ func runCompare(basePath, curPath string) error {
 	fmt.Printf("| benchmark | baseline | current | Δ | B/op | allocs/op |\n")
 	fmt.Printf("|---|---:|---:|---:|---:|---:|\n")
 	seen := make(map[string]bool, len(cur.Benchmarks))
+	var regressions []string
 	for _, c := range cur.Benchmarks {
 		seen[c.Name] = true
 		curOps := opsPerSec(c)
@@ -229,7 +238,13 @@ func runCompare(basePath, curPath string) error {
 			baseCol = fmt.Sprintf("%.1f", baseOps)
 			delta = "—"
 			if baseOps > 0 {
-				delta = fmt.Sprintf("%+.1f%%", (curOps-baseOps)/baseOps*100)
+				pct := (curOps - baseOps) / baseOps * 100
+				delta = fmt.Sprintf("%+.1f%%", pct)
+				if pct < -regressPct {
+					delta = "⚠ " + delta
+					regressions = append(regressions,
+						fmt.Sprintf("%s: %.1f → %.1f ops/sec (%+.1f%%)", c.Name, baseOps, curOps, pct))
+				}
 			}
 		}
 		fmt.Printf("| %s | %s | %.1f | %s | %s | %s |\n", c.Name, baseCol, curOps, delta,
@@ -239,6 +254,13 @@ func runCompare(basePath, curPath string) error {
 		if !seen[b.Name] {
 			fmt.Printf("| %s | %.1f | — | removed | — | — |\n", b.Name, opsPerSec(b))
 		}
+	}
+	if len(regressions) > 0 {
+		fmt.Printf("\n**⚠ %d benchmark(s) regressed more than %.0f%% on the headline rate:**\n\n", len(regressions), regressPct)
+		for _, r := range regressions {
+			fmt.Printf("- %s\n", r)
+		}
+		fmt.Printf("\nBench numbers are noisy on shared runners; re-record the baseline only if the slowdown is intended.\n")
 	}
 	return nil
 }

@@ -174,6 +174,14 @@ const (
 	probeScanRatio  = 4
 )
 
+// ProbeTuningEnv is an optional extension of Env: an environment that
+// implements it overrides the probe-versus-scan constants above. Values of
+// zero or less mean "use the default" — the pair is applied only when both
+// are positive.
+type ProbeTuningEnv interface {
+	ProbeTuning() (maxDriving, scanRatio int)
+}
+
 // Eval implements Expr.
 //
 // An empty input can decide the whole join: with an empty left side every
@@ -241,6 +249,16 @@ func (j *Join) Eval(env Env) (*relation.Relation, error) {
 	}
 	if left.IsEmpty() {
 		return out, nil
+	}
+
+	// Build the hash table over the smaller side. The classic orientation
+	// builds over the right side and streams the left through it, but in
+	// differential enforcement programs the left side is usually a tiny
+	// ins/del delta joined against a large base relation — building the
+	// table over the delta and streaming the base through it (alloc-free per
+	// probed tuple) turns an O(right) allocation storm into O(left).
+	if j.hashReady && left.Len() < right.Len() {
+		return j.scanBuildLeft(out, left, right)
 	}
 
 	// matchRight yields the right-side candidates for a left tuple.
@@ -317,6 +335,69 @@ func (j *Join) Eval(env Env) (*relation.Relation, error) {
 	return out, nil
 }
 
+// scanBuildLeft answers the hash join with the table built over the left
+// side, streaming the (no smaller) right side through it once. The one
+// subtlety versus the classic orientation is output bookkeeping: semi and
+// anti joins emit left tuples, so each left entry carries a matched flag —
+// a semijoin inserts the entry at its first match, an antijoin inserts the
+// entries still unmatched after the scan.
+func (j *Join) scanBuildLeft(out, left, right *relation.Relation) (*relation.Relation, error) {
+	type entry struct {
+		t       relation.Tuple
+		matched bool
+	}
+	entries := make([]entry, 0, left.Len())
+	table := make(map[string][]int, left.Len())
+	if err := left.ForEach(func(lt relation.Tuple) error {
+		key := joinKey(lt, j.eqL)
+		entries = append(entries, entry{t: lt})
+		table[key] = append(table[key], len(entries)-1)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// One buffer reused across the scan: table[string(keyBuf)] is the
+	// compiler's alloc-free map lookup, so the right side is streamed with
+	// no per-tuple allocation at all.
+	var keyBuf []byte
+	if err := right.ForEach(func(rt relation.Tuple) error {
+		keyBuf = rt.AppendKeyOn(keyBuf[:0], j.eqR)
+		for _, ei := range table[string(keyBuf)] {
+			e := &entries[ei]
+			if e.matched && j.Kind != JoinInner {
+				continue // semi/anti only need the first match per left tuple
+			}
+			if j.residual != nil {
+				ok, err := evalBool(j.residual, e.t.Concat(rt))
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			e.matched = true
+			switch j.Kind {
+			case JoinInner:
+				out.InsertUnchecked(e.t.Concat(rt))
+			case JoinSemi:
+				out.InsertUnchecked(e.t)
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if j.Kind == JoinAnti {
+		for i := range entries {
+			if !entries[i].matched {
+				out.InsertUnchecked(entries[i].t)
+			}
+		}
+	}
+	return out, nil
+}
+
 // probeDriven answers the join by probing the non-driving side's secondary
 // index once per driving tuple, instead of materializing it. probeRight
 // selects which side is probed: true probes R per left tuple (sound for
@@ -353,7 +434,13 @@ func (j *Join) probeDriven(env Env, out, driving *relation.Relation, probeRight 
 	if !ok {
 		return false, nil
 	}
-	if dn := driving.Len(); dn > probeMaxDriving && dn*probeScanRatio > size {
+	maxDriving, scanRatio := probeMaxDriving, probeScanRatio
+	if pt, ok := env.(ProbeTuningEnv); ok {
+		if m, r := pt.ProbeTuning(); m > 0 && r > 0 {
+			maxDriving, scanRatio = m, r
+		}
+	}
+	if dn := driving.Len(); dn > maxDriving && dn*scanRatio > size {
 		return false, nil
 	}
 	// Pair each index column with the driving-side column it equi-joins

@@ -206,10 +206,14 @@ func (r *Relation) Schema() *schema.Relation { return r.schema }
 // Seal marks the relation immutable and returns it. Any later mutation
 // panics: sealed instances are shared between database snapshots, and a
 // write through a stale pointer would corrupt every state that shares the
-// instance. Sealing is idempotent; Clone of a sealed relation is mutable.
+// instance. Sealing is idempotent AND write-free on an already-sealed
+// instance, so re-sealing may race with concurrent readers (and Clones) of
+// a sealed relation; Clone of a sealed relation is mutable.
 func (r *Relation) Seal() *Relation {
-	r.sealed = true
-	r.tuples.Freeze()
+	if !r.sealed {
+		r.sealed = true
+		r.tuples.Freeze()
+	}
 	return r
 }
 

@@ -12,31 +12,33 @@
 // O(delta) per index — and publish them in the same atomic swap, so a
 // snapshot's indexes always exactly describe its sealed instances.
 //
-// Commits no longer serialize through one mutex. Every relation name hashes
-// to a shard; each shard owns a validation lock and a segment of the commit
-// log (the per-transaction ins/del deltas that wrote relations of that
-// shard, keyed by logical time). CommitValidated runs a two-phase protocol:
+// The commit point is a group-commit sequencer (see group.go): a commit
+// request enqueues and waits; the goroutine that finds the queue idle
+// becomes the drainer and claims the whole queue as one epoch. The epoch is
+// validated as a unit — every member against the same base snapshot, each
+// against the shard commit-log segments (first-committer-wins, at tuple-key
+// / probed-key / interval granularity where the overlay recorded it) and
+// then against the members accepted before it in queue order, so commuting
+// members of one epoch merge into a shared successor instead of retrying.
+// Per written relation the epoch derives ONE successor trie instance
+// (O(1) clone + O(batch delta) path copies on the shared persistent trie,
+// package pmap) and ONE secondary-index layer push, appends ONE shared log
+// record per written shard, and installs everything in a single snapshot
+// swap. Validation of epoch N+1 is pipelined with publication of epoch N:
+// the log record lands under the shard locks before the swap, and a shadow
+// of each shard's latest derived instances lets the next epoch build on
+// predecessors that have not been swapped in yet; snapshot swaps themselves
+// are ordered by the epoch clock.
 //
-//   - Phase 1 (validate): the shards of the commit's read and write sets
-//     are locked in canonical (ascending index) order — so cross-shard
-//     commits cannot deadlock — and the read set is validated,
-//     first-committer-wins, against each shard's segment. Validation is
-//     tuple-granular where the overlay recorded tuple keys: a concurrent
-//     delta to the same relation conflicts only if it touched a key this
-//     transaction read or wrote, or if this transaction scanned the whole
-//     relation.
-//   - Phase 2 (publish): still holding the shard locks, the successor
-//     instance of every written relation is derived from the latest sealed
-//     instance by applying the commit's net ins/del delta to the shared
-//     persistent trie (package pmap) — an O(1) clone plus O(delta) path
-//     copies, mirroring how secondary indexes push O(delta) layers. Because
-//     the latest instance already contains every concurrently committed
-//     delta (validation just proved they are tuple-disjoint from this
-//     commit), deriving from it subsumes the old merge step. The successor
-//     snapshot is then published under a short global publish mutex that
-//     only assigns the commit time and swaps the snapshot pointer — the
-//     single point that keeps the global clock and snapshot atomic while
-//     disjoint-shard commits validate in parallel.
+// Every relation name hashes to a shard; each shard owns a validation lock
+// and a segment of the commit log (the net ins/del deltas of the epochs
+// that wrote relations of that shard, keyed by the epoch's last logical
+// time). Cross-shard epochs lock their shard set in canonical (ascending
+// index) order, so they cannot deadlock. Log segments are trimmed by
+// covered logical-time span, not record count — one epoch record may cover
+// many transactions — and a commit whose base snapshot predates a needed
+// segment's retained window is refused as a conflict, forcing a retry from
+// a fresh snapshot.
 package storage
 
 import (
@@ -57,11 +59,15 @@ import (
 // relations rarely share a validation lock.
 const DefaultShards = 16
 
-// maxShardDeltas bounds each shard's commit-log segment. Older deltas are
-// discarded; a commit whose base snapshot predates a needed shard's retained
-// window can no longer be validated there and is reported as a conflict,
-// forcing a retry from a fresh snapshot.
-const maxShardDeltas = 1024
+// defaultRetainSpan bounds each shard's commit-log segment by the span of
+// logical time it covers: records whose commit time trails the newest
+// record by more than the span are discarded. A span, not a record count,
+// because one epoch record covers a whole batch of transactions — counting
+// records would evict base windows faster the better batching works. A
+// commit whose base snapshot predates a needed shard's retained window can
+// no longer be validated there and is reported as a conflict, forcing a
+// retry from a fresh snapshot.
+const defaultRetainSpan = 1024
 
 // Snapshot is an immutable database state D^t (Definition 2.2) at a logical
 // time: a set of sealed relation instances plus the secondary indexes
@@ -239,20 +245,33 @@ type Stats struct {
 	// committed disjoint deltas into their write set — commits that the old
 	// relation-granular validator would have rejected.
 	MergedCommits uint64
+	// Epochs counts group-commit epochs that installed at least one commit;
+	// Commits/Epochs is the mean batch size the sequencer achieved.
+	Epochs uint64
+	// IntraBatchMerges counts installed commits that merged with a disjoint
+	// co-writer inside their own epoch (a subset of MergedCommits).
+	IntraBatchMerges uint64
 }
 
 // shard is one commit sequencer: the validation lock and commit-log segment
 // for the relations hashing to it.
 type shard struct {
 	mu sync.Mutex
-	// log holds the deltas that wrote a relation of this shard, in
-	// ascending commit-time order. Cross-shard deltas appear in every shard
-	// they wrote.
+	// log holds the epoch records that wrote a relation of this shard, in
+	// ascending commit-time order. Cross-shard records appear in every
+	// shard they wrote.
 	log []*Delta
 	// truncated is the highest commit time whose delta may have been
 	// dropped from this segment; validation of base snapshots at or before
 	// it must be refused conservatively.
 	truncated uint64
+	// latest/latestIdx shadow the newest derived instance and index set of
+	// each relation homed here, including epochs whose snapshot swap is
+	// still in flight — the pipelined successor base. Guarded by mu; nil
+	// entries (or maps) fall back to the published snapshot. Schema calls
+	// (Load, AddRelation, DefineIndex...) clear them.
+	latest    map[string]*relation.Relation
+	latestIdx map[string]*index.Set
 }
 
 // Database is a database state D of a database schema (Definition 2.2) plus
@@ -262,13 +281,27 @@ type shard struct {
 type Database struct {
 	sch    *schema.Database
 	shards []*shard
-	pubMu  sync.Mutex // publish point: clock tick + snapshot swap; also Load/AddRelation
+	pubMu  sync.Mutex // publish point: snapshot swap ordering; also Load/AddRelation
 	snap   atomic.Pointer[Snapshot]
 
-	commits    atomic.Uint64
-	conflicts  atomic.Uint64
-	crossShard atomic.Uint64
-	merged     atomic.Uint64
+	// Group-commit state: the global pending queue, the epoch clock that
+	// reserves commit-time blocks ahead of publication, and the condition
+	// (under pubMu) that orders the snapshot swaps of pipelined epochs.
+	gq      groupQueue
+	clock   atomic.Uint64
+	pubCond *sync.Cond
+	// maxEpoch caps how many pending commits one epoch claims; 0 means the
+	// whole queue. retain is the commit-log retention span in logical time.
+	// Both are configured before concurrent use.
+	maxEpoch int
+	retain   uint64
+
+	commits     atomic.Uint64
+	conflicts   atomic.Uint64
+	crossShard  atomic.Uint64
+	merged      atomic.Uint64
+	epochs      atomic.Uint64
+	intraMerged atomic.Uint64
 }
 
 // New returns an empty database state (all relations empty, logical time 0)
@@ -287,12 +320,24 @@ func NewSharded(sch *schema.Database, shards int) *Database {
 		rs, _ := sch.Relation(name)
 		rels[name] = relation.New(rs).Seal()
 	}
-	db := &Database{sch: sch, shards: make([]*shard, shards)}
+	db := &Database{sch: sch, shards: make([]*shard, shards), retain: defaultRetainSpan}
+	db.pubCond = sync.NewCond(&db.pubMu)
 	for i := range db.shards {
 		db.shards[i] = &shard{}
 	}
 	db.snap.Store(&Snapshot{sch: sch, rels: rels})
 	return db
+}
+
+// SetEpochLimit caps how many pending commits one group-commit epoch may
+// claim; 0 (the default) drains the whole queue as one epoch, 1 disables
+// batching (every commit is its own epoch, the pre-group-commit behavior).
+// Negative values mean 0. Configure before concurrent use.
+func (d *Database) SetEpochLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	d.maxEpoch = n
 }
 
 // ShardCount returns the number of commit sequencer shards.
@@ -317,6 +362,8 @@ func (d *Database) Stats() Stats {
 		Conflicts:         d.conflicts.Load(),
 		CrossShardCommits: d.crossShard.Load(),
 		MergedCommits:     d.merged.Load(),
+		Epochs:            d.epochs.Load(),
+		IntraBatchMerges:  d.intraMerged.Load(),
 	}
 }
 
@@ -337,10 +384,27 @@ func (d *Database) Relation(name string) (*relation.Relation, error) {
 	return d.Snapshot().Relation(name)
 }
 
+// beginSchemaChange locks every shard in canonical ascending order and
+// clears the epoch shadow state, so snapshot edits made outside the epoch
+// machinery (Load, AddRelation, index definition) cannot be papered over by
+// a stale shadow instance in a later epoch. It returns the locked indices
+// for unlockShards.
+func (d *Database) beginSchemaChange() []int {
+	locked := make([]int, len(d.shards))
+	for i, sh := range d.shards {
+		sh.mu.Lock()
+		sh.latest = nil
+		sh.latestIdx = nil
+		locked[i] = i
+	}
+	return locked
+}
+
 // AddRelation registers a new relation schema after creation, with an empty
 // instance. The schema must already be present in the database schema (the
 // caller updates both in step); duplicate instances are rejected.
 func (d *Database) AddRelation(rs *schema.Relation) error {
+	defer d.unlockShards(d.beginSchemaChange())
 	d.pubMu.Lock()
 	defer d.pubMu.Unlock()
 	cur := d.snap.Load()
@@ -361,6 +425,7 @@ func (d *Database) AddRelation(rs *schema.Relation) error {
 // instance. The logical clock is not advanced and no commit-log record is
 // written.
 func (d *Database) Load(r *relation.Relation) error {
+	defer d.unlockShards(d.beginSchemaChange())
 	d.pubMu.Lock()
 	defer d.pubMu.Unlock()
 	cur := d.snap.Load()
@@ -396,6 +461,7 @@ func (d *Database) DefineIndex(rel string, cols []int) error {
 			return fmt.Errorf("storage: index on %q repeats column %d", rel, c)
 		}
 	}
+	defer d.unlockShards(d.beginSchemaChange())
 	d.pubMu.Lock()
 	defer d.pubMu.Unlock()
 	cur := d.snap.Load()
@@ -439,6 +505,7 @@ func (d *Database) DefineOrderedIndex(rel string, cols []int) error {
 		}
 		seen[c] = true
 	}
+	defer d.unlockShards(d.beginSchemaChange())
 	d.pubMu.Lock()
 	defer d.pubMu.Unlock()
 	cur := d.snap.Load()
@@ -501,35 +568,6 @@ func (d *Database) ApplyCommit(changed map[string]*relation.Relation) error {
 		return fmt.Errorf("storage: unexpected conflict: %s", conflict)
 	}
 	return nil
-}
-
-// lockShardSet computes the set of shards the commit touches (read set plus
-// write set) and locks them in canonical ascending order, which makes
-// cross-shard commits deadlock-free. It returns the locked indices,
-// ascending, plus the home shard of every relation the commit names —
-// computed once here so the validation scan and log append never re-hash
-// a name while holding locks.
-func (d *Database) lockShardSet(c *Commit) ([]int, map[string]int) {
-	homes := make(map[string]int, len(c.Reads)+len(c.Changed))
-	touched := make([]bool, len(d.shards))
-	for name := range c.Reads {
-		si := d.ShardOf(name)
-		homes[name] = si
-		touched[si] = true
-	}
-	for name := range c.Changed {
-		si := d.ShardOf(name)
-		homes[name] = si
-		touched[si] = true
-	}
-	locked := make([]int, 0, len(d.shards))
-	for i, t := range touched {
-		if t {
-			d.shards[i].mu.Lock()
-			locked = append(locked, i)
-		}
-	}
-	return locked, homes
 }
 
 func (d *Database) unlockShards(locked []int) {
@@ -633,18 +671,18 @@ func (ri *ReadInfo) overlapKey(ins, del *relation.Relation) string {
 
 var errStopIteration = errors.New("stop")
 
-// CommitValidated is the optimistic commit point. Phase 1 locks the shards
-// of the commit's read and write sets in canonical order and validates,
-// first-committer-wins, that no transaction committed after c.BaseTime
-// wrote anything this one depends on — at tuple granularity where c.Reads
-// recorded keys. Phase 2 derives the successor instances from the latest
-// sealed state plus the commit's net deltas (O(delta) on the shared trie,
-// which also absorbs concurrently committed disjoint deltas) and publishes
-// the successor snapshot, advancing the clock atomically under the global
-// publish mutex. A non-nil Conflict (with
-// nil error) means validation failed and the caller should re-execute
-// against a fresh snapshot; errors are reserved for malformed commits,
-// which leave the state untouched.
+// CommitValidated is the optimistic commit point. The commit is checked for
+// malformedness, enqueued on the group-commit queue, and claimed — together
+// with every other pending commit — as one epoch by the drainer (see
+// group.go): validation runs first-committer-wins against the shard commit
+// logs and then against the co-members accepted before it, at tuple
+// granularity where c.Reads recorded keys; the whole epoch's successors
+// derive in one O(batch delta) pass and install in one snapshot swap. The
+// call blocks until its epoch's outcome is decided (this goroutine may be
+// asked to run the epoch's publish stage itself — that is the pipeline). A
+// non-nil Conflict (with nil error) means validation failed and the caller
+// should re-execute against a fresh snapshot; errors are reserved for
+// malformed commits, which never enqueue.
 func (d *Database) CommitValidated(c Commit) (uint64, *Conflict, error) {
 	cur := d.snap.Load()
 	for name, w := range c.Changed {
@@ -690,127 +728,23 @@ func (d *Database) CommitValidated(c Commit) (uint64, *Conflict, error) {
 		}
 	}
 
-	locked, homes := d.lockShardSet(&c)
-	defer d.unlockShards(locked)
-
-	// Phase 1: validate the read set shard-locally, noting whether any
-	// concurrent disjoint delta touched a written relation (its effect is
-	// absorbed by deriving the successor from the latest state below).
-	merged := false
-	for _, si := range locked {
-		if conflict := d.validateShard(&c, si, homes, &merged); conflict != nil {
-			d.conflicts.Add(1)
-			return 0, conflict, nil
-		}
+	p := d.newPending(&c)
+	d.gq.mu.Lock()
+	d.gq.queue = append(d.gq.queue, p)
+	lead := !d.gq.draining
+	if lead {
+		d.gq.draining = true
 	}
-
-	// Phase 2: derive and publish. For every written relation with a
-	// tuple-level net delta, the successor instance is derived from the
-	// latest sealed instance — an O(1) trie clone plus O(delta) path-copying
-	// inserts and deletes — rather than installing the transaction's working
-	// copy. The latest instance already contains every concurrently
-	// committed delta, and validation just proved those are tuple-disjoint
-	// from this commit's reads and writes, so base + concurrent + net delta
-	// is exactly the state the transaction would have produced on the
-	// current snapshot (the former explicit merge step). Holding the home
-	// shard locks keeps the latest instances of the written relations stable
-	// until publication. Relations without tuple detail (raw ApplyCommit
-	// callers) install Changed verbatim.
-	install := c.Changed
-	if c.Reads != nil {
-		cur = d.snap.Load()
-		install = make(map[string]*relation.Relation, len(c.Changed))
-		for name, w := range c.Changed {
-			ins, del := c.Ins[name], c.Del[name]
-			if ins == nil && del == nil {
-				install[name] = w
-				continue
-			}
-			succ := cur.rels[name].Clone()
-			if del != nil {
-				succ.DiffInPlace(del)
-			}
-			if ins != nil {
-				succ.UnionInPlace(ins)
-			}
-			install[name] = succ
-		}
+	d.gq.mu.Unlock()
+	if lead {
+		d.drain(p)
 	}
-
-	writes := make(map[string]bool, len(c.Changed))
-	for name := range c.Changed {
-		writes[name] = true
+	// Wait for the epoch outcome; a non-nil receive is this epoch's publish
+	// stage, delegated here so the drainer can validate the next epoch.
+	if fn := <-p.done; fn != nil {
+		fn()
 	}
-	for _, m := range []map[string]*relation.Relation{c.Ins, c.Del} {
-		for _, r := range m {
-			r.Seal()
-		}
-	}
-
-	// Derive successor indexes for the written relations from their net
-	// deltas — O(delta) per index, done outside the publish mutex. Holding
-	// the home shard locks guarantees no concurrent commit can change these
-	// relations' indexes between here and publication, so reading them from
-	// the latest snapshot is stable. Relations whose commit carries no
-	// tuple-level delta fall back to an O(n) rebuild inside withInstalled.
-	var derived map[string]*index.Set
-	curIdx := d.snap.Load()
-	for name := range c.Changed {
-		set := curIdx.idx[name]
-		if set.Len() == 0 {
-			continue
-		}
-		ins, del := c.Ins[name], c.Del[name]
-		if ins == nil && del == nil {
-			continue
-		}
-		if derived == nil {
-			derived = make(map[string]*index.Set, len(c.Changed))
-		}
-		derived[name] = set.Apply(ins, del)
-	}
-
-	d.pubMu.Lock()
-	cur = d.snap.Load()
-	next := cur.withInstalled(install, cur.time+1, derived)
-	delta := &Delta{Time: next.time, Ins: c.Ins, Del: c.Del, writes: writes}
-	for _, si := range writeShards(d, writes, homes) {
-		sh := d.shards[si]
-		sh.log = append(sh.log, delta)
-		if drop := len(sh.log) - maxShardDeltas; drop > 0 {
-			sh.truncated = sh.log[drop-1].Time
-			sh.log = append(sh.log[:0:0], sh.log[drop:]...)
-		}
-	}
-	d.snap.Store(next)
-	d.pubMu.Unlock()
-
-	d.commits.Add(1)
-	if len(locked) > 1 {
-		d.crossShard.Add(1)
-	}
-	if merged {
-		d.merged.Add(1)
-	}
-	return next.time, nil, nil
-}
-
-// writeShards returns the distinct shard indices of the written relations,
-// ascending, from the home map built by lockShardSet (which covers every
-// changed name, so write-append shards are by construction a subset of the
-// locked shards).
-func writeShards(d *Database, writes map[string]bool, homes map[string]int) []int {
-	touched := make([]bool, len(d.shards))
-	for name := range writes {
-		touched[homes[name]] = true
-	}
-	out := make([]int, 0, len(writes))
-	for i, t := range touched {
-		if t {
-			out = append(out, i)
-		}
-	}
-	return out
+	return p.time, p.conflict, nil
 }
 
 // withInstalled builds the successor snapshot: the receiver's relation map
@@ -877,7 +811,9 @@ func (d *Database) DeltasSince(t uint64) []*Delta {
 // never saw those deltas) and is conservatively refused.
 func (d *Database) Clone() *Database {
 	cur := d.Snapshot()
-	c := &Database{sch: d.sch, shards: make([]*shard, len(d.shards))}
+	c := &Database{sch: d.sch, shards: make([]*shard, len(d.shards)), retain: d.retain, maxEpoch: d.maxEpoch}
+	c.pubCond = sync.NewCond(&c.pubMu)
+	c.clock.Store(cur.time)
 	for i := range c.shards {
 		c.shards[i] = &shard{truncated: cur.time}
 	}

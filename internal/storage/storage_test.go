@@ -475,7 +475,7 @@ func TestSegmentTruncationWatermark(t *testing.T) {
 	sch := storageSchema()
 	db := NewSharded(sch, 2)
 	rs, _ := sch.Relation("r")
-	for i := 0; i <= maxShardDeltas; i++ {
+	for i := 0; i <= defaultRetainSpan; i++ {
 		ins := map[string]*relation.Relation{"r": relation.MustFromTuples(rs, intTuple(int64(i)))}
 		if _, conflict, err := db.CommitValidated(Commit{BaseTime: db.Time(), Reads: keyRead("r", intTuple(int64(i))), Changed: ins, Ins: ins}); err != nil || conflict != nil {
 			t.Fatalf("commit %d: conflict=%v err=%v", i, conflict, err)
@@ -485,8 +485,8 @@ func TestSegmentTruncationWatermark(t *testing.T) {
 	sh.mu.Lock()
 	logLen, truncated := len(sh.log), sh.truncated
 	sh.mu.Unlock()
-	if logLen != maxShardDeltas {
-		t.Errorf("segment holds %d deltas, want %d", logLen, maxShardDeltas)
+	if logLen != defaultRetainSpan {
+		t.Errorf("segment holds %d deltas, want %d", logLen, defaultRetainSpan)
 	}
 	if truncated != 1 {
 		t.Errorf("truncation watermark = %d, want 1", truncated)

@@ -16,18 +16,23 @@
 //   - Shard hashing. Every base relation name hashes (FNV-1a, see
 //     storage.ShardIndex) to one of the store's commit-sequencer shards.
 //     A shard owns a validation mutex and a segment of the commit log —
-//     the ins/del deltas of the transactions that wrote relations of that
+//     the ins/del deltas of the epochs that wrote relations of that
 //     shard, in commit-time order. Transactions whose read and write sets
 //     hash to disjoint shards validate and commit concurrently.
 //
-//   - Two-phase cross-shard commit. A transaction touching relations in
-//     several shards locks all of them in canonical (ascending index)
-//     order, which makes the protocol deadlock-free. Phase one validates
-//     the read set against each locked shard's log segment; phase two
-//     merges tuple-disjoint concurrent deltas into the write set and
-//     publishes the successor snapshot under a short global publish mutex,
-//     so the snapshot pointer and logical clock still advance atomically
-//     even while other shards keep validating.
+//   - Group commit in epochs. Commits do not take the validation locks
+//     themselves: they enqueue on a global combining queue, and one
+//     submitter — the drainer — claims everything queued as an epoch,
+//     locks the union of the members' shard sets in canonical (ascending
+//     index) order, and validates all members against one base snapshot.
+//     Intra-epoch conflicts resolve by queue order at the same granularity
+//     as cross-epoch validation; the surviving members' deltas fold into
+//     one successor instance and one index push per written relation, one
+//     log record per written shard, and one published snapshot swap, so N
+//     queued commits pay one critical section instead of N. Epoch N+1
+//     validates and derives (against per-shard shadow successors) while
+//     epoch N's swap publishes — a two-stage pipeline ordered by the
+//     logical clock.
 //
 //   - Tuple-granular validation. The overlay records, per base relation,
 //     either a whole-relation read (the relation was materialized through

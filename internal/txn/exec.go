@@ -59,11 +59,22 @@ func (r *Result) Violation() *algebra.ViolationError {
 type Executor struct {
 	db  *storage.Database
 	seq *Sequencer
+	// probeMaxDriving/probeScanRatio are handed to every overlay the
+	// executor creates (algebra.ProbeTuningEnv); zero keeps the defaults.
+	probeMaxDriving int
+	probeScanRatio  int
 }
 
 // NewExecutor returns an executor over db.
 func NewExecutor(db *storage.Database) *Executor {
 	return &Executor{db: db, seq: NewSequencer(db)}
+}
+
+// SetProbeTuning overrides the probe-versus-scan heuristics of every
+// transaction this executor runs; values of zero or less keep the algebra
+// layer's defaults. Configure before concurrent use.
+func (e *Executor) SetProbeTuning(maxDriving, scanRatio int) {
+	e.probeMaxDriving, e.probeScanRatio = maxDriving, scanRatio
 }
 
 // DB returns the underlying database.
@@ -131,6 +142,7 @@ func (e *Executor) ExecOptimistic(t *Transaction, check PostCheck, maxRetries in
 
 	for attempt := 0; ; attempt++ {
 		ov := NewOverlay(e.db)
+		ov.SetProbeTuning(e.probeMaxDriving, e.probeScanRatio)
 		res, done, err := e.attempt(t, check, ov)
 		if err != nil {
 			return nil, err

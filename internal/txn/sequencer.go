@@ -22,12 +22,15 @@ var ErrRetriesExhausted = errors.New("txn: optimistic commit retries exhausted")
 
 // Sequencer is the commit point of the concurrent engine: transactions
 // execute against pinned snapshots in parallel, then their commits are
-// validated and installed (first-committer-wins) by the sharded sequencers
-// in the storage layer. Every relation name hashes to a shard holding its
-// own validation lock and commit-log segment; a single-shard transaction
-// commits through that shard alone, while a cross-shard transaction locks
-// its shards in canonical order and runs a two-phase validate/publish
-// protocol, so commits touching disjoint shards never contend.
+// validated and installed (first-committer-wins) by the storage layer's
+// group-commit sequencer. A commit enqueues on the global combining queue;
+// one submitter drains the queue as an epoch, locks the union of the
+// members' shard sets in canonical order, validates every member against
+// one base snapshot (intra-epoch conflicts resolve by queue order), and
+// folds the survivors into one successor instance per written relation,
+// one log record per written shard, and one published snapshot swap. The
+// next epoch validates while the previous one publishes, so the commit
+// point batches under load instead of serializing per transaction.
 //
 // Validation is tuple-granular where the overlay recorded tuple keys: a
 // concurrent commit to the same relation invalidates this transaction only

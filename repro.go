@@ -86,6 +86,22 @@ type Options struct {
 	// probes. Probed transactions record probed-key or interval reads
 	// instead of whole-relation reads.
 	Indexes []string
+	// DisableGroupCommit turns off commit batching: every commit claims its
+	// own group-commit epoch, restoring the one-transaction-at-a-time commit
+	// point. Exists for ablations and debugging; batching is on by default.
+	DisableGroupCommit bool
+	// GroupCommitBatch caps how many pending commits one group-commit epoch
+	// may claim; 0 means unbounded (the drainer claims the whole queue as
+	// one epoch). Ignored when DisableGroupCommit is set.
+	GroupCommitBatch int
+	// ProbeMaxDriving and ProbeScanRatio tune the probe-versus-scan decision
+	// of index-driven enforcement joins: a join probes a secondary index
+	// only when its driving side holds at most ProbeMaxDriving tuples or is
+	// smaller than the indexed relation by more than ProbeScanRatio×.
+	// 0 means the engine default (16 and 4); both must be set to take
+	// effect.
+	ProbeMaxDriving int
+	ProbeScanRatio  int
 	// AutoIndex derives secondary indexes automatically at rule definition
 	// time: hash indexes from the equality-join attributes of referential
 	// and pair constraints — both join directions, so the insertion-side
@@ -116,6 +132,18 @@ func (o *Options) Validate() error {
 		return fmt.Errorf("repro: Options.MaxModificationDepth must be positive (or 0 for the default), got %d",
 			o.MaxModificationDepth)
 	}
+	if o.GroupCommitBatch < 0 {
+		return fmt.Errorf("repro: Options.GroupCommitBatch must be positive (or 0 for unbounded), got %d",
+			o.GroupCommitBatch)
+	}
+	if o.ProbeMaxDriving < 0 {
+		return fmt.Errorf("repro: Options.ProbeMaxDriving must be positive (or 0 for the default), got %d",
+			o.ProbeMaxDriving)
+	}
+	if o.ProbeScanRatio < 0 {
+		return fmt.Errorf("repro: Options.ProbeScanRatio must be positive (or 0 for the default), got %d",
+			o.ProbeScanRatio)
+	}
 	for _, decl := range o.Indexes {
 		if _, _, _, err := index.ParseDecl(decl); err != nil {
 			return fmt.Errorf("repro: Options.Indexes: %w", err)
@@ -142,6 +170,15 @@ type CommitStats struct {
 	// merging instead of retrying — the commits relation-granular
 	// validation would have rejected.
 	MergedCommits uint64
+	// Epochs counts group-commit epochs that installed at least one commit;
+	// each epoch is one snapshot swap shared by its whole batch.
+	Epochs uint64
+	// TxnsPerEpoch is Commits/Epochs — the mean batch size the group-commit
+	// sequencer achieved (0 before any commit).
+	TxnsPerEpoch float64
+	// IntraBatchMerges counts commits that merged with a disjoint co-writer
+	// inside their own epoch (a subset of MergedCommits).
+	IntraBatchMerges uint64
 }
 
 // DB is a main-memory database with integrity control. Transactions run
@@ -192,11 +229,18 @@ func OpenChecked(opts *Options) (*DB, error) {
 		shards = storage.DefaultShards
 	}
 	store := storage.NewSharded(sch, shards)
+	batch := o.GroupCommitBatch
+	if o.DisableGroupCommit {
+		batch = 1
+	}
+	store.SetEpochLimit(batch)
+	exec := txn.NewExecutor(store)
+	exec.SetProbeTuning(o.ProbeMaxDriving, o.ProbeScanRatio)
 	cat := rules.NewCatalog(sch)
 	db := &DB{
 		sch:   sch,
 		store: store,
-		exec:  txn.NewExecutor(store),
+		exec:  exec,
 		cat:   cat,
 		opts:  o,
 	}
@@ -749,6 +793,7 @@ func (db *DB) Query(exprSrc string) (*Rows, error) {
 		return nil, err
 	}
 	ov := txn.NewOverlay(db.store)
+	ov.SetProbeTuning(db.opts.ProbeMaxDriving, db.opts.ProbeScanRatio)
 	rel, err := assign.Expr.Eval(ov)
 	if err != nil {
 		return nil, err
@@ -784,13 +829,19 @@ func (db *DB) LogicalTime() uint64 { return db.store.Time() }
 // delta-merged commits. Safe to call concurrently with submissions.
 func (db *DB) CommitStats() CommitStats {
 	s := db.store.Stats()
-	return CommitStats{
+	out := CommitStats{
 		Shards:            db.store.ShardCount(),
 		Commits:           s.Commits,
 		Conflicts:         s.Conflicts,
 		CrossShardCommits: s.CrossShardCommits,
 		MergedCommits:     s.MergedCommits,
+		Epochs:            s.Epochs,
+		IntraBatchMerges:  s.IntraBatchMerges,
 	}
+	if s.Epochs > 0 {
+		out.TxnsPerEpoch = float64(s.Commits) / float64(s.Epochs)
+	}
+	return out
 }
 
 // Load bulk-inserts rows into a relation without integrity control or
