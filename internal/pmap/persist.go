@@ -1,0 +1,86 @@
+package pmap
+
+// Checkpoint persistence. A frozen trie serializes bottom-up through a Sink:
+// every node is handed to the sink once its children have been persisted,
+// and the address the sink assigns is memoized on the node itself. That memo
+// is what makes checkpoints incremental — on the next Persist call, a node
+// whose address the sink still Retains is emitted as a bare reference and
+// its whole subtree is skipped, so a checkpoint's cost is proportional to
+// the trie nodes created since the previous retained checkpoint (path
+// copies are new nodes; untouched subtrees keep their old addresses), not
+// to the size of the map. The address doubles as the generation watermark:
+// "newer than the last checkpoint" is exactly "has no retained address".
+//
+// Only frozen maps may persist: a mutable owner could rewrite a stamped
+// node in place, silently invalidating its address. Nodes created by
+// path-copying after a Clone start with no address and are therefore
+// written by the next checkpoint, as required. The memo field is touched by
+// at most one Persist call at a time (the caller serializes checkpoints)
+// and by nothing else, so stamping does not race concurrent readers of the
+// frozen trie.
+
+// Addr is the persistent address a Sink assigned to a node — an opaque
+// non-zero token, typically a packed (file, offset) pair. The zero Addr
+// means "never persisted" (and, as a Persist result, "empty map").
+type Addr uint64
+
+// Entry is one key/value pair of a node handed to a Sink.
+type Entry[V any] struct {
+	Key string
+	Val V
+}
+
+// Sink receives a trie bottom-up during Persist.
+type Sink[V any] interface {
+	// Retained reports whether a previously assigned address is still
+	// readable by the checkpoint chain being written; if so, Persist skips
+	// the subtree and reuses the address.
+	Retained(Addr) bool
+	// Node persists one node whose children are already persisted and
+	// returns its address. The entries and children slices are only valid
+	// for the duration of the call.
+	Node(entries []Entry[V], children []Addr) (Addr, error)
+}
+
+// Persist writes every node of the frozen map not already retained by the
+// sink, bottom-up, and returns the root's address (0 for an empty map) and
+// the number of nodes written (as opposed to referenced). It panics on a
+// mutable map.
+func (m *Map[V]) Persist(sink Sink[V]) (Addr, int, error) {
+	if m.edit != nil {
+		panic("pmap: Persist on mutable map (Freeze first)")
+	}
+	written := 0
+	addr, err := persistNode(m.root, sink, &written)
+	return addr, written, err
+}
+
+func persistNode[V any](n *node[V], sink Sink[V], written *int) (Addr, error) {
+	if n == nil {
+		return 0, nil
+	}
+	if n.ckpt != 0 && sink.Retained(n.ckpt) {
+		return n.ckpt, nil
+	}
+	var entries []Entry[V]
+	var children []Addr
+	for i := range n.slots {
+		s := &n.slots[i]
+		if s.child != nil {
+			a, err := persistNode(s.child, sink, written)
+			if err != nil {
+				return 0, err
+			}
+			children = append(children, a)
+			continue
+		}
+		entries = append(entries, Entry[V]{Key: s.key, Val: s.val})
+	}
+	a, err := sink.Node(entries, children)
+	if err != nil {
+		return 0, err
+	}
+	*written++
+	n.ckpt = a
+	return a, nil
+}

@@ -41,7 +41,12 @@ type node[V any] struct {
 	edit   *edit
 	bitmap uint64
 	coll   bool
-	slots  []slot[V]
+	// ckpt memoizes the persistent address a checkpoint sink assigned to
+	// this node (see persist.go); 0 means never persisted. Stamped only on
+	// nodes reachable from frozen maps, by the single serialized Persist
+	// caller.
+	ckpt  Addr
+	slots []slot[V]
 }
 
 // Map is a hash-array-mapped trie from string keys to values of type V.

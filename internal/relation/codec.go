@@ -1,0 +1,90 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/pmap"
+	"repro/internal/value"
+)
+
+// Tuple codec for the durable storage engine: WAL records (package wal via
+// package storage) and checkpoint files persist tuples through the faithful
+// value.AppendBinary encoding, prefixed with the arity so the decoder is
+// self-delimiting. Canonical keys are NOT stored — they are derivable
+// (Tuple.Key) and recomputed on replay, which keeps the on-disk records
+// smaller than the in-memory trie entries.
+
+// AppendTuple appends the binary encoding of t to dst and returns the
+// extended slice.
+func AppendTuple(dst []byte, t Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = v.AppendBinary(dst)
+	}
+	return dst
+}
+
+// DecodeTuple decodes one AppendTuple-encoded tuple from the front of data
+// and returns it together with the remaining bytes.
+func DecodeTuple(data []byte) (Tuple, []byte, error) {
+	arity, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("relation: decode tuple: bad arity varint")
+	}
+	if arity > uint64(len(data)) { // each value takes at least one byte
+		return nil, nil, fmt.Errorf("relation: decode tuple: arity %d exceeds input", arity)
+	}
+	data = data[n:]
+	t := make(Tuple, arity)
+	for i := range t {
+		var err error
+		t[i], data, err = value.DecodeBinary(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("relation: decode tuple value %d: %w", i, err)
+		}
+	}
+	return t, data, nil
+}
+
+// AppendTuples appends the cardinality of r followed by every tuple's binary
+// encoding; the iteration order is unspecified (replay rebuilds a set).
+func AppendTuples(dst []byte, r *Relation) []byte {
+	dst = binary.AppendUvarint(dst, uint64(r.Len()))
+	_ = r.ForEach(func(t Tuple) error {
+		dst = AppendTuple(dst, t)
+		return nil
+	})
+	return dst
+}
+
+// Persist serializes the sealed relation's trie bottom-up through the sink
+// (see pmap.Map.Persist): nodes whose addresses the sink still retains are
+// skipped as whole subtrees, which is what makes checkpoints incremental.
+// It returns the root address (0 when empty) and the number of nodes
+// written. The relation must be sealed.
+func (r *Relation) Persist(sink pmap.Sink[Tuple]) (pmap.Addr, int, error) {
+	if !r.sealed {
+		panic(fmt.Sprintf("relation %s: Persist of unsealed instance", r.schema.Name))
+	}
+	return r.tuples.Persist(sink)
+}
+
+// DecodeTuples decodes an AppendTuples-encoded tuple list from the front of
+// data, invoking fn per tuple, and returns the remaining bytes.
+func DecodeTuples(data []byte, fn func(Tuple)) ([]byte, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("relation: decode tuples: bad count varint")
+	}
+	data = data[n:]
+	for i := uint64(0); i < count; i++ {
+		t, rest, err := DecodeTuple(data)
+		if err != nil {
+			return nil, fmt.Errorf("relation: decode tuple %d/%d: %w", i, count, err)
+		}
+		fn(t)
+		data = rest
+	}
+	return data, nil
+}

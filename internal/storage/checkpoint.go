@@ -1,0 +1,458 @@
+// Checkpoint files: periodic persistent images of a published snapshot,
+// bounding how much WAL a recovery must replay.
+//
+// A checkpoint file (ckpt-%08d.ck) serializes the snapshot's relation tries
+// through pmap's bottom-up Persist walk: each trie node becomes one block —
+// child addresses plus the node's own tuples — and a node's address packs
+// (file id << 40 | offset) into a pmap.Addr. Because frozen trie nodes
+// memoize the address the last checkpoint assigned them, an incremental
+// checkpoint re-serializes only the nodes created since the previous one
+// (path copies of the commits in between) and refers to everything else by
+// address into earlier files of its chain. Every FullEvery-th checkpoint is
+// full — it retains no earlier address, so it is self-contained — and once
+// it commits, all older checkpoint files are deleted and the WAL is
+// truncated to the checkpoint's LSN watermark.
+//
+// The directory at the end of the file records, per relation, the schema,
+// the trie root address and the cardinality, followed by the index
+// definitions, so recovery needs no other source of schema. A footer stores
+// the directory offset, a CRC of the directory and a magic; the file is
+// written to a temp name, fsynced, renamed into place and the directory
+// fsynced, so a crash mid-checkpoint leaves no half-visible file — recovery
+// simply uses the previous chain and a longer WAL tail.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/pmap"
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+const (
+	ckptMagic    = "RPRCKPT1"
+	ckptEndMagic = "RPRCKEND"
+	// addrShift packs a node address as fileID<<addrShift | offset: 24 bits
+	// of file id, 40 bits of offset (1 TiB per checkpoint file).
+	addrShift  = 40
+	offsetMask = (uint64(1) << addrShift) - 1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func ckptName(id uint64) string { return fmt.Sprintf("ckpt-%08d.ck", id) }
+
+func parseCkptName(name string) (uint64, bool) {
+	var id uint64
+	if _, err := fmt.Sscanf(name, "ckpt-%08d.ck", &id); err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// ckptSink implements pmap.Sink over the checkpoint file being written.
+type ckptSink struct {
+	w         *bufio.Writer
+	off       int64
+	fileID    uint64
+	chainBase uint64
+	live      map[uint64]bool
+	buf       []byte
+}
+
+func (s *ckptSink) Retained(a pmap.Addr) bool {
+	fid := uint64(a) >> addrShift
+	return fid >= s.chainBase && s.live[fid]
+}
+
+func (s *ckptSink) Node(entries []pmap.Entry[relation.Tuple], children []pmap.Addr) (pmap.Addr, error) {
+	off := s.off
+	if uint64(off) > offsetMask {
+		return 0, fmt.Errorf("storage: checkpoint file exceeds addressable size")
+	}
+	b := s.buf[:0]
+	b = binary.AppendUvarint(b, uint64(len(children)))
+	for _, c := range children {
+		b = binary.AppendUvarint(b, uint64(c))
+	}
+	b = binary.AppendUvarint(b, uint64(len(entries)))
+	for _, e := range entries {
+		// The pmap key is the tuple's canonical key — derivable, so only the
+		// tuple is stored and the key recomputed on load.
+		b = relation.AppendTuple(b, e.Val)
+	}
+	s.buf = b
+	if _, err := s.w.Write(b); err != nil {
+		return 0, err
+	}
+	s.off += int64(len(b))
+	return pmap.Addr(s.fileID<<addrShift | uint64(off)), nil
+}
+
+// Checkpoint writes a checkpoint of the current snapshot, truncates the WAL
+// through its LSN watermark and, when the checkpoint was full, deletes the
+// superseded files. It is safe to call concurrently with commits (the
+// snapshot is immutable; concurrent Checkpoint calls serialize). Errors
+// leave the previous chain and the WAL untouched.
+func (d *Database) Checkpoint() error {
+	du := d.dur
+	if du == nil {
+		return fmt.Errorf("storage: Checkpoint on an in-memory database")
+	}
+	du.ckptMu.Lock()
+	defer du.ckptMu.Unlock()
+
+	snap := d.snap.Load()
+	fileID := du.nextFile
+	du.nextFile++
+	full := du.opts.FullEvery <= 1 || du.count%uint64(du.opts.FullEvery) == 0 || len(du.live) == 0
+	chainBase := du.lastFull
+	if full {
+		chainBase = fileID
+	}
+
+	tmp := filepath.Join(du.dir, ckptName(fileID)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+
+	sink := &ckptSink{w: bufio.NewWriter(f), fileID: fileID, chainBase: chainBase, live: du.live}
+	hdr := append([]byte(ckptMagic), binary.AppendUvarint(nil, fileID)...)
+	hdr = binary.AppendUvarint(hdr, chainBase)
+	hdr = binary.AppendUvarint(hdr, snap.lsn)
+	hdr = binary.AppendUvarint(hdr, snap.time)
+	if _, err := sink.w.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	sink.off = int64(len(hdr))
+
+	names := make([]string, 0, len(snap.rels))
+	for name := range snap.rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type relEntry struct {
+		name string
+		root pmap.Addr
+		size int
+	}
+	entries := make([]relEntry, 0, len(names))
+	for _, name := range names {
+		r := snap.rels[name]
+		root, _, err := r.Persist(sink)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("storage: checkpoint relation %q: %w", name, err)
+		}
+		entries = append(entries, relEntry{name: name, root: root, size: r.Len()})
+	}
+
+	// Directory: schemas, roots and cardinalities, then the index defs.
+	dirOff := sink.off
+	dir := binary.AppendUvarint(nil, uint64(len(entries)))
+	for _, e := range entries {
+		rs, ok := snap.sch.Relation(e.name)
+		if !ok {
+			f.Close()
+			return fmt.Errorf("storage: checkpoint: relation %q missing from schema", e.name)
+		}
+		dir = encodeRelationSchema(dir, rs)
+		dir = binary.AppendUvarint(dir, uint64(e.root))
+		dir = binary.AppendUvarint(dir, uint64(e.size))
+	}
+	var hashDefs, orderedDefs [][]byte
+	for _, name := range names {
+		set := snap.idx[name]
+		for _, x := range set.All() {
+			hashDefs = append(hashDefs, encodeIndexDef(name, x.Cols(), false))
+		}
+		for _, x := range set.OrderedAll() {
+			orderedDefs = append(orderedDefs, encodeIndexDef(name, x.Cols(), true))
+		}
+	}
+	dir = binary.AppendUvarint(dir, uint64(len(hashDefs)))
+	for _, b := range hashDefs {
+		dir = append(dir, b...)
+	}
+	dir = binary.AppendUvarint(dir, uint64(len(orderedDefs)))
+	for _, b := range orderedDefs {
+		dir = append(dir, b...)
+	}
+	if _, err := sink.w.Write(dir); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	var footer [8 + 4 + 8]byte
+	binary.LittleEndian.PutUint64(footer[:], uint64(dirOff))
+	binary.LittleEndian.PutUint32(footer[8:], crc32.Checksum(dir, crcTable))
+	copy(footer[12:], ckptEndMagic)
+	if _, err := sink.w.Write(footer[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	if err := sink.w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(du.dir, ckptName(fileID))); err != nil {
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	if err := syncDir(du.dir); err != nil {
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+
+	// Committed: the new file joins the chain; a full checkpoint supersedes
+	// everything older.
+	du.live[fileID] = true
+	du.count++
+	if full {
+		du.lastFull = fileID
+		for id := range du.live {
+			if id < fileID {
+				os.Remove(filepath.Join(du.dir, ckptName(id)))
+				delete(du.live, id)
+			}
+		}
+	}
+	du.bytes.Store(0)
+	if err := du.w.TruncateThrough(snap.lsn); err != nil {
+		return err
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ckptState is a checkpoint chain loaded back into memory.
+type ckptState struct {
+	fileID   uint64 // newest file of the chain
+	lastFull uint64 // chain base
+	live     map[uint64]bool
+	lsn      uint64
+	time     uint64
+	sch      *schema.Database
+	rels     map[string]*relation.Relation // mutable, for WAL replay on top
+	hash     [][]byte                      // encoded index defs, in definition order
+	ordered  [][]byte
+}
+
+// loadCheckpoint reads the newest checkpoint chain under dir, or returns nil
+// when none exists. The relations come back mutable (unsealed) so the WAL
+// tail can replay onto them.
+func loadCheckpoint(dir string) (*ckptState, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: recover: %w", err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		if id, ok := parseCkptName(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	newest := ids[len(ids)-1]
+
+	data, dirBytes, err := readCkptFile(filepath.Join(dir, ckptName(newest)))
+	if err != nil {
+		return nil, err
+	}
+	st := &ckptState{fileID: newest, live: map[uint64]bool{newest: true}}
+	rest := data[len(ckptMagic):]
+	var k int
+	if _, k = binary.Uvarint(rest); k <= 0 { // file id (redundant with the name)
+		return nil, fmt.Errorf("storage: checkpoint %d: bad header", newest)
+	}
+	rest = rest[k:]
+	if st.lastFull, k = binary.Uvarint(rest); k <= 0 {
+		return nil, fmt.Errorf("storage: checkpoint %d: bad header", newest)
+	}
+	rest = rest[k:]
+	if st.lsn, k = binary.Uvarint(rest); k <= 0 {
+		return nil, fmt.Errorf("storage: checkpoint %d: bad header", newest)
+	}
+	rest = rest[k:]
+	if st.time, k = binary.Uvarint(rest); k <= 0 {
+		return nil, fmt.Errorf("storage: checkpoint %d: bad header", newest)
+	}
+
+	// The chain: every surviving file in [lastFull, newest]. Ids of failed
+	// attempts are simply absent; nothing references them.
+	files := map[uint64][]byte{newest: data}
+	for _, id := range ids {
+		if id >= st.lastFull && id < newest {
+			d, _, err := readCkptFile(filepath.Join(dir, ckptName(id)))
+			if err != nil {
+				return nil, err
+			}
+			files[id] = d
+			st.live[id] = true
+		}
+	}
+
+	// Directory: relations.
+	n, k := binary.Uvarint(dirBytes)
+	if k <= 0 {
+		return nil, fmt.Errorf("storage: checkpoint %d: bad directory", newest)
+	}
+	dirBytes = dirBytes[k:]
+	var schemas []*schema.Relation
+	st.rels = make(map[string]*relation.Relation, n)
+	for i := uint64(0); i < n; i++ {
+		rs, rest, err := decodeRelationSchema(dirBytes)
+		if err != nil {
+			return nil, fmt.Errorf("storage: checkpoint %d: %w", newest, err)
+		}
+		dirBytes = rest
+		root, k := binary.Uvarint(dirBytes)
+		if k <= 0 {
+			return nil, fmt.Errorf("storage: checkpoint %d: bad root", newest)
+		}
+		dirBytes = dirBytes[k:]
+		size, k := binary.Uvarint(dirBytes)
+		if k <= 0 {
+			return nil, fmt.Errorf("storage: checkpoint %d: bad size", newest)
+		}
+		dirBytes = dirBytes[k:]
+		r := relation.New(rs)
+		if root != 0 {
+			if err := collectNodes(files, pmap.Addr(root), func(t relation.Tuple) {
+				r.InsertUnchecked(t)
+			}); err != nil {
+				return nil, fmt.Errorf("storage: checkpoint %d: relation %q: %w", newest, rs.Name, err)
+			}
+		}
+		if uint64(r.Len()) != size {
+			return nil, fmt.Errorf("storage: checkpoint %d: relation %q: %d tuples, directory says %d",
+				newest, rs.Name, r.Len(), size)
+		}
+		schemas = append(schemas, rs)
+		st.rels[rs.Name] = r
+	}
+	st.sch, err = schema.NewDatabase(schemas...)
+	if err != nil {
+		return nil, fmt.Errorf("storage: checkpoint %d: %w", newest, err)
+	}
+
+	// Directory: index definitions.
+	for _, defs := range []*[][]byte{&st.hash, &st.ordered} {
+		n, k := binary.Uvarint(dirBytes)
+		if k <= 0 {
+			return nil, fmt.Errorf("storage: checkpoint %d: bad index defs", newest)
+		}
+		dirBytes = dirBytes[k:]
+		for i := uint64(0); i < n; i++ {
+			before := dirBytes
+			_, _, _, rest, err := decodeIndexDef(dirBytes)
+			if err != nil {
+				return nil, fmt.Errorf("storage: checkpoint %d: %w", newest, err)
+			}
+			*defs = append(*defs, before[:len(before)-len(rest)])
+			dirBytes = rest
+		}
+	}
+	return st, nil
+}
+
+// readCkptFile loads one checkpoint file, validating magics and the
+// directory CRC, and returns the whole file plus the directory slice.
+func readCkptFile(path string) ([]byte, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: recover: %w", err)
+	}
+	const footerLen = 8 + 4 + 8
+	if len(data) < len(ckptMagic)+footerLen || string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, nil, fmt.Errorf("storage: %s: not a checkpoint file", filepath.Base(path))
+	}
+	foot := data[len(data)-footerLen:]
+	if string(foot[12:]) != ckptEndMagic {
+		return nil, nil, fmt.Errorf("storage: %s: missing footer magic", filepath.Base(path))
+	}
+	dirOff := binary.LittleEndian.Uint64(foot)
+	if dirOff > uint64(len(data)-footerLen) {
+		return nil, nil, fmt.Errorf("storage: %s: directory offset out of range", filepath.Base(path))
+	}
+	dirBytes := data[dirOff : len(data)-footerLen]
+	if crc32.Checksum(dirBytes, crcTable) != binary.LittleEndian.Uint32(foot[8:]) {
+		return nil, nil, fmt.Errorf("storage: %s: directory checksum mismatch", filepath.Base(path))
+	}
+	return data, dirBytes, nil
+}
+
+// collectNodes walks a persisted trie depth-first from addr, invoking fn for
+// every stored tuple.
+func collectNodes(files map[uint64][]byte, addr pmap.Addr, fn func(relation.Tuple)) error {
+	fid := uint64(addr) >> addrShift
+	off := uint64(addr) & offsetMask
+	data := files[fid]
+	if data == nil {
+		return fmt.Errorf("node %x references missing checkpoint file %d", uint64(addr), fid)
+	}
+	if off >= uint64(len(data)) {
+		return fmt.Errorf("node %x offset out of range", uint64(addr))
+	}
+	b := data[off:]
+	nc, k := binary.Uvarint(b)
+	if k <= 0 || nc > uint64(len(b)) {
+		return fmt.Errorf("node %x: bad child count", uint64(addr))
+	}
+	b = b[k:]
+	for i := uint64(0); i < nc; i++ {
+		child, k := binary.Uvarint(b)
+		if k <= 0 {
+			return fmt.Errorf("node %x: bad child address", uint64(addr))
+		}
+		b = b[k:]
+		if err := collectNodes(files, pmap.Addr(child), fn); err != nil {
+			return err
+		}
+	}
+	ne, k := binary.Uvarint(b)
+	if k <= 0 || ne > uint64(len(b)) {
+		return fmt.Errorf("node %x: bad entry count", uint64(addr))
+	}
+	b = b[k:]
+	for i := uint64(0); i < ne; i++ {
+		t, rest, err := relation.DecodeTuple(b)
+		if err != nil {
+			return fmt.Errorf("node %x: %w", uint64(addr), err)
+		}
+		fn(t)
+		b = rest
+	}
+	return nil
+}

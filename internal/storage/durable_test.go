@@ -1,0 +1,512 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+func durSchema() *schema.Database {
+	var rels []*schema.Relation
+	for _, n := range []string{"alpha", "beta", "gamma"} {
+		rels = append(rels, schema.MustRelation(n,
+			schema.Attribute{Name: "a", Type: value.KindInt},
+			schema.Attribute{Name: "b", Type: value.KindString}))
+	}
+	return schema.MustDatabase(rels...)
+}
+
+func durTuple(a int64, b string) relation.Tuple {
+	return relation.Tuple{value.Int(a), value.String(b)}
+}
+
+func openDur(t *testing.T, dir string, opts DurOptions) *Database {
+	t.Helper()
+	db, err := Open(dir, durSchema(), opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return db
+}
+
+// commitDelta commits one keyed-read transaction inserting and deleting the
+// given tuples, serially (its own epoch).
+func durCommit(t *testing.T, db *Database, ins, del map[string][]relation.Tuple) {
+	t.Helper()
+	c := Commit{
+		BaseTime: db.Time(),
+		Reads:    map[string]*ReadInfo{},
+		Changed:  map[string]*relation.Relation{},
+		Ins:      map[string]*relation.Relation{},
+		Del:      map[string]*relation.Relation{},
+	}
+	touch := func(name string, tuples []relation.Tuple, into map[string]*relation.Relation) {
+		if len(tuples) == 0 {
+			return
+		}
+		rs, _ := db.Schema().Relation(name)
+		into[name] = relation.MustFromTuples(rs, tuples...)
+		c.Changed[name] = nil
+		ri := c.Reads[name]
+		if ri == nil {
+			ri = &ReadInfo{Keys: map[string]bool{}}
+			c.Reads[name] = ri
+		}
+		for _, tp := range tuples {
+			ri.Keys[tp.Key()] = true
+		}
+	}
+	for name, tuples := range ins {
+		touch(name, tuples, c.Ins)
+	}
+	for name, tuples := range del {
+		touch(name, tuples, c.Del)
+	}
+	if _, cf, err := db.CommitValidated(c); err != nil {
+		t.Fatalf("commit: %v", err)
+	} else if cf != nil {
+		t.Fatalf("commit conflicted: %s", cf)
+	}
+}
+
+// dumpState renders the snapshot's full contents canonically: every
+// relation's sorted tuples plus the index definition counts.
+func dumpState(s *Snapshot) string {
+	var names []string
+	for name := range s.rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		r := s.rels[name]
+		var keys []string
+		_ = r.ForEach(func(tp relation.Tuple) error {
+			keys = append(keys, tp.String())
+			return nil
+		})
+		sort.Strings(keys)
+		set := s.idx[name]
+		fmt.Fprintf(&b, "%s[h%d,o%d]: %s\n", name, set.Len(), len(set.OrderedAll()), strings.Join(keys, " "))
+	}
+	return b.String()
+}
+
+func TestDurableOpenFreshAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	db := openDur(t, dir, DurOptions{Shards: 4})
+	if !db.Durable() || db.Dir() != dir {
+		t.Fatalf("Durable=%v Dir=%q", db.Durable(), db.Dir())
+	}
+	durCommit(t, db, map[string][]relation.Tuple{
+		"alpha": {durTuple(1, "one"), durTuple(2, "two")},
+		"beta":  {durTuple(10, "ten")},
+	}, nil)
+	durCommit(t, db,
+		map[string][]relation.Tuple{"alpha": {durTuple(3, "three")}},
+		map[string][]relation.Tuple{"alpha": {durTuple(1, "one")}})
+	if err := db.DefineIndex("alpha", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineOrderedIndex("beta", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := db.Schema().Relation("gamma")
+	if err := db.Load(relation.MustFromTuples(rs, durTuple(7, "seven"))); err != nil {
+		t.Fatal(err)
+	}
+	extra := schema.MustRelation("delta", schema.Attribute{Name: "x", Type: value.KindFloat})
+	if err := db.Schema().Add(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRelation(extra); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpState(db.Snapshot())
+	wantTime, wantLSN := db.Time(), db.DurableLSN()
+	if wantLSN == 0 {
+		t.Fatal("no WAL records were written")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openDur(t, dir, DurOptions{Shards: 4})
+	defer db2.Close()
+	if got := dumpState(db2.Snapshot()); got != want {
+		t.Fatalf("recovered state mismatch\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if db2.Time() != wantTime || db2.DurableLSN() != wantLSN {
+		t.Fatalf("recovered time/lsn = %d/%d, want %d/%d", db2.Time(), db2.DurableLSN(), wantTime, wantLSN)
+	}
+	if len(db2.IndexDefs("alpha")) != 1 || len(db2.OrderedIndexDefs("beta")) != 1 {
+		t.Fatalf("index defs not recovered: %v %v", db2.IndexDefs("alpha"), db2.OrderedIndexDefs("beta"))
+	}
+	// The recovered database keeps working.
+	durCommit(t, db2, map[string][]relation.Tuple{"beta": {durTuple(11, "eleven")}}, nil)
+	r, err := db2.Relation("beta")
+	if err != nil || r.Len() != 2 {
+		t.Fatalf("post-recovery commit: len=%v err=%v", r.Len(), err)
+	}
+}
+
+// TestCrashPointRecovery is the crash-point property test: a workload of
+// logged operations runs to completion, a model records the expected state
+// after every WAL record, and then the log is cut at every record boundary
+// and at offsets inside frames — simulating a crash whose last write was
+// torn — one shard file at a time. Every cut must recover to exactly the
+// model state of some prefix of the log (cross-shard records counting only
+// when all their parts survive), and the recovered database must accept new
+// commits that themselves survive a second crash/recover cycle.
+func TestCrashPointRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db := openDur(t, dir, DurOptions{Shards: 4, CheckpointBytes: -1})
+
+	model := map[uint64]string{0: dumpState(db.Snapshot())}
+	record := func() {
+		lsn := db.DurableLSN()
+		model[lsn] = dumpState(db.Snapshot())
+	}
+	// A workload touching every record type: single-shard deltas,
+	// cross-shard epochs, deletes, a bulk load, index definitions and a
+	// relation added mid-flight.
+	durCommit(t, db, map[string][]relation.Tuple{"alpha": {durTuple(1, "a1"), durTuple(2, "a2")}}, nil)
+	record()
+	durCommit(t, db, map[string][]relation.Tuple{"beta": {durTuple(1, "b1")}}, nil)
+	record()
+	durCommit(t, db, map[string][]relation.Tuple{ // cross-shard epoch
+		"alpha": {durTuple(3, "a3")},
+		"beta":  {durTuple(2, "b2")},
+		"gamma": {durTuple(1, "g1")},
+	}, nil)
+	record()
+	if err := db.DefineIndex("alpha", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	record()
+	durCommit(t, db,
+		map[string][]relation.Tuple{"alpha": {durTuple(4, "a4")}},
+		map[string][]relation.Tuple{"alpha": {durTuple(1, "a1")}})
+	record()
+	rs, _ := db.Schema().Relation("gamma")
+	if err := db.Load(relation.MustFromTuples(rs, durTuple(8, "g8"), durTuple(9, "g9"))); err != nil {
+		t.Fatal(err)
+	}
+	record()
+	extra := schema.MustRelation("delta", schema.Attribute{Name: "x", Type: value.KindInt})
+	if err := db.Schema().Add(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRelation(extra); err != nil {
+		t.Fatal(err)
+	}
+	record()
+	durCommit(t, db, map[string][]relation.Tuple{
+		"delta": {relation.Tuple{value.Int(100)}},
+		"beta":  {durTuple(3, "b3")},
+	}, nil)
+	record()
+	finalLSN := db.DurableLSN()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := wal.Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("workload produced only %d shard files; want cross-shard coverage", len(segs))
+	}
+
+	cycle := 0
+	for _, seg := range segs {
+		// Cut points: before everything, at every frame boundary, and
+		// inside every frame (torn write).
+		cuts := []int64{0}
+		prev := int64(0)
+		for _, rec := range seg.Records {
+			cuts = append(cuts, prev+(rec.End-prev)/2, rec.End)
+			prev = rec.End
+		}
+		for _, cut := range cuts {
+			name := fmt.Sprintf("%s@%d", filepath.Base(seg.Path), cut)
+			crash := t.TempDir()
+			copyDir(t, dir, crash)
+			if cut == 0 {
+				if err := os.Remove(filepath.Join(crash, filepath.Base(seg.Path))); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := os.Truncate(filepath.Join(crash, filepath.Base(seg.Path)), cut); err != nil {
+				t.Fatal(err)
+			}
+
+			rec := openDur(t, crash, DurOptions{Shards: 4, CheckpointBytes: -1})
+			lsn := rec.DurableLSN()
+			want, ok := model[lsn]
+			if !ok {
+				rec.Close()
+				t.Fatalf("%s: recovered to lsn %d, not a logged state", name, lsn)
+			}
+			if got := dumpState(rec.Snapshot()); got != want {
+				rec.Close()
+				t.Fatalf("%s: state at lsn %d diverges from model\n got:\n%s\nwant:\n%s", name, lsn, got, want)
+			}
+
+			// The recovered database must keep accepting commits, and those
+			// must survive a second crash/recover cycle.
+			durCommit(t, rec, map[string][]relation.Tuple{"alpha": {durTuple(999, "resumed")}}, nil)
+			wantAfter := dumpState(rec.Snapshot())
+			if err := rec.Close(); err != nil {
+				t.Fatalf("%s: close: %v", name, err)
+			}
+			again := openDur(t, crash, DurOptions{Shards: 4, CheckpointBytes: -1})
+			if got := dumpState(again.Snapshot()); got != wantAfter {
+				again.Close()
+				t.Fatalf("%s: second recovery diverges\n got:\n%s\nwant:\n%s", name, got, wantAfter)
+			}
+			again.Close()
+			cycle++
+		}
+	}
+	if _, ok := model[finalLSN]; !ok || cycle == 0 {
+		t.Fatalf("test exercised %d crash points (final lsn %d)", cycle, finalLSN)
+	}
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCheckpointChainRecovery drives several incremental checkpoints (with
+// commits in between) through a full-checkpoint rollover, verifying that
+// superseded files are deleted, the WAL is truncated, and recovery from
+// checkpoint + tail reproduces the live state.
+func TestCheckpointChainRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db := openDur(t, dir, DurOptions{Shards: 4, CheckpointBytes: -1, FullEvery: 3})
+	if err := db.DefineIndex("alpha", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 5; j++ {
+			v := int64(i*10 + j)
+			durCommit(t, db, map[string][]relation.Tuple{
+				"alpha": {durTuple(v, "x")},
+				"beta":  {durTuple(v, "y")},
+			}, nil)
+		}
+		if i == 3 { // exercise deletes across a checkpoint boundary
+			durCommit(t, db, nil, map[string][]relation.Tuple{"alpha": {durTuple(0, "x")}})
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+	}
+	// 7 checkpoints with FullEvery=3: fulls at counts 0, 3, 6 — after the
+	// last full only files >= its id survive.
+	entries, _ := os.ReadDir(dir)
+	ckpts := 0
+	for _, e := range entries {
+		if _, ok := parseCkptName(e.Name()); ok {
+			ckpts++
+		}
+	}
+	if ckpts == 0 || ckpts > 3 {
+		t.Fatalf("chain holds %d checkpoint files, want 1..3", ckpts)
+	}
+
+	// Tail past the last checkpoint.
+	durCommit(t, db, map[string][]relation.Tuple{"gamma": {durTuple(1, "tail")}}, nil)
+	want := dumpState(db.Snapshot())
+	wantTime := db.Time()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openDur(t, dir, DurOptions{Shards: 4, CheckpointBytes: -1, FullEvery: 3})
+	defer db2.Close()
+	if got := dumpState(db2.Snapshot()); got != want {
+		t.Fatalf("recovered state mismatch\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if db2.Time() != wantTime {
+		t.Fatalf("recovered time = %d, want %d", db2.Time(), wantTime)
+	}
+	// Checkpointing must keep working on the recovered chain.
+	durCommit(t, db2, map[string][]relation.Tuple{"gamma": {durTuple(2, "more")}}, nil)
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want2 := dumpState(db2.Snapshot())
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3 := openDur(t, dir, DurOptions{Shards: 4, CheckpointBytes: -1, FullEvery: 3})
+	defer db3.Close()
+	if got := dumpState(db3.Snapshot()); got != want2 {
+		t.Fatalf("post-checkpoint recovery mismatch\n got:\n%s\nwant:\n%s", got, want2)
+	}
+}
+
+// TestConcurrentCommitWhileCheckpoint hammers the store with concurrent
+// keyed commits while checkpoints run, then recovers and verifies nothing
+// acknowledged was lost. Run under -race this also proves the checkpoint
+// walk (which stamps trie nodes) does not race the commit pipeline.
+func TestConcurrentCommitWhileCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db := openDur(t, dir, DurOptions{Shards: 4, CheckpointBytes: -1})
+	if err := db.DefineIndex("alpha", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	const perWorker = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := []string{"alpha", "beta", "gamma"}
+			for i := 0; i < perWorker; i++ {
+				name := names[(w+i)%len(names)]
+				rs, _ := db.Schema().Relation(name)
+				tp := durTuple(int64(w*10_000+i), "w")
+				ins := relation.MustFromTuples(rs, tp)
+				c := Commit{
+					BaseTime: db.Time(),
+					Reads:    map[string]*ReadInfo{name: {Keys: map[string]bool{tp.Key(): true}}},
+					Changed:  map[string]*relation.Relation{name: nil},
+					Ins:      map[string]*relation.Relation{name: ins},
+				}
+				for {
+					_, cf, err := db.CommitValidated(c)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if cf == nil {
+						break
+					}
+					c.BaseTime = db.Time() // disjoint keys: retries only on log truncation
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		if err := db.Checkpoint(); err != nil {
+			t.Errorf("checkpoint: %v", err)
+			break
+		}
+		select {
+		case <-done:
+			goto drained
+		default:
+		}
+	}
+drained:
+	<-done
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		r, _ := db.Relation(name)
+		total += r.Len()
+	}
+	if total != workers*perWorker {
+		t.Fatalf("live store holds %d tuples, want %d", total, workers*perWorker)
+	}
+	want := dumpState(db.Snapshot())
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openDur(t, dir, DurOptions{Shards: 4, CheckpointBytes: -1})
+	defer db2.Close()
+	if got := dumpState(db2.Snapshot()); got != want {
+		t.Fatalf("recovered state mismatch\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAutoCheckpointTriggers verifies the byte-threshold background trigger
+// fires and truncates the WAL.
+func TestAutoCheckpointTriggers(t *testing.T) {
+	dir := t.TempDir()
+	db := openDur(t, dir, DurOptions{Shards: 2, CheckpointBytes: 1024})
+	for i := 0; i < 200; i++ {
+		durCommit(t, db, map[string][]relation.Tuple{
+			"alpha": {durTuple(int64(i), strings.Repeat("x", 64))},
+		}, nil)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	ckpts := 0
+	for _, e := range entries {
+		if _, ok := parseCkptName(e.Name()); ok {
+			ckpts++
+		}
+	}
+	if ckpts == 0 {
+		t.Fatal("no automatic checkpoint was written")
+	}
+	db2 := openDur(t, dir, DurOptions{Shards: 2})
+	defer db2.Close()
+	r, _ := db2.Relation("alpha")
+	if r.Len() != 200 {
+		t.Fatalf("recovered alpha holds %d tuples, want 200", r.Len())
+	}
+}
+
+// TestDurableSyncPolicies exercises each sync policy end-to-end (same data
+// path, different fsync cadence) including clean-close durability under
+// SyncOff.
+func TestDurableSyncPolicies(t *testing.T) {
+	for _, sync := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncBatched, wal.SyncOff} {
+		t.Run(sync.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			db := openDur(t, dir, DurOptions{Shards: 2, Sync: sync})
+			durCommit(t, db, map[string][]relation.Tuple{"alpha": {durTuple(1, "x")}}, nil)
+			durCommit(t, db, map[string][]relation.Tuple{"beta": {durTuple(2, "y")}}, nil)
+			want := dumpState(db.Snapshot())
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db2 := openDur(t, dir, DurOptions{Shards: 2, Sync: sync})
+			defer db2.Close()
+			if got := dumpState(db2.Snapshot()); got != want {
+				t.Fatalf("recovered state mismatch under %v", sync)
+			}
+		})
+	}
+}

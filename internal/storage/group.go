@@ -61,6 +61,7 @@ type pending struct {
 
 	time     uint64    // assigned commit time (0 when conflicted)
 	conflict *Conflict // non-nil when validation failed
+	err      error     // non-nil when the epoch's WAL append failed (durable only)
 	merged   bool      // absorbed a concurrent disjoint delta (cross- or intra-epoch)
 	intra    bool      // the merge partner was a member of the same epoch
 }
@@ -199,6 +200,9 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 	// Derive one successor instance and one index push per written
 	// relation for the whole batch, from the shadow state when a prior
 	// unpublished epoch wrote the relation, from the snapshot otherwise.
+	// This pass is pure — the shadow state is only written after the WAL
+	// record lands, so a failed append leaves nothing for later epochs to
+	// build on.
 	install := make(map[string]*relation.Relation, len(agg))
 	var derived map[string]*index.Set
 	var recIns, recDel map[string]*relation.Relation
@@ -252,15 +256,7 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 			}
 		}
 		install[name] = inst
-		if sh.latest == nil {
-			sh.latest = make(map[string]*relation.Relation)
-		}
-		sh.latest[name] = inst
 		if set != nil {
-			if sh.latestIdx == nil {
-				sh.latestIdx = make(map[string]*index.Set)
-			}
-			sh.latestIdx[name] = set
 			if derived == nil {
 				derived = make(map[string]*index.Set, len(agg))
 			}
@@ -269,13 +265,39 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 		epochWrites[name] = true
 	}
 
-	// Append the epoch's single log record to every written shard, still
-	// under the shard locks, so the next epoch validates against it before
-	// this one publishes. Retention is by covered logical-time span, not
-	// record count: one epoch record may cover many transactions, so a
-	// count bound would evict base windows faster the better batching
-	// works.
-	if k > 0 && len(epochWrites) > 0 {
+	// Durable: append the epoch's WAL record (one part per written shard,
+	// group-fsynced under SyncAlways) before any shadow state or commit-log
+	// record exists — the write-ahead point. A failed append aborts the
+	// epoch: the reserved times still publish (as an empty install, keeping
+	// the swap clock contiguous) but the members fail with the error.
+	var walErr error
+	var recLSN uint64
+	var walBytes int64
+	if k > 0 && len(agg) > 0 && d.dur != nil {
+		recLSN, walBytes, walErr = d.dur.appendEpoch(last, agg, install, recIns, recDel)
+	}
+
+	if walErr == nil && k > 0 && len(epochWrites) > 0 {
+		// Park the derived instances in the shard shadows and append the
+		// epoch's single commit-log record to every written shard, still
+		// under the shard locks, so the next epoch validates against it
+		// before this one publishes. Retention is by covered logical-time
+		// span, not record count: one epoch record may cover many
+		// transactions, so a count bound would evict base windows faster
+		// the better batching works.
+		for name, a := range agg {
+			sh := d.shards[a.home]
+			if sh.latest == nil {
+				sh.latest = make(map[string]*relation.Relation)
+			}
+			sh.latest[name] = install[name]
+			if set := derived[name]; set != nil {
+				if sh.latestIdx == nil {
+					sh.latestIdx = make(map[string]*index.Set)
+				}
+				sh.latestIdx[name] = set
+			}
+		}
 		rec := &Delta{Time: last, Ins: recIns, Del: recDel, writes: epochWrites}
 		wtouched := make([]bool, len(d.shards))
 		for _, a := range agg {
@@ -300,7 +322,23 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 
 	d.unlockShards(locked)
 
-	// Stage P: one snapshot swap for the whole epoch, in clock order.
+	if walErr != nil {
+		for _, p := range accepted {
+			p.err = walErr
+			p.time = 0
+			p.merged, p.intra = false, false
+		}
+		install, derived, recLSN = nil, nil, 0
+	}
+	if d.dur != nil && walBytes > 0 && walErr == nil {
+		d.dur.bytes.Add(walBytes)
+		d.dur.maybeCheckpoint(d)
+	}
+
+	// Stage P: one snapshot swap for the whole epoch, in clock order. A
+	// WAL-failed epoch still swaps (an empty install at its reserved time)
+	// so the publish clock stays contiguous, but installs nothing and
+	// counts nothing.
 	publish := func() {
 		if k > 0 {
 			d.pubMu.Lock()
@@ -308,20 +346,26 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 				d.pubCond.Wait()
 			}
 			cur := d.snap.Load()
-			d.snap.Store(cur.withInstalled(install, last, derived))
+			next := cur.withInstalled(install, last, derived)
+			if recLSN != 0 {
+				next.lsn = recLSN
+			}
+			d.snap.Store(next)
 			d.pubCond.Broadcast()
 			d.pubMu.Unlock()
-			d.commits.Add(k)
-			d.epochs.Add(1)
-			for _, p := range accepted {
-				if len(p.shards) > 1 {
-					d.crossShard.Add(1)
-				}
-				if p.merged {
-					d.merged.Add(1)
-				}
-				if p.intra {
-					d.intraMerged.Add(1)
+			if walErr == nil {
+				d.commits.Add(k)
+				d.epochs.Add(1)
+				for _, p := range accepted {
+					if len(p.shards) > 1 {
+						d.crossShard.Add(1)
+					}
+					if p.merged {
+						d.merged.Add(1)
+					}
+					if p.intra {
+						d.intraMerged.Add(1)
+					}
 				}
 			}
 		}

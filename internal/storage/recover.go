@@ -1,0 +1,339 @@
+// Crash recovery: Open rebuilds a durable database from its directory.
+//
+// The recovery invariant is that checkpoint + replayed WAL tail ≡ the last
+// acknowledged state the sync policy guaranteed: the newest committed
+// checkpoint supplies the schema, the relation instances and the index
+// definitions as of its LSN watermark, and the WAL records with larger LSNs
+// replay on top, in LSN order, exactly the way the commit pipeline applied
+// them (deletes before inserts, Load replacing wholesale). Replay stops at
+// the first gap — a torn tail, a missing LSN, or a cross-shard record with a
+// missing part (its Span counts the shard files that must carry it) — so
+// the recovered state is always a prefix-consistent image of the logged
+// history; everything past the stop point is physically truncated from the
+// segment files, and the writer resumes at the next LSN. Replay is
+// idempotent: recovering twice, or crashing during recovery before the
+// truncation, converges to the same state.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"repro/internal/index"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/wal"
+)
+
+// Open opens (or creates) a durable database in dir. A fresh directory
+// starts from sch with empty instances at logical time 0; an existing one is
+// recovered from its checkpoint chain and WAL, in which case the stored
+// schema supersedes sch entirely (use AddRelation to grow it after the
+// fact). The returned database behaves exactly like an in-memory one, plus
+// Checkpoint, Close and crash-safety per opts.Sync.
+func Open(dir string, sch *schema.Database, opts DurOptions) (*Database, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
+	}
+
+	ck, err := loadCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	rs := &replayState{
+		sch:  sch,
+		rels: make(map[string]*relation.Relation),
+	}
+	du := &durability{dir: dir, opts: opts, live: map[uint64]bool{}, nextFile: 1}
+	if ck != nil {
+		rs.sch = ck.sch
+		rs.rels = ck.rels
+		rs.hash = ck.hash
+		rs.ordered = ck.ordered
+		rs.time = ck.time
+		rs.lsn = ck.lsn
+		du.nextFile = ck.fileID + 1
+		du.lastFull = ck.lastFull
+		du.live = ck.live
+		du.count = 1 // a committed chain exists; next checkpoint may be incremental
+	} else {
+		for _, name := range sch.Names() {
+			relSch, _ := sch.Relation(name)
+			rs.rels[name] = relation.New(relSch)
+		}
+	}
+
+	if err := replayWAL(dir, rs); err != nil {
+		return nil, err
+	}
+
+	w, err := wal.Open(dir, rs.lsn+1, opts.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	du.w = w
+
+	// Assemble the database around the recovered state: sealed instances,
+	// indexes rebuilt from them (exactly like a bulk Load), the clock and
+	// every shard's truncation watermark at the recovered time — a commit
+	// based on anything older predates this incarnation's commit log and is
+	// conservatively refused.
+	d := NewSharded(rs.sch, opts.Shards)
+	d.dur = du
+	rels := make(map[string]*relation.Relation, len(rs.rels))
+	for name, r := range rs.rels {
+		rels[name] = r.Seal()
+	}
+	idx, err := buildIndexes(rels, rs.hash, rs.ordered)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	d.clock.Store(rs.time)
+	for _, sh := range d.shards {
+		sh.truncated = rs.time
+	}
+	d.snap.Store(&Snapshot{sch: rs.sch, rels: rels, idx: idx, time: rs.time, lsn: rs.lsn})
+	return d, nil
+}
+
+// replayState accumulates the recovered image as the WAL tail applies.
+type replayState struct {
+	sch     *schema.Database
+	rels    map[string]*relation.Relation // mutable working copies
+	hash    [][]byte                      // encoded index defs, definition order
+	ordered [][]byte
+	time    uint64
+	lsn     uint64 // last applied LSN
+}
+
+// replayWAL scans the segment files, applies every complete record with
+// LSN > rs.lsn in contiguous LSN order, and truncates whatever did not
+// apply — torn tails and the parts of records past the first gap — so the
+// resumed writer never collides with stale frames.
+func replayWAL(dir string, rs *replayState) error {
+	segs, err := wal.Scan(dir)
+	if err != nil {
+		return err
+	}
+	// Per-shard cursors over the concatenated segment records (per shard,
+	// segments ascend by first LSN and records ascend within each).
+	type cursor struct {
+		recs []wal.Record
+		segs []*wal.Segment // seg owning recs[i], parallel slice
+		i    int
+	}
+	cursors := make(map[int]*cursor)
+	for _, seg := range segs {
+		c := cursors[seg.Shard]
+		if c == nil {
+			c = &cursor{}
+			cursors[seg.Shard] = c
+		}
+		for _, rec := range seg.Records {
+			c.recs = append(c.recs, rec)
+			c.segs = append(c.segs, seg)
+		}
+	}
+
+	next := rs.lsn + 1
+	for {
+		var holders []*cursor
+		for _, c := range cursors {
+			for c.i < len(c.recs) && c.recs[c.i].LSN < next {
+				c.i++ // already covered by the checkpoint
+			}
+			if c.i < len(c.recs) && c.recs[c.i].LSN == next {
+				holders = append(holders, c)
+			}
+		}
+		if len(holders) == 0 {
+			break
+		}
+		rec := holders[0].recs[holders[0].i]
+		if len(holders) != rec.Span {
+			// A cross-shard record with missing parts: the crash landed
+			// between its per-shard appends. Atomicity demands all or
+			// nothing, so replay stops here.
+			break
+		}
+		for _, c := range holders {
+			if err := applyRecord(rs, c.recs[c.i]); err != nil {
+				return err
+			}
+			c.i++
+		}
+		rs.lsn = next
+		rs.time = rec.Time
+		next++
+	}
+
+	// Physical truncation: every frame past the applied prefix goes, so the
+	// writer's next append (at rs.lsn+1) cannot collide with a stale frame
+	// carrying the same LSN.
+	for _, seg := range segs {
+		keep := int64(0)
+		for _, rec := range seg.Records {
+			if rec.LSN <= rs.lsn {
+				keep = rec.End
+			}
+		}
+		st, err := os.Stat(seg.Path)
+		if err != nil {
+			return fmt.Errorf("storage: recover: %w", err)
+		}
+		switch {
+		case keep == 0:
+			if err := os.Remove(seg.Path); err != nil {
+				return fmt.Errorf("storage: recover: %w", err)
+			}
+		case keep < st.Size():
+			if err := os.Truncate(seg.Path, keep); err != nil {
+				return fmt.Errorf("storage: recover: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// applyRecord replays one WAL record part onto the working state. The
+// epoch-delta application order (deletes, then inserts) matches the
+// pipeline's successor derivation.
+func applyRecord(rs *replayState, rec wal.Record) error {
+	switch rec.Type {
+	case recEpoch:
+		data := rec.Payload
+		n, k := binary.Uvarint(data)
+		if k <= 0 {
+			return fmt.Errorf("storage: replay lsn %d: bad relation count", rec.LSN)
+		}
+		data = data[k:]
+		for i := uint64(0); i < n; i++ {
+			name, rest, err := decodeString(data)
+			if err != nil {
+				return fmt.Errorf("storage: replay lsn %d: %w", rec.LSN, err)
+			}
+			data = rest
+			if len(data) == 0 {
+				return fmt.Errorf("storage: replay lsn %d: truncated payload", rec.LSN)
+			}
+			kind := data[0]
+			data = data[1:]
+			r := rs.rels[name]
+			if r == nil {
+				return fmt.Errorf("storage: replay lsn %d: unknown relation %q", rec.LSN, name)
+			}
+			switch kind {
+			case epochDelta:
+				// Deletes first, then inserts — the payload is written in
+				// application order.
+				if data, err = relation.DecodeTuples(data, func(t relation.Tuple) {
+					r.Delete(t)
+				}); err != nil {
+					return fmt.Errorf("storage: replay lsn %d: %w", rec.LSN, err)
+				}
+				if data, err = relation.DecodeTuples(data, func(t relation.Tuple) {
+					r.InsertUnchecked(t)
+				}); err != nil {
+					return fmt.Errorf("storage: replay lsn %d: %w", rec.LSN, err)
+				}
+			case epochVerbatim:
+				fresh := relation.New(r.Schema())
+				if data, err = relation.DecodeTuples(data, func(t relation.Tuple) {
+					fresh.InsertUnchecked(t)
+				}); err != nil {
+					return fmt.Errorf("storage: replay lsn %d: %w", rec.LSN, err)
+				}
+				rs.rels[name] = fresh
+			default:
+				return fmt.Errorf("storage: replay lsn %d: unknown write kind %q", rec.LSN, kind)
+			}
+		}
+		return nil
+	case recLoad:
+		name, data, err := decodeString(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("storage: replay load lsn %d: %w", rec.LSN, err)
+		}
+		relSch, ok := rs.sch.Relation(name)
+		if !ok {
+			return fmt.Errorf("storage: replay load lsn %d: unknown relation %q", rec.LSN, name)
+		}
+		fresh := relation.New(relSch)
+		if _, err := relation.DecodeTuples(data, func(t relation.Tuple) {
+			fresh.InsertUnchecked(t)
+		}); err != nil {
+			return fmt.Errorf("storage: replay load lsn %d: %w", rec.LSN, err)
+		}
+		rs.rels[name] = fresh
+		return nil
+	case recAddRelation:
+		relSch, _, err := decodeRelationSchema(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("storage: replay lsn %d: %w", rec.LSN, err)
+		}
+		if _, ok := rs.sch.Relation(relSch.Name); ok {
+			return nil // idempotent against a caller-supplied schema
+		}
+		if err := rs.sch.Add(relSch); err != nil {
+			return fmt.Errorf("storage: replay lsn %d: %w", rec.LSN, err)
+		}
+		rs.rels[relSch.Name] = relation.New(relSch)
+		return nil
+	case recDefineIndex:
+		_, _, ordered, _, err := decodeIndexDef(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("storage: replay lsn %d: %w", rec.LSN, err)
+		}
+		if ordered {
+			rs.ordered = append(rs.ordered, rec.Payload)
+		} else {
+			rs.hash = append(rs.hash, rec.Payload)
+		}
+		return nil
+	default:
+		return fmt.Errorf("storage: replay lsn %d: unknown record type %d", rec.LSN, rec.Type)
+	}
+}
+
+// buildIndexes rebuilds every defined index from the recovered (sealed)
+// instances — same bulk path Load takes. Duplicate definitions (a def both
+// checkpointed and still in the WAL tail cannot happen, but a replayed
+// AddRelation racing a caller schema could) are skipped.
+func buildIndexes(rels map[string]*relation.Relation, hash, ordered [][]byte) (map[string]*index.Set, error) {
+	idx := make(map[string]*index.Set)
+	for _, enc := range hash {
+		rel, cols, _, _, err := decodeIndexDef(enc)
+		if err != nil {
+			return nil, err
+		}
+		r := rels[rel]
+		if r == nil {
+			return nil, fmt.Errorf("storage: recover: index on unknown relation %q", rel)
+		}
+		if idx[rel].Exact(cols) != nil {
+			continue
+		}
+		idx[rel] = idx[rel].With(index.Build(r, cols))
+	}
+	for _, enc := range ordered {
+		rel, cols, _, _, err := decodeIndexDef(enc)
+		if err != nil {
+			return nil, err
+		}
+		r := rels[rel]
+		if r == nil {
+			return nil, fmt.Errorf("storage: recover: ordered index on unknown relation %q", rel)
+		}
+		if idx[rel].OrderedExact(cols) != nil {
+			continue
+		}
+		idx[rel] = idx[rel].WithOrdered(index.BuildOrdered(r, cols))
+	}
+	if len(idx) == 0 {
+		return nil, nil
+	}
+	return idx, nil
+}

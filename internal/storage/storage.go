@@ -39,6 +39,15 @@
 // many transactions — and a commit whose base snapshot predates a needed
 // segment's retained window is refused as a conflict, forcing a retry from
 // a fresh snapshot.
+//
+// Databases built by Open (rather than New/NewSharded) are durable: the
+// drainer serializes each epoch's aggregate writes into the write-ahead log
+// (package wal) before acknowledging its members, background checkpoints
+// bound the log, and Open recovers checkpoint + log tail after a crash —
+// see durable.go, checkpoint.go and recover.go here, and, for the full
+// picture, docs/ARCHITECTURE.md (the commit pipeline end to end) and
+// docs/RECOVERY.md (on-disk formats and the recovery invariant) at the
+// repository root.
 package storage
 
 import (
@@ -79,6 +88,10 @@ type Snapshot struct {
 	rels map[string]*relation.Relation
 	idx  map[string]*index.Set
 	time uint64
+	// lsn is the WAL sequence number of the record that produced this state
+	// (0 in-memory or before any logged mutation) — the checkpoint
+	// watermark of a durable database; see durable.go.
+	lsn uint64
 }
 
 // Schema returns the database schema the snapshot instantiates.
@@ -302,6 +315,10 @@ type Database struct {
 	merged      atomic.Uint64
 	epochs      atomic.Uint64
 	intraMerged atomic.Uint64
+
+	// dur is the durability sidecar (WAL writer + checkpoint state) of a
+	// database built by Open; nil for the in-memory constructors.
+	dur *durability
 }
 
 // New returns an empty database state (all relations empty, logical time 0)
@@ -407,6 +424,7 @@ func (d *Database) AddRelation(rs *schema.Relation) error {
 	defer d.unlockShards(d.beginSchemaChange())
 	d.pubMu.Lock()
 	defer d.pubMu.Unlock()
+	d.waitQuiesced()
 	cur := d.snap.Load()
 	if _, ok := cur.rels[rs.Name]; ok {
 		return fmt.Errorf("storage: relation %q already exists", rs.Name)
@@ -415,6 +433,13 @@ func (d *Database) AddRelation(rs *schema.Relation) error {
 		return fmt.Errorf("storage: relation %q missing from database schema", rs.Name)
 	}
 	next := cur.withInstalled(map[string]*relation.Relation{rs.Name: relation.New(rs)}, cur.time, nil)
+	if d.dur != nil {
+		lsn, err := d.dur.appendSchemaRecord(recAddRelation, cur.time, d.ShardOf(rs.Name), encodeRelationSchema(nil, rs))
+		if err != nil {
+			return err
+		}
+		next.lsn = lsn
+	}
 	d.snap.Store(next)
 	return nil
 }
@@ -423,17 +448,28 @@ func (d *Database) AddRelation(rs *schema.Relation) error {
 // and workload generators, outside any transaction. The relation is sealed
 // by the call, and any secondary indexes on it are rebuilt from the new
 // instance. The logical clock is not advanced and no commit-log record is
-// written.
+// written (a durable database logs the full replacement instance to its
+// WAL, though — replay replaces wholesale).
 func (d *Database) Load(r *relation.Relation) error {
 	defer d.unlockShards(d.beginSchemaChange())
 	d.pubMu.Lock()
 	defer d.pubMu.Unlock()
+	d.waitQuiesced()
 	cur := d.snap.Load()
 	name := r.Schema().Name
 	if _, ok := cur.rels[name]; !ok {
 		return fmt.Errorf("storage: unknown relation %q", name)
 	}
-	d.snap.Store(cur.withInstalled(map[string]*relation.Relation{name: r}, cur.time, nil))
+	next := cur.withInstalled(map[string]*relation.Relation{name: r}, cur.time, nil)
+	if d.dur != nil {
+		payload := appendRelTuples(appendString(nil, name), r)
+		lsn, err := d.dur.appendSchemaRecord(recLoad, cur.time, d.ShardOf(name), payload)
+		if err != nil {
+			return err
+		}
+		next.lsn = lsn
+	}
+	d.snap.Store(next)
 	return nil
 }
 
@@ -464,6 +500,7 @@ func (d *Database) DefineIndex(rel string, cols []int) error {
 	defer d.unlockShards(d.beginSchemaChange())
 	d.pubMu.Lock()
 	defer d.pubMu.Unlock()
+	d.waitQuiesced()
 	cur := d.snap.Load()
 	r, ok := cur.rels[rel]
 	if !ok {
@@ -477,7 +514,15 @@ func (d *Database) DefineIndex(rel string, cols []int) error {
 		idx[n] = s
 	}
 	idx[rel] = idx[rel].With(index.Build(r, canon))
-	d.snap.Store(&Snapshot{sch: cur.sch, rels: cur.rels, idx: idx, time: cur.time})
+	next := &Snapshot{sch: cur.sch, rels: cur.rels, idx: idx, time: cur.time, lsn: cur.lsn}
+	if d.dur != nil {
+		lsn, err := d.dur.appendSchemaRecord(recDefineIndex, cur.time, d.ShardOf(rel), encodeIndexDef(rel, canon, false))
+		if err != nil {
+			return err
+		}
+		next.lsn = lsn
+	}
+	d.snap.Store(next)
 	return nil
 }
 
@@ -508,6 +553,7 @@ func (d *Database) DefineOrderedIndex(rel string, cols []int) error {
 	defer d.unlockShards(d.beginSchemaChange())
 	d.pubMu.Lock()
 	defer d.pubMu.Unlock()
+	d.waitQuiesced()
 	cur := d.snap.Load()
 	r, ok := cur.rels[rel]
 	if !ok {
@@ -521,7 +567,15 @@ func (d *Database) DefineOrderedIndex(rel string, cols []int) error {
 		idx[n] = s
 	}
 	idx[rel] = idx[rel].WithOrdered(index.BuildOrdered(r, cols))
-	d.snap.Store(&Snapshot{sch: cur.sch, rels: cur.rels, idx: idx, time: cur.time})
+	next := &Snapshot{sch: cur.sch, rels: cur.rels, idx: idx, time: cur.time, lsn: cur.lsn}
+	if d.dur != nil {
+		lsn, err := d.dur.appendSchemaRecord(recDefineIndex, cur.time, d.ShardOf(rel), encodeIndexDef(rel, cols, true))
+		if err != nil {
+			return err
+		}
+		next.lsn = lsn
+	}
+	d.snap.Store(next)
 	return nil
 }
 
@@ -744,7 +798,11 @@ func (d *Database) CommitValidated(c Commit) (uint64, *Conflict, error) {
 	if fn := <-p.done; fn != nil {
 		fn()
 	}
-	return p.time, p.conflict, nil
+	// p.err is only ever set by a durable database whose WAL append failed:
+	// the epoch was accepted but could not be made durable, so it was not
+	// installed and the store is effectively read-only (the WAL writer is
+	// poisoned).
+	return p.time, p.conflict, p.err
 }
 
 // withInstalled builds the successor snapshot: the receiver's relation map
@@ -778,7 +836,7 @@ func (s *Snapshot) withInstalled(changed map[string]*relation.Relation, t uint64
 			}
 		}
 	}
-	return &Snapshot{sch: s.sch, rels: rels, idx: idx, time: t}
+	return &Snapshot{sch: s.sch, rels: rels, idx: idx, time: t, lsn: s.lsn}
 }
 
 // DeltasSince returns the retained commit-log records with Time > t, oldest
@@ -808,7 +866,8 @@ func (d *Database) DeltasSince(t uint64) []*Delta {
 // affect the other. The clone's commit log is empty, so its shards'
 // truncation watermarks start at the seed time: a commit based on a
 // snapshot older than the clone itself cannot be validated (the clone
-// never saw those deltas) and is conservatively refused.
+// never saw those deltas) and is conservatively refused. The clone is
+// always in-memory, even when the receiver is durable.
 func (d *Database) Clone() *Database {
 	cur := d.Snapshot()
 	c := &Database{sch: d.sch, shards: make([]*shard, len(d.shards)), retain: d.retain, maxEpoch: d.maxEpoch}

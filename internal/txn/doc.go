@@ -72,4 +72,10 @@
 // exactly as safe as a first-attempt one — after a bounded, jittered
 // exponential backoff that keeps hot-relation retriers from re-colliding
 // in lockstep.
+//
+// docs/ARCHITECTURE.md at the repository root walks this pipeline end to
+// end — overlay read-set recording through epoch validation, fold, WAL
+// append and snapshot publication — with pointers back into the code;
+// docs/RECOVERY.md covers what the storage layer's write-ahead logging
+// makes of a committed epoch after a crash.
 package txn

@@ -1,0 +1,566 @@
+// Package wal implements the write-ahead log of the durable storage engine:
+// per-shard segment files of length-prefixed, CRC-framed records.
+//
+// The log is sharded exactly like the commit sequencer in package storage —
+// one stream of segment files per commit shard — so the group-commit drainer
+// can append one record per written shard during its validate stage and
+// group-fsync once per epoch, amortizing the fsync over the whole batch the
+// same way the epoch already amortizes validation and the snapshot swap.
+//
+// # Framing
+//
+// Every record is one frame:
+//
+//	uint32  body length (little-endian)
+//	uint32  CRC-32C of the body (Castagnoli, little-endian)
+//	body := type(1 byte) | uvarint lsn | uvarint time | uvarint span | payload
+//
+// lsn is a globally sequential log sequence number: every logical record —
+// even one spanning several shard files — consumes exactly one. span is the
+// number of shard files carrying the lsn; recovery applies a cross-shard
+// record only when all span parts survive, which is what keeps a torn
+// cross-shard epoch atomic. time is the logical clock after applying the
+// record; payload bytes belong to the caller (package storage owns the
+// codec).
+//
+// A reader stops a file at the first frame that is short, oversized, or
+// fails its CRC — the torn tail — and recovery additionally stops the
+// global replay at the first missing or incomplete lsn, so the recovered
+// state is always a prefix of the logged history.
+//
+// # Segments
+//
+// Segment files are named s<shard>-<first lsn>.seg. A segment seals when it
+// outgrows Options.SegmentBytes and a new one starts at the next record's
+// lsn, so a shard's segments cover disjoint ascending lsn intervals and the
+// file name alone tells the checkpointer which sealed segments fall wholly
+// below a checkpoint watermark and can be deleted (TruncateThrough).
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every written segment once per AppendRecord, before
+	// the call returns. Under group commit that is one fsync per shard per
+	// epoch — the whole batch shares it — and a record is durable before
+	// any committer is acknowledged.
+	SyncAlways SyncPolicy = iota
+	// SyncBatched acknowledges appends after the buffered write reaches the
+	// OS and fsyncs in the background every Options.BatchInterval: commits
+	// never wait on the disk, at the price of losing up to one interval of
+	// acknowledged commits in a power failure (a process crash alone loses
+	// nothing the OS had accepted).
+	SyncBatched
+	// SyncOff never fsyncs during operation (Close still does): the OS
+	// flushes at its own pace. The throughput ceiling, for workloads that
+	// can replay their input.
+	SyncOff
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncBatched:
+		return "batched"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("sync(%d)", int(p))
+	}
+}
+
+// Options configure a Writer.
+type Options struct {
+	Sync SyncPolicy
+	// SegmentBytes seals a segment once it grows past this size; 0 means
+	// the default (4 MiB).
+	SegmentBytes int64
+	// BatchInterval is the background fsync period under SyncBatched; 0
+	// means the default (2ms).
+	BatchInterval time.Duration
+}
+
+const (
+	defaultSegmentBytes  = 4 << 20
+	defaultBatchInterval = 2 * time.Millisecond
+	// maxBody bounds a frame's body length; anything larger is treated as
+	// torn-tail garbage by the reader.
+	maxBody = 1 << 30
+	frameHd = 8 // length + crc
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.BatchInterval <= 0 {
+		o.BatchInterval = defaultBatchInterval
+	}
+	return o
+}
+
+// Record is one parsed frame.
+type Record struct {
+	LSN     uint64
+	Time    uint64
+	Span    int
+	Type    byte
+	Payload []byte
+	// End is the file offset just past this record's frame; truncating the
+	// file here removes the record's successors but keeps the record.
+	End int64
+}
+
+// Segment is one scanned segment file.
+type Segment struct {
+	Shard int
+	First uint64 // first lsn, from the file name
+	Path  string
+	// Records holds the frames that parsed cleanly, in file order.
+	Records []Record
+	// Torn reports that trailing bytes after the last clean frame failed to
+	// parse (a torn write); recovery truncates them.
+	Torn bool
+}
+
+func segName(shard int, first uint64) string {
+	return fmt.Sprintf("s%03d-%016d.seg", shard, first)
+}
+
+func parseSegName(name string) (shard int, first uint64, ok bool) {
+	var s int
+	var f uint64
+	if _, err := fmt.Sscanf(name, "s%03d-%016d.seg", &s, &f); err != nil {
+		return 0, 0, false
+	}
+	return s, f, true
+}
+
+// Scan parses every segment file under dir, in (shard, first-lsn) order.
+// Unparseable trailing bytes mark the segment Torn; files that are not
+// segments are ignored. A missing dir scans as empty.
+func Scan(dir string) ([]*Segment, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: scan %s: %w", dir, err)
+	}
+	var segs []*Segment
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		shard, first, ok := parseSegName(e.Name())
+		if !ok {
+			continue
+		}
+		seg := &Segment{Shard: shard, First: first, Path: filepath.Join(dir, e.Name())}
+		if err := seg.parse(); err != nil {
+			return nil, err
+		}
+		segs = append(segs, seg)
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Shard != segs[j].Shard {
+			return segs[i].Shard < segs[j].Shard
+		}
+		return segs[i].First < segs[j].First
+	})
+	return segs, nil
+}
+
+func (s *Segment) parse() error {
+	data, err := os.ReadFile(s.Path)
+	if err != nil {
+		return fmt.Errorf("wal: read %s: %w", s.Path, err)
+	}
+	off := int64(0)
+	for int64(len(data))-off >= frameHd {
+		body, rec, ok := parseFrame(data[off:])
+		if !ok {
+			break
+		}
+		rec.End = off + frameHd + int64(len(body))
+		s.Records = append(s.Records, rec)
+		off = rec.End
+	}
+	s.Torn = off < int64(len(data))
+	return nil
+}
+
+// parseFrame decodes one frame from the front of data; ok is false on any
+// framing, CRC, or body-header defect.
+func parseFrame(data []byte) ([]byte, Record, bool) {
+	if len(data) < frameHd {
+		return nil, Record{}, false
+	}
+	n := binary.LittleEndian.Uint32(data)
+	crc := binary.LittleEndian.Uint32(data[4:])
+	if n == 0 || n > maxBody || uint64(len(data)-frameHd) < uint64(n) {
+		return nil, Record{}, false
+	}
+	body := data[frameHd : frameHd+int(n)]
+	if crc32.Checksum(body, crcTable) != crc {
+		return nil, Record{}, false
+	}
+	rec := Record{Type: body[0]}
+	rest := body[1:]
+	var k int
+	if rec.LSN, k = binary.Uvarint(rest); k <= 0 {
+		return nil, Record{}, false
+	}
+	rest = rest[k:]
+	if rec.Time, k = binary.Uvarint(rest); k <= 0 {
+		return nil, Record{}, false
+	}
+	rest = rest[k:]
+	span, k := binary.Uvarint(rest)
+	if k <= 0 || span == 0 {
+		return nil, Record{}, false
+	}
+	rec.Span = int(span)
+	rec.Payload = rest[k:]
+	return body, rec, true
+}
+
+// appendFrame encodes one frame into dst.
+func appendFrame(dst []byte, typ byte, lsn, time uint64, span int, payload []byte) []byte {
+	var hdr [1 + 3*binary.MaxVarintLen64]byte
+	hdr[0] = typ
+	n := 1
+	n += binary.PutUvarint(hdr[n:], lsn)
+	n += binary.PutUvarint(hdr[n:], time)
+	n += binary.PutUvarint(hdr[n:], uint64(span))
+	bodyLen := n + len(payload)
+	crc := crc32.Update(crc32.Checksum(hdr[:n], crcTable), crcTable, payload)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(bodyLen))
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	dst = append(dst, hdr[:n]...)
+	return append(dst, payload...)
+}
+
+// Append is one shard's part of a logical record.
+type Append struct {
+	Shard   int
+	Payload []byte
+}
+
+// Writer appends records to the per-shard segment files of one directory.
+// It is safe for concurrent use; in the engine the group-commit drainer and
+// the (serialized) schema-management calls are the only appenders.
+type Writer struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	nextLSN uint64
+	active  map[int]*segment // shard -> active (highest-first) segment
+	// firsts tracks every live segment's first lsn per shard, ascending;
+	// TruncateThrough deletes sealed segments from the front.
+	firsts map[int][]uint64
+	dirty  []*segment // segments with writes since the last fsync
+	err    error      // sticky I/O error: the log is unusable after one
+
+	stop chan struct{} // closes the batched-sync flusher
+	done chan struct{}
+}
+
+type segment struct {
+	shard int
+	first uint64
+	f     *os.File
+	w     *bufio.Writer
+	size  int64
+}
+
+// Open attaches a writer to dir (created if missing), resuming each shard's
+// highest segment for appending. nextLSN is the lsn the next record will
+// take; recovery computes it as one past the last applied record, after
+// truncating torn tails.
+func Open(dir string, nextLSN uint64, opts Options) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	w := &Writer{
+		dir:     dir,
+		opts:    opts.withDefaults(),
+		nextLSN: nextLSN,
+		active:  make(map[int]*segment),
+		firsts:  make(map[int][]uint64),
+	}
+	for _, e := range entries {
+		if shard, first, ok := parseSegName(e.Name()); ok {
+			w.firsts[shard] = append(w.firsts[shard], first)
+		}
+	}
+	for shard, fs := range w.firsts {
+		sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+		first := fs[len(fs)-1]
+		f, err := os.OpenFile(w.segPath(shard, first), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			w.closeAll()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			w.closeAll()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		w.active[shard] = &segment{shard: shard, first: first, f: f, w: bufio.NewWriter(f), size: st.Size()}
+	}
+	if w.opts.Sync == SyncBatched {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+func (w *Writer) segPath(shard int, first uint64) string {
+	return filepath.Join(w.dir, segName(shard, first))
+}
+
+// NextLSN returns the lsn the next appended record will take.
+func (w *Writer) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// AppendRecord appends one logical record, fanned out over the given shard
+// parts (one frame per part, all sharing the record's single lsn), and
+// returns the lsn and total bytes written. Under SyncAlways every touched
+// segment is fsynced before the call returns. An error poisons the writer:
+// every later call returns it, so a half-appended record can never be
+// followed by acknowledged successors.
+func (w *Writer) AppendRecord(typ byte, time uint64, parts []Append) (uint64, int64, error) {
+	if len(parts) == 0 {
+		return 0, 0, fmt.Errorf("wal: append with no parts")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, 0, w.err
+	}
+	lsn := w.nextLSN
+	total := int64(0)
+	touched := make([]*segment, 0, len(parts))
+	for _, p := range parts {
+		seg, err := w.segmentFor(p.Shard, lsn)
+		if err != nil {
+			w.err = err
+			return 0, 0, err
+		}
+		frame := appendFrame(nil, typ, lsn, time, len(parts), p.Payload)
+		if _, err := seg.w.Write(frame); err != nil {
+			w.err = fmt.Errorf("wal: append: %w", err)
+			return 0, 0, w.err
+		}
+		seg.size += int64(len(frame))
+		total += int64(len(frame))
+		touched = append(touched, seg)
+	}
+	// Reach the OS before acknowledging so a process crash (as opposed to a
+	// power failure) loses nothing, whatever the sync policy.
+	for _, seg := range touched {
+		if err := seg.w.Flush(); err != nil {
+			w.err = fmt.Errorf("wal: flush: %w", err)
+			return 0, 0, w.err
+		}
+	}
+	switch w.opts.Sync {
+	case SyncAlways:
+		for _, seg := range touched {
+			if err := seg.f.Sync(); err != nil {
+				w.err = fmt.Errorf("wal: fsync: %w", err)
+				return 0, 0, w.err
+			}
+		}
+	case SyncBatched:
+		for _, seg := range touched {
+			w.markDirty(seg)
+		}
+	}
+	w.nextLSN = lsn + 1
+	return lsn, total, nil
+}
+
+// segmentFor returns the shard's active segment, sealing and rotating it
+// first when it has outgrown the segment size; lsn names the new segment.
+func (w *Writer) segmentFor(shard int, lsn uint64) (*segment, error) {
+	seg := w.active[shard]
+	if seg != nil && seg.size >= w.opts.SegmentBytes {
+		if err := w.seal(seg); err != nil {
+			return nil, err
+		}
+		seg = nil
+	}
+	if seg == nil {
+		f, err := os.OpenFile(w.segPath(shard, lsn), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: rotate: %w", err)
+		}
+		seg = &segment{shard: shard, first: lsn, f: f, w: bufio.NewWriter(f)}
+		w.active[shard] = seg
+		w.firsts[shard] = append(w.firsts[shard], lsn)
+	}
+	return seg, nil
+}
+
+// seal flushes, fsyncs and closes a segment (sealed segments are immutable,
+// so they must be durable through rotation regardless of the sync policy).
+func (w *Writer) seal(seg *segment) error {
+	if err := seg.w.Flush(); err != nil {
+		return fmt.Errorf("wal: seal: %w", err)
+	}
+	if err := seg.f.Sync(); err != nil {
+		return fmt.Errorf("wal: seal: %w", err)
+	}
+	if err := seg.f.Close(); err != nil {
+		return fmt.Errorf("wal: seal: %w", err)
+	}
+	w.unmarkDirty(seg)
+	delete(w.active, seg.shard)
+	return nil
+}
+
+func (w *Writer) markDirty(seg *segment) {
+	for _, d := range w.dirty {
+		if d == seg {
+			return
+		}
+	}
+	w.dirty = append(w.dirty, seg)
+}
+
+func (w *Writer) unmarkDirty(seg *segment) {
+	for i, d := range w.dirty {
+		if d == seg {
+			w.dirty = append(w.dirty[:i], w.dirty[i+1:]...)
+			return
+		}
+	}
+}
+
+// Sync flushes and fsyncs every segment with unsynced writes.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if w.err != nil {
+		return w.err
+	}
+	for _, seg := range w.dirty {
+		if err := seg.w.Flush(); err != nil {
+			w.err = fmt.Errorf("wal: flush: %w", err)
+			return w.err
+		}
+		if err := seg.f.Sync(); err != nil {
+			w.err = fmt.Errorf("wal: fsync: %w", err)
+			return w.err
+		}
+	}
+	w.dirty = w.dirty[:0]
+	return nil
+}
+
+func (w *Writer) flushLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.opts.BatchInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			_ = w.Sync()
+		}
+	}
+}
+
+// TruncateThrough deletes sealed segments all of whose records have
+// lsn <= upTo: a segment is deletable when the shard's next segment starts
+// at or below upTo+1. Active segments are never deleted. Called by the
+// checkpointer with the checkpoint's watermark.
+func (w *Writer) TruncateThrough(upTo uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for shard, fs := range w.firsts {
+		// All but the last entry are sealed; segment i covers
+		// [fs[i], fs[i+1]).
+		keep := 0
+		for keep < len(fs)-1 && fs[keep+1] <= upTo+1 {
+			if err := os.Remove(w.segPath(shard, fs[keep])); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: truncate: %w", err)
+			}
+			keep++
+		}
+		if keep > 0 {
+			w.firsts[shard] = append(fs[:0:0], fs[keep:]...)
+		}
+	}
+	return nil
+}
+
+// Close stops the background flusher, then flushes, fsyncs and closes every
+// active segment — a cleanly closed log is fully durable even under
+// SyncOff. The writer is unusable afterwards.
+func (w *Writer) Close() error {
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+		w.stop = nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	firstErr := w.err
+	for _, seg := range w.active {
+		if err := seg.w.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := seg.f.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := seg.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	w.active = nil
+	w.dirty = nil
+	if w.err == nil {
+		w.err = fmt.Errorf("wal: writer closed")
+	}
+	return firstErr
+}
+
+func (w *Writer) closeAll() {
+	for _, seg := range w.active {
+		seg.f.Close()
+	}
+}

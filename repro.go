@@ -49,7 +49,38 @@ import (
 	"repro/internal/txn"
 	"repro/internal/value"
 	"repro/internal/views"
+	"repro/internal/wal"
 )
+
+// SyncPolicy selects how eagerly a durable database (Options.Dir set) fsyncs
+// its write-ahead log. The zero value is SyncAlways.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every commit epoch before acknowledging it — one
+	// group fsync covers the whole batch — so an acknowledged commit
+	// survives both process and machine crashes.
+	SyncAlways SyncPolicy = iota
+	// SyncBatched acknowledges once the epoch's log records reach the
+	// operating system and fsyncs on a short background interval:
+	// acknowledged commits survive a process crash, and a machine crash
+	// loses at most the last interval's worth.
+	SyncBatched
+	// SyncOff never fsyncs during operation (Close still flushes and
+	// syncs): fastest, survives clean shutdown and process crashes only.
+	SyncOff
+)
+
+func (p SyncPolicy) wal() wal.SyncPolicy {
+	switch p {
+	case SyncBatched:
+		return wal.SyncBatched
+	case SyncOff:
+		return wal.SyncOff
+	default:
+		return wal.SyncAlways
+	}
+}
 
 // Options configure a database's integrity control subsystem.
 type Options struct {
@@ -110,6 +141,23 @@ type Options struct {
 	// comparison-guarded attributes of domain and existential constraints,
 	// so threshold-guarded alarm checks range-probe instead of scanning.
 	AutoIndex bool
+	// Dir, when non-empty, makes the database durable: every committed
+	// group-commit epoch is appended to a write-ahead log under Dir and made
+	// crash-safe per Sync, background checkpoints bound the log replayed at
+	// the next open, and Open recovers the directory's prior state — schema,
+	// relation contents, index definitions — before anything else. On a
+	// recovered database CreateRelation fails for relations that already
+	// exist; use EnsureRelation for setup code that must run on both fresh
+	// and reopened directories. See docs/RECOVERY.md for the guarantees.
+	Dir string
+	// Sync is the write-ahead-log sync policy of a durable database; the
+	// zero value is SyncAlways. Ignored when Dir is empty.
+	Sync SyncPolicy
+	// CheckpointBytes triggers an automatic background checkpoint once that
+	// many log bytes accumulate since the last one; 0 means the engine
+	// default (8 MiB), negative disables automatic checkpoints (DB.Checkpoint
+	// still works). Ignored when Dir is empty.
+	CheckpointBytes int64
 }
 
 // Validate reports the first invalid option: negative shard, retry or depth
@@ -143,6 +191,12 @@ func (o *Options) Validate() error {
 	if o.ProbeScanRatio < 0 {
 		return fmt.Errorf("repro: Options.ProbeScanRatio must be positive (or 0 for the default), got %d",
 			o.ProbeScanRatio)
+	}
+	if o.Sync < SyncAlways || o.Sync > SyncOff {
+		return fmt.Errorf("repro: Options.Sync must be SyncAlways, SyncBatched or SyncOff, got %d", o.Sync)
+	}
+	if o.Sync != SyncAlways && o.Dir == "" {
+		return fmt.Errorf("repro: Options.Sync requires Options.Dir (an in-memory database has no log to sync)")
 	}
 	for _, decl := range o.Indexes {
 		if _, _, _, err := index.ParseDecl(decl); err != nil {
@@ -228,7 +282,22 @@ func OpenChecked(opts *Options) (*DB, error) {
 	if shards <= 0 {
 		shards = storage.DefaultShards
 	}
-	store := storage.NewSharded(sch, shards)
+	var store *storage.Database
+	if o.Dir != "" {
+		s, err := storage.Open(o.Dir, sch, storage.DurOptions{
+			Shards:          shards,
+			Sync:            o.Sync.wal(),
+			CheckpointBytes: o.CheckpointBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		store = s
+		// A reopened directory's stored schema supersedes the empty one.
+		sch = store.Schema()
+	} else {
+		store = storage.NewSharded(sch, shards)
+	}
 	batch := o.GroupCommitBatch
 	if o.DisableGroupCommit {
 		batch = 1
@@ -245,7 +314,68 @@ func OpenChecked(opts *Options) (*DB, error) {
 		opts:  o,
 	}
 	db.sub = core.New(cat, db.coreOptions())
+	if o.Dir != "" {
+		// Recovered relations never pass through CreateRelation again, so
+		// their Options.Indexes declarations apply here (declarations naming
+		// not-yet-created relations still wait for their CreateRelation).
+		if err := db.applyDeclaredIndexes(); err != nil {
+			_ = store.Close()
+			return nil, err
+		}
+	}
 	return db, nil
+}
+
+// applyDeclaredIndexes builds the Options.Indexes declarations whose
+// relations already exist — the recovered relations of a durable reopen.
+// Indexes already defined (typically recovered ones) are kept.
+func (db *DB) applyDeclaredIndexes() error {
+	for _, decl := range db.opts.Indexes {
+		rel, attrs, ordered, err := index.ParseDecl(decl)
+		if err != nil {
+			continue // Validate reported malformed declarations
+		}
+		rs, ok := db.sch.Relation(rel)
+		if !ok {
+			continue
+		}
+		cols := make([]int, len(attrs))
+		for i, a := range attrs {
+			idx := rs.AttrIndex(a)
+			if idx < 0 {
+				return fmt.Errorf("repro: Options.Indexes %q: unknown attribute %q in %s", decl, a, rs)
+			}
+			cols[i] = idx
+		}
+		// Hash defs canonicalize to ascending column order; compare sorted
+		// signatures so a reordered declaration is still seen as existing.
+		want := append([]int(nil), cols...)
+		defs := db.store.IndexDefs(rel)
+		if ordered {
+			defs = db.store.OrderedIndexDefs(rel)
+		} else {
+			sort.Ints(want)
+		}
+		exists := false
+		for _, d := range defs {
+			if index.Sig(d) == index.Sig(want) {
+				exists = true
+				break
+			}
+		}
+		if exists {
+			continue
+		}
+		if ordered {
+			err = db.store.DefineOrderedIndex(rel, cols)
+		} else {
+			err = db.store.DefineIndex(rel, cols)
+		}
+		if err != nil {
+			return fmt.Errorf("repro: applying Options.Indexes: %w", err)
+		}
+	}
+	return nil
 }
 
 func (db *DB) coreOptions() core.Options {
@@ -432,6 +562,42 @@ func (db *DB) MustCreateRelation(ddl string) {
 		panic(err)
 	}
 }
+
+// EnsureRelation is CreateRelation for setup code that must run on both
+// fresh and reopened durable directories: if the relation already exists
+// with the same attributes (same names and types, in order), it is left
+// untouched — contents, indexes and all; if it exists with different
+// attributes, an error describes the mismatch; otherwise it is created.
+func (db *DB) EnsureRelation(ddl string) error {
+	rs, err := lang.ParseRelationSchema(ddl)
+	if err != nil {
+		return err
+	}
+	if cur, ok := db.sch.Relation(rs.Name); ok {
+		if cur.String() != rs.String() {
+			return fmt.Errorf("repro: relation %s already exists as %s", rs, cur)
+		}
+		return nil
+	}
+	return db.CreateRelation(ddl)
+}
+
+// Durable reports whether the database persists to disk (Options.Dir set).
+func (db *DB) Durable() bool { return db.store.Durable() }
+
+// Checkpoint writes a checkpoint of the current snapshot and truncates the
+// write-ahead log behind it, bounding the work the next Open must replay.
+// Durable databases checkpoint automatically as log bytes accumulate (see
+// Options.CheckpointBytes); an explicit call is useful before backup or
+// shutdown. Errors on an in-memory database. Safe to call concurrently with
+// submissions.
+func (db *DB) Checkpoint() error { return db.store.Checkpoint() }
+
+// Close flushes and fsyncs the write-ahead log and stops background
+// checkpointing, making the full committed state durable regardless of the
+// sync policy. The database must not be used afterwards. Close on an
+// in-memory database is a no-op.
+func (db *DB) Close() error { return db.store.Close() }
 
 // DefineConstraint registers a bare CL constraint with the default aborting
 // response (the paper's "default way" of Section 4). The trigger set is
