@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fragment"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/rules"
 	"repro/internal/translate"
@@ -605,6 +606,7 @@ func BenchmarkConcurrentSubmit(b *testing.B) {
 				stats := db.CommitStats()
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "txns/s")
 				b.ReportMetric(float64(retries)/float64(b.N), "retries/txn")
+				b.ReportMetric(float64(stats.Conflicts)/float64(b.N), "conflicts/txn")
 				b.ReportMetric(float64(stats.MergedCommits)/float64(b.N), "merged/txn")
 				if stats.Epochs > 0 {
 					b.ReportMetric(float64(stats.Commits)/float64(stats.Epochs), "txns/epoch")
@@ -711,6 +713,12 @@ func BenchmarkDurableCommit(b *testing.B) {
 			if stats.Epochs > 0 {
 				b.ReportMetric(float64(stats.Commits)/float64(stats.Epochs), "txns/epoch")
 			}
+			// The WAL's own latency histogram prices the sync policy:
+			// p50/p99 of the group fsync (absent for memory and sync=off).
+			if h := db.Metrics().Histograms["repro_wal_fsync_seconds"]; h.Count > 0 {
+				b.ReportMetric(h.Quantile(0.50)/1e6, "fsync_p50_ms")
+				b.ReportMetric(h.Quantile(0.99)/1e6, "fsync_p99_ms")
+			}
 		})
 	}
 }
@@ -726,7 +734,7 @@ func BenchmarkRecovery(b *testing.B) {
 	for _, txns := range []int{0, 1000, 4000, 16000} {
 		b.Run(fmt.Sprintf("txns=%d", txns), func(b *testing.B) {
 			dir := b.TempDir()
-			db := durableBenchOpen(b, dir)
+			db := durableBenchOpen(b, dir, nil)
 			if err := db.CreateRelation(`relation kv(k int, v int)`); err != nil {
 				b.Fatal(err)
 			}
@@ -757,26 +765,77 @@ func BenchmarkRecovery(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
+			var replayRecs, replayBytes uint64
 			for i := 0; i < b.N; i++ {
-				rdb := durableBenchOpen(b, dir)
+				reg := obs.NewRegistry()
+				rdb := durableBenchOpen(b, dir, reg)
 				if n, _ := rdb.Count("kv"); n != 4000+txns {
 					b.Fatalf("recovered %d tuples, want %d", n, 4000+txns)
 				}
 				if err := rdb.Close(); err != nil {
 					b.Fatal(err)
 				}
+				snap := reg.Snapshot()
+				replayRecs += snap.Counters["repro_recovery_replayed_records_total"]
+				replayBytes += snap.Counters["repro_recovery_replayed_bytes_total"]
+			}
+			b.StopTimer()
+			// Replay throughput from the recovery layer's own counters;
+			// txns=0 recovers from the checkpoint alone and reports none.
+			if sec := b.Elapsed().Seconds(); replayRecs > 0 && sec > 0 {
+				b.ReportMetric(float64(replayRecs)/sec, "replay_recs/s")
+				b.ReportMetric(float64(replayBytes)/1e6/sec, "replay_MB/s")
 			}
 		})
 	}
 }
 
 // durableBenchOpen opens dir with auto-checkpointing disabled, so the WAL
-// tail BenchmarkRecovery prepares stays exactly as long as prepared.
-func durableBenchOpen(b *testing.B, dir string) *DB {
+// tail BenchmarkRecovery prepares stays exactly as long as prepared. A
+// non-nil registry captures the open's recovery metrics.
+func durableBenchOpen(b *testing.B, dir string, reg *obs.Registry) *DB {
 	b.Helper()
-	db, err := OpenChecked(&Options{Dir: dir, Sync: SyncOff, CheckpointBytes: -1})
+	db, err := OpenChecked(&Options{Dir: dir, Sync: SyncOff, CheckpointBytes: -1, Metrics: reg})
 	if err != nil {
 		b.Fatal(err)
 	}
 	return db
+}
+
+// BenchmarkObsOverhead prices the always-on instrumentation on the
+// low-conflict insert workload: obs=on is the default path (private
+// registry, no tracer), obs=off strips the metric sinks entirely. The
+// on/off ns/op ratio is the number TestObsOverheadGuard bounds in CI.
+func BenchmarkObsOverhead(b *testing.B) {
+	const (
+		shards  = 4
+		parents = 100
+		workers = 8
+	)
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{
+		{"obs=on", false},
+		{"obs=off", true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			db := newShardedDBOpts(b, shards, parents, nil)
+			if v.disable {
+				db.store.SetObservability(nil, nil)
+			}
+			srcs := make([]string, b.N)
+			for i := range srcs {
+				srcs[i] = fmt.Sprintf(`begin insert(child%d, values[(%d, %d, 1)]); end`,
+					i%shards, i, i%parents)
+			}
+			b.ResetTimer()
+			for _, pr := range db.ExecParallel(srcs, workers) {
+				if pr.Err != nil {
+					b.Fatal(pr.Err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "txns/s")
+		})
+	}
 }

@@ -262,5 +262,48 @@ func runCompare(basePath, curPath string) error {
 		}
 		fmt.Printf("\nBench numbers are noisy on shared runners; re-record the baseline only if the slowdown is intended.\n")
 	}
+	printPipelineTable(baseBy, cur.Benchmarks)
 	return nil
+}
+
+// pipelineMetrics are the engine-internal rates the benchmarks lift out of
+// the metrics registry (see docs/OBSERVABILITY.md): commit-pipeline shape,
+// WAL fsync latency quantiles and recovery replay throughput. They get
+// their own table because they explain headline movements — a txns/s drop
+// with a txns/epoch drop is a batching regression, not a code slowdown.
+var pipelineMetrics = []string{
+	"txns/epoch", "retries/txn", "conflicts/txn", "merged/txn",
+	"fsync_p50_ms", "fsync_p99_ms", "replay_recs/s", "replay_MB/s",
+}
+
+// printPipelineTable renders one row per (benchmark, pipeline metric) pair
+// present in the current run; baselines missing the metric render "—".
+func printPipelineTable(baseBy map[string]Benchmark, cur []Benchmark) {
+	var rows [][4]string
+	for _, c := range cur {
+		base, hasBase := baseBy[c.Name]
+		for _, m := range pipelineMetrics {
+			cv, ok := c.Metrics[m]
+			if !ok {
+				continue
+			}
+			baseCol, delta := "—", "—"
+			if bv, ok := base.Metrics[m]; hasBase && ok {
+				baseCol = fmt.Sprintf("%.3g", bv)
+				if bv != 0 {
+					delta = fmt.Sprintf("%+.1f%%", (cv-bv)/bv*100)
+				}
+			}
+			rows = append(rows, [4]string{c.Name + " · " + m, baseCol, fmt.Sprintf("%.3g", cv), delta})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Printf("\n### Pipeline metrics (from the obs registry)\n\n")
+	fmt.Printf("| benchmark · metric | baseline | current | Δ |\n")
+	fmt.Printf("|---|---:|---:|---:|\n")
+	for _, r := range rows {
+		fmt.Printf("| %s | %s | %s | %s |\n", r[0], r[1], r[2], r[3])
+	}
 }

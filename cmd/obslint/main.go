@@ -1,0 +1,184 @@
+// Command obslint is a vet-style static check for the metric registrations
+// in this repository. The obs registry already enforces its naming
+// convention at runtime by panicking, but a metric behind a rarely taken
+// branch (a sync policy, a recovery path) can hide a bad name from every
+// test; obslint finds string-literal Counter/Gauge/Histogram registrations
+// at parse time and checks them all.
+//
+// Checks:
+//   - names match ^repro_(txn|storage|wal|index|checkpoint|recovery)_[a-z0-9_]+$
+//   - counters end in _total; histograms in _seconds, _bytes or _size;
+//     gauges in neither (mirrors internal/obs's runtime rule)
+//   - the same name is never registered as two different kinds
+//   - each name has exactly one registration site (metrics have one owner;
+//     the registry's get-or-create semantics would silently alias them)
+//
+// Test files are skipped: the obs package's own tests register invalid
+// names on purpose to pin the runtime panics.
+//
+// Usage: obslint [dir ...]   (default: the current directory tree)
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var nameRe = regexp.MustCompile(`^repro_(txn|storage|wal|index|checkpoint|recovery)_[a-z0-9_]+$`)
+
+var histSuffixes = []string{"_seconds", "_bytes", "_size"}
+
+// site is one string-literal registration call.
+type site struct {
+	pos  token.Position
+	kind string // Counter, Gauge or Histogram
+	name string
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	diags, err := lintDirs(dirs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obslint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// lintDirs walks the given trees, collects registration sites from every
+// non-test .go file, and returns sorted "file:line: message" diagnostics.
+func lintDirs(dirs []string) ([]string, error) {
+	fset := token.NewFileSet()
+	var sites []site
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				switch d.Name() {
+				case "testdata", "vendor", ".git":
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			sites = append(sites, collect(fset, f)...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return check(sites), nil
+}
+
+// collect finds Counter/Gauge/Histogram calls whose sole argument is a
+// string literal. Calls forwarding a variable are invisible to obslint by
+// design — the runtime check still covers them.
+func collect(fset *token.FileSet, f *ast.File) []site {
+	var out []site
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind := sel.Sel.Name
+		if kind != "Counter" && kind != "Gauge" && kind != "Histogram" {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		out = append(out, site{pos: fset.Position(lit.Pos()), kind: kind, name: name})
+		return true
+	})
+	return out
+}
+
+// check runs every rule over the collected sites.
+func check(sites []site) []string {
+	var diags []string
+	add := func(s site, format string, args ...any) {
+		diags = append(diags, fmt.Sprintf("%s: %s", s.pos, fmt.Sprintf(format, args...)))
+	}
+	byName := map[string][]site{}
+	for _, s := range sites {
+		byName[s.name] = append(byName[s.name], s)
+		if !nameRe.MatchString(s.name) {
+			add(s, "metric %q does not match %s", s.name, nameRe)
+			continue
+		}
+		hasHistSuffix := false
+		for _, suf := range histSuffixes {
+			if strings.HasSuffix(s.name, suf) {
+				hasHistSuffix = true
+			}
+		}
+		switch s.kind {
+		case "Counter":
+			if !strings.HasSuffix(s.name, "_total") {
+				add(s, "counter %q must end in _total", s.name)
+			}
+		case "Histogram":
+			if !hasHistSuffix {
+				add(s, "histogram %q must end in one of %v", s.name, histSuffixes)
+			}
+		case "Gauge":
+			if strings.HasSuffix(s.name, "_total") || hasHistSuffix {
+				add(s, "gauge %q must not carry a counter or histogram suffix", s.name)
+			}
+		}
+	}
+	for name, ss := range byName {
+		if len(ss) < 2 {
+			continue
+		}
+		kinds := map[string]bool{}
+		for _, s := range ss {
+			kinds[s.kind] = true
+		}
+		first := ss[0]
+		for _, s := range ss[1:] {
+			if len(kinds) > 1 {
+				add(s, "metric %q registered as %s here but as %s at %s", name, s.kind, first.kind, first.pos)
+			} else {
+				add(s, "metric %q already registered at %s (metrics have one owning site)", name, first.pos)
+			}
+		}
+	}
+	sort.Strings(diags)
+	return diags
+}

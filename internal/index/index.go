@@ -417,20 +417,61 @@ func (s *Set) WithOrdered(x *Ordered) *Set {
 // Apply derives the successor set after a committed net delta, applying the
 // delta to every index, hash and ordered; O(indexes × delta).
 func (s *Set) Apply(ins, del *relation.Relation) *Set {
+	n, _ := s.ApplyN(ins, del)
+	return n
+}
+
+// ApplyN is Apply reporting how many of the derived indexes compacted while
+// absorbing the delta (their layer stack folded back to a base run instead
+// of growing) — the signal the storage layer counts for the
+// repro_index_compactions_total metric. A successor whose depth did not
+// exceed its predecessor's is a compaction: Apply otherwise always stacks
+// one layer, and an untouched index is returned pointer-identical.
+func (s *Set) ApplyN(ins, del *relation.Relation) (*Set, int) {
 	if s.Len() == 0 {
-		return s
+		return s, 0
 	}
+	compacted := 0
 	n := &Set{by: make(map[string]*Index, len(s.by))}
 	for sig, x := range s.by {
-		n.by[sig] = x.Apply(ins, del)
+		nx := x.Apply(ins, del)
+		if nx != x && nx.depth <= x.depth {
+			compacted++
+		}
+		n.by[sig] = nx
 	}
 	if len(s.ord) > 0 {
 		n.ord = make(map[string]*Ordered, len(s.ord))
 		for sig, x := range s.ord {
-			n.ord[sig] = x.Apply(ins, del)
+			nx := x.Apply(ins, del)
+			if nx != x && nx.depth <= x.depth {
+				compacted++
+			}
+			n.ord[sig] = nx
 		}
 	}
-	return n
+	return n, compacted
+}
+
+// MaxDepth returns the deepest layer stack across the set's indexes — a
+// health signal (amortized compaction bounds it) surfaced as the
+// repro_index_max_depth gauge. Nil-receiver-safe.
+func (s *Set) MaxDepth() int {
+	if s == nil {
+		return 0
+	}
+	max := 0
+	for _, x := range s.by {
+		if x.depth > max {
+			max = x.depth
+		}
+	}
+	for _, x := range s.ord {
+		if x.depth > max {
+			max = x.depth
+		}
+	}
+	return max
 }
 
 // Rebuild reconstructs every index in the set from the given relation

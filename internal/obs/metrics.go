@@ -1,0 +1,378 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// numStripes is the number of padded cells a counter or histogram spreads
+// its updates over. Power of two so the stripe pick is a shift+mask.
+const numStripes = 16
+
+// stripeIdx picks a stripe from the address of a caller-local variable.
+// Goroutine stacks are disjoint, so concurrent writers land on different
+// stripes with high probability; correctness never depends on the pick
+// (readers sum every stripe), so stack moves and reuse are harmless.
+func stripeIdx() uint64 {
+	var b byte
+	p := uintptr(unsafe.Pointer(&b))
+	return (uint64(p) * 0x9e3779b97f4a7c15) >> (64 - 4) % numStripes
+}
+
+// cell is one cache-line-padded counter stripe.
+type cell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing striped counter. All methods are
+// safe on a nil receiver (no-ops / zero), which is the disabled fast path.
+type Counter struct {
+	stripes [numStripes]cell
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.stripes[stripeIdx()].v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total. It is monotone but, under concurrent
+// writers, not a linearizable point read.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var t uint64
+	for i := range c.stripes {
+		t += c.stripes[i].v.Load()
+	}
+	return t
+}
+
+// Gauge is a settable instantaneous value (queue depths, occupancy).
+// Updates are infrequent relative to counters, so it is a single atomic.
+// Safe on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (negative to decrement).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of histogram buckets: bucket i counts values
+// whose bit length is i, so bucket 0 is exactly zero and bucket i (i>=1)
+// covers [2^(i-1), 2^i). 64-bit values need buckets 0..64.
+const histBuckets = 65
+
+// histCell is one histogram stripe. The counts array spans several cache
+// lines regardless, so only the stripe boundary is padded.
+type histCell struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Uint64
+	_      [48]byte
+}
+
+// Histogram is a fixed-bucket power-of-two histogram. Latency histograms
+// (name ending _seconds) observe nanoseconds; size histograms (_bytes,
+// _size) observe raw magnitudes. Safe on a nil receiver.
+type Histogram struct {
+	stripes [numStripes]histCell
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	s := &h.stripes[stripeIdx()]
+	s.counts[bits.Len64(v)].Add(1)
+	s.sum.Add(v)
+}
+
+// Snapshot sums the stripes into an immutable view.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		for b := range st.counts {
+			s.Counts[b] += st.counts[b].Load()
+		}
+		s.Sum += st.sum.Load()
+	}
+	for _, c := range s.Counts {
+		s.Count += c
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time histogram view.
+type HistSnapshot struct {
+	Counts [histBuckets]uint64 // Counts[i] = observations with bit length i
+	Count  uint64
+	Sum    uint64
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// inside the bucket holding the target rank. Returns 0 for an empty
+// histogram.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == histBuckets-1 {
+			lo := float64(0)
+			if i >= 1 {
+				lo = float64(uint64(1) << uint(i-1))
+			}
+			hi := float64(BucketUpper(i))
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+				if frac < 0 {
+					frac = 0
+				}
+				if frac > 1 {
+					frac = 1
+				}
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return 0
+}
+
+// Mean returns the arithmetic mean of the observations, 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// nameRE is the engine-wide naming convention; cmd/obslint enforces the
+// same shape statically over the source tree.
+var nameRE = regexp.MustCompile(`^repro_(txn|storage|wal|index|checkpoint|recovery)_[a-z0-9_]+$`)
+
+// checkName panics on a convention violation: metric names are compile-time
+// string literals, so a bad name is a programmer error, not input.
+func checkName(name string, kind metricKind) {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: metric %q violates naming convention repro_<layer>_<what>", name))
+	}
+	total := strings.HasSuffix(name, "_total")
+	sized := strings.HasSuffix(name, "_seconds") || strings.HasSuffix(name, "_bytes") || strings.HasSuffix(name, "_size")
+	switch kind {
+	case kindCounter:
+		if !total {
+			panic(fmt.Sprintf("obs: counter %q must end in _total", name))
+		}
+	case kindHistogram:
+		if !sized {
+			panic(fmt.Sprintf("obs: histogram %q must end in _seconds, _bytes or _size", name))
+		}
+	case kindGauge:
+		if total || sized {
+			panic(fmt.Sprintf("obs: gauge %q must not use a counter/histogram unit suffix", name))
+		}
+	}
+}
+
+type entry struct {
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry is a named set of metrics. Lookup is get-or-create and
+// idempotent — asking twice for one name returns the same metric, so
+// several engine instances can share a registry — but re-requesting a name
+// as a different kind panics. A nil *Registry is the disabled registry:
+// every lookup returns a nil metric whose methods are no-ops.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*entry)}
+}
+
+func (r *Registry) lookup(name string, kind metricKind) *entry {
+	checkName(name, kind)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.m[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{kind: kind}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	case kindHistogram:
+		e.h = &Histogram{}
+	}
+	r.m[name] = e
+	return e
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindCounter).c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindGauge).g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindHistogram).h
+}
+
+// Snapshot is a point-in-time structured view of a registry, suitable for
+// JSON encoding and programmatic inspection (DB.Metrics returns one).
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered metric. Under concurrent writers the
+// values are individually monotone but not a consistent cut.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	entries := make(map[string]*entry, len(r.m))
+	for name, e := range r.m {
+		entries[name] = e
+	}
+	r.mu.Unlock()
+	s.Counters = make(map[string]uint64)
+	s.Gauges = make(map[string]int64)
+	s.Histograms = make(map[string]HistSnapshot)
+	for name, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			s.Counters[name] = e.c.Value()
+		case kindGauge:
+			s.Gauges[name] = e.g.Value()
+		case kindHistogram:
+			s.Histograms[name] = e.h.Snapshot()
+		}
+	}
+	return s
+}
+
+// names returns the registered metric names in sorted order (exposition
+// stability).
+func (r *Registry) names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.m))
+	for name := range r.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

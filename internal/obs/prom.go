@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WriteProm writes every metric in r in the Prometheus text exposition
+// format (version 0.0.4). Histograms whose name ends in _seconds observe
+// nanoseconds internally and are converted to seconds here (bucket bounds
+// and sum); other histograms are exposed verbatim. Bucket lines stop at the
+// highest populated bucket (plus the mandatory +Inf), so an idle histogram
+// is two lines, not sixty-seven.
+func WriteProm(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, name := range r.names() {
+		r.mu.Lock()
+		e := r.m[name]
+		r.mu.Unlock()
+		if e == nil {
+			continue
+		}
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, e.c.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", name, name, e.g.Value())
+		case kindHistogram:
+			writePromHist(bw, name, e.h.Snapshot())
+		}
+	}
+	return bw.Flush()
+}
+
+func writePromHist(w io.Writer, name string, s HistSnapshot) {
+	scale := 1.0
+	if strings.HasSuffix(name, "_seconds") {
+		scale = 1e-9
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	top := -1
+	for i, c := range s.Counts {
+		if c != 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += s.Counts[i]
+		le := strconv.FormatFloat(float64(BucketUpper(i))*scale, 'g', -1, 64)
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	sum := strconv.FormatFloat(float64(s.Sum)*scale, 'g', -1, 64)
+	fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, sum, name, s.Count)
+}
+
+// expvarOnce guards against double publication, which expvar.Publish
+// treats as a fatal error.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar publishes the registry under the given expvar name (its
+// value is the JSON encoding of Snapshot). Re-publishing a name this
+// package already published replaces nothing and is a no-op; a name taken
+// by someone else panics, per expvar semantics.
+func PublishExpvar(name string, r *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	expvarPublished[name] = true
+}

@@ -30,7 +30,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pmap"
 	"repro/internal/relation"
 	"repro/internal/schema"
@@ -109,6 +111,11 @@ func (d *Database) Checkpoint() error {
 	du.ckptMu.Lock()
 	defer du.ckptMu.Unlock()
 
+	met, tr := d.met, d.tr
+	var tStart time.Time
+	if met.ckptSeconds != nil || tr != nil {
+		tStart = time.Now()
+	}
 	snap := d.snap.Load()
 	fileID := du.nextFile
 	du.nextFile++
@@ -116,6 +123,9 @@ func (d *Database) Checkpoint() error {
 	chainBase := du.lastFull
 	if full {
 		chainBase = fileID
+	}
+	if tr != nil {
+		tr.Event(obs.Event{Kind: obs.EvCheckpointStart, Time: snap.time, LSN: snap.lsn})
 	}
 
 	tmp := filepath.Join(du.dir, ckptName(fileID)+".tmp")
@@ -232,6 +242,22 @@ func (d *Database) Checkpoint() error {
 		}
 	}
 	du.bytes.Store(0)
+	total := uint64(dirOff) + uint64(len(dir)) + uint64(len(footer))
+	met.ckptRuns.Inc()
+	if full {
+		met.ckptFull.Inc()
+	}
+	met.ckptBytes.Observe(total)
+	var dur time.Duration
+	if met.ckptSeconds != nil || tr != nil {
+		dur = time.Since(tStart)
+	}
+	if met.ckptSeconds != nil {
+		met.ckptSeconds.Observe(uint64(dur))
+	}
+	if tr != nil {
+		tr.Event(obs.Event{Kind: obs.EvCheckpointEnd, Time: snap.time, LSN: snap.lsn, Bytes: total, Dur: dur, OK: full})
+	}
 	if err := du.w.TruncateThrough(snap.lsn); err != nil {
 		return err
 	}

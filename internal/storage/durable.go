@@ -28,13 +28,16 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/schema"
 	"repro/internal/value"
@@ -76,6 +79,14 @@ type DurOptions struct {
 	// incremental, bounding the chain a recovery must read; 0 means the
 	// default (8).
 	FullEvery int
+	// Metrics, when non-nil, receives every engine metric: the WAL writer,
+	// the recovery replay and the opened database all resolve their handles
+	// from it. Nil disables metrics (Open still builds a private registry for
+	// the database so Stats keeps working; the WAL stays uninstrumented).
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives lifecycle events from the WAL writer,
+	// recovery replay and the opened database's commit pipeline.
+	Tracer obs.Tracer
 }
 
 const (
@@ -97,7 +108,10 @@ func (o DurOptions) withDefaults() DurOptions {
 }
 
 func (o DurOptions) walOptions() wal.Options {
-	return wal.Options{Sync: o.Sync, SegmentBytes: o.SegmentBytes, BatchInterval: o.BatchInterval}
+	return wal.Options{
+		Sync: o.Sync, SegmentBytes: o.SegmentBytes, BatchInterval: o.BatchInterval,
+		Metrics: wal.NewMetrics(o.Metrics), Tracer: o.Tracer,
+	}
 }
 
 // durability is the sidecar state of a durable Database.
@@ -366,9 +380,11 @@ func (du *durability) maybeCheckpoint(d *Database) {
 	go func() {
 		defer du.wg.Done()
 		defer du.inCkpt.Store(false)
-		// A failed background checkpoint leaves the WAL intact — recovery
-		// just replays more — so the error is dropped; explicit Checkpoint
-		// calls surface theirs.
-		_ = d.Checkpoint()
+		pprof.Do(context.Background(), pprof.Labels("stage", "checkpointer"), func(context.Context) {
+			// A failed background checkpoint leaves the WAL intact — recovery
+			// just replays more — so the error is dropped; explicit Checkpoint
+			// calls surface theirs.
+			_ = d.Checkpoint()
+		})
 	}()
 }

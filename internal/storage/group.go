@@ -31,10 +31,14 @@
 package storage
 
 import (
+	"context"
+	"runtime/pprof"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -108,26 +112,31 @@ func (d *Database) newPending(c *Commit) *pending {
 // drainer's own pending (a member of the first epoch), which must not be
 // chosen as a publish delegate — it is busy draining.
 func (d *Database) drain(leader *pending) {
-	for {
-		d.gq.mu.Lock()
-		n := len(d.gq.queue)
-		if n == 0 {
-			d.gq.draining = false
+	// The drainer role migrates between committer goroutines; the pprof
+	// label attributes its CPU time (validation, derivation, WAL appends)
+	// to the pipeline stage regardless of which goroutine holds the role.
+	pprof.Do(context.Background(), pprof.Labels("stage", "drainer"), func(context.Context) {
+		for {
+			d.gq.mu.Lock()
+			n := len(d.gq.queue)
+			if n == 0 {
+				d.gq.draining = false
+				d.gq.mu.Unlock()
+				return
+			}
+			if d.maxEpoch > 0 && n > d.maxEpoch {
+				n = d.maxEpoch
+			}
+			batch := d.gq.queue[:n:n]
+			if n == len(d.gq.queue) {
+				d.gq.queue = nil
+			} else {
+				d.gq.queue = append([]*pending(nil), d.gq.queue[n:]...)
+			}
 			d.gq.mu.Unlock()
-			return
+			d.processEpoch(batch, leader)
 		}
-		if d.maxEpoch > 0 && n > d.maxEpoch {
-			n = d.maxEpoch
-		}
-		batch := d.gq.queue[:n:n]
-		if n == len(d.gq.queue) {
-			d.gq.queue = nil
-		} else {
-			d.gq.queue = append([]*pending(nil), d.gq.queue[n:]...)
-		}
-		d.gq.mu.Unlock()
-		d.processEpoch(batch, leader)
-	}
+	})
 }
 
 // processEpoch runs stage V for one batch and hands stage P to a member.
@@ -151,6 +160,12 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 	// Every member is validated against the same published snapshot; the
 	// shards' shadow state overrides it with the successors of epochs that
 	// are derived but not yet swapped in.
+	met, tr := d.met, d.tr
+	met.epochTxns.Observe(uint64(len(batch)))
+	var tValidate time.Time
+	if met.stageValidate != nil {
+		tValidate = time.Now()
+	}
 	snap := d.snap.Load()
 	agg := make(map[string]*relAgg)
 	accepted := make([]*pending, 0, len(batch))
@@ -171,12 +186,28 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 			if cf != nil {
 				p.conflict = cf
 				p.merged, p.intra = false, false
-				d.conflicts.Add(1)
+				met.conflicts.Inc()
+				if cf.Relation == "" {
+					// validateShard refused the stale base outright.
+					met.snapshotTooOld.Inc()
+					if tr != nil {
+						tr.Event(obs.Event{Kind: obs.EvSnapshotTooOld, Txn: p.c.Label, Time: cf.Time})
+					}
+				}
+				if tr != nil {
+					tr.Event(obs.Event{Kind: obs.EvTxnValidate, Txn: p.c.Label, OK: false, Relation: cf.Relation, Key: cf.Key, Time: cf.Time})
+				}
 				continue
+			}
+			if tr != nil {
+				tr.Event(obs.Event{Kind: obs.EvTxnValidate, Txn: p.c.Label, OK: true})
 			}
 		}
 		accepted = append(accepted, p)
 		p.foldWrites(agg)
+	}
+	if met.stageValidate != nil {
+		met.stageValidate.Observe(uint64(time.Since(tValidate)))
 	}
 
 	// Reserve a contiguous block of logical times: member i of the epoch
@@ -195,6 +226,7 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 		for _, cf := range lateConflicts {
 			cf.Time = last // the winning member commits within this epoch
 		}
+		met.inflight.Add(1) // derived-but-unpublished from here to the swap
 	}
 
 	// Derive one successor instance and one index push per written
@@ -203,10 +235,15 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 	// This pass is pure — the shadow state is only written after the WAL
 	// record lands, so a failed append leaves nothing for later epochs to
 	// build on.
+	var tDerive time.Time
+	if met.stageDerive != nil {
+		tDerive = time.Now()
+	}
 	install := make(map[string]*relation.Relation, len(agg))
 	var derived map[string]*index.Set
 	var recIns, recDel map[string]*relation.Relation
 	epochWrites := make(map[string]bool, len(agg))
+	maxDepth, anyIdx := 0, false
 	for name, a := range agg {
 		sh := d.shards[a.home]
 		baseIdx := sh.latestIdx[name]
@@ -219,6 +256,7 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 			inst = a.inst.Seal()
 			if baseIdx.Len() > 0 {
 				set = baseIdx.Rebuild(inst)
+				met.idxCompactions.Inc() // a rebuild is a full compaction
 			}
 		} else {
 			base := sh.latest[name]
@@ -240,7 +278,11 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 			}
 			inst = succ.Seal()
 			if baseIdx.Len() > 0 {
-				set = baseIdx.Apply(a.ins, a.del)
+				var nc int
+				set, nc = baseIdx.ApplyN(a.ins, a.del)
+				if nc > 0 {
+					met.idxCompactions.Add(uint64(nc))
+				}
 			}
 			if a.ins != nil {
 				if recIns == nil {
@@ -261,8 +303,20 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 				derived = make(map[string]*index.Set, len(agg))
 			}
 			derived[name] = set
+			if met.idxMaxDepth != nil {
+				anyIdx = true
+				if dep := set.MaxDepth(); dep > maxDepth {
+					maxDepth = dep
+				}
+			}
 		}
 		epochWrites[name] = true
+	}
+	if anyIdx {
+		met.idxMaxDepth.Set(int64(maxDepth))
+	}
+	if met.stageDerive != nil {
+		met.stageDerive.Observe(uint64(time.Since(tDerive)))
 	}
 
 	// Durable: append the epoch's WAL record (one part per written shard,
@@ -274,7 +328,21 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 	var recLSN uint64
 	var walBytes int64
 	if k > 0 && len(agg) > 0 && d.dur != nil {
+		var tWAL time.Time
+		if met.stageWAL != nil || tr != nil {
+			tWAL = time.Now()
+		}
 		recLSN, walBytes, walErr = d.dur.appendEpoch(last, agg, install, recIns, recDel)
+		var dWAL time.Duration
+		if met.stageWAL != nil || tr != nil {
+			dWAL = time.Since(tWAL)
+		}
+		if met.stageWAL != nil {
+			met.stageWAL.Observe(uint64(dWAL))
+		}
+		if walErr == nil && tr != nil {
+			tr.Event(obs.Event{Kind: obs.EvWALAppend, Epoch: last, LSN: recLSN, Bytes: uint64(walBytes), Dur: dWAL})
+		}
 	}
 
 	if walErr == nil && k > 0 && len(epochWrites) > 0 {
@@ -341,6 +409,10 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 	// counts nothing.
 	publish := func() {
 		if k > 0 {
+			var tPublish time.Time
+			if met.stagePublish != nil || tr != nil {
+				tPublish = time.Now()
+			}
 			d.pubMu.Lock()
 			for d.snap.Load().time != first-1 {
 				d.pubCond.Wait()
@@ -353,20 +425,34 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 			d.snap.Store(next)
 			d.pubCond.Broadcast()
 			d.pubMu.Unlock()
+			met.inflight.Add(-1)
 			if walErr == nil {
-				d.commits.Add(k)
-				d.epochs.Add(1)
+				met.commits.Add(k)
+				met.epochs.Inc()
 				for _, p := range accepted {
 					if len(p.shards) > 1 {
-						d.crossShard.Add(1)
+						met.crossShard.Inc()
 					}
 					if p.merged {
-						d.merged.Add(1)
+						met.merged.Inc()
 					}
 					if p.intra {
-						d.intraMerged.Add(1)
+						met.intraMerged.Inc()
+					}
+					if tr != nil {
+						tr.Event(obs.Event{Kind: obs.EvTxnCommit, Txn: p.c.Label, Time: p.time, Epoch: last})
 					}
 				}
+			}
+			var dPublish time.Duration
+			if met.stagePublish != nil || tr != nil {
+				dPublish = time.Since(tPublish)
+			}
+			if met.stagePublish != nil {
+				met.stagePublish.Observe(uint64(dPublish))
+			}
+			if tr != nil {
+				tr.Event(obs.Event{Kind: obs.EvEpochPublish, Epoch: last, N: k, Dur: dPublish})
 			}
 		}
 		for _, p := range batch {

@@ -19,8 +19,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/schema"
 	"repro/internal/wal"
@@ -34,6 +36,7 @@ import (
 // Checkpoint, Close and crash-safety per opts.Sync.
 func Open(dir string, sch *schema.Database, opts DurOptions) (*Database, error) {
 	opts = opts.withDefaults()
+	tOpen := time.Now()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
 	}
@@ -42,9 +45,12 @@ func Open(dir string, sch *schema.Database, opts DurOptions) (*Database, error) 
 	if err != nil {
 		return nil, err
 	}
+	met := newStoreMetrics(opts.Metrics)
 	rs := &replayState{
 		sch:  sch,
 		rels: make(map[string]*relation.Relation),
+		met:  met,
+		tr:   opts.Tracer,
 	}
 	du := &durability{dir: dir, opts: opts, live: map[uint64]bool{}, nextFile: 1}
 	if ck != nil {
@@ -82,6 +88,13 @@ func Open(dir string, sch *schema.Database, opts DurOptions) (*Database, error) 
 	// conservatively refused.
 	d := NewSharded(rs.sch, opts.Shards)
 	d.dur = du
+	if opts.Metrics != nil || opts.Tracer != nil {
+		reg := opts.Metrics
+		if reg == nil {
+			reg = d.Registry() // keep the private registry, attach the tracer
+		}
+		d.SetObservability(reg, opts.Tracer)
+	}
 	rels := make(map[string]*relation.Relation, len(rs.rels))
 	for name, r := range rs.rels {
 		rels[name] = r.Seal()
@@ -96,6 +109,7 @@ func Open(dir string, sch *schema.Database, opts DurOptions) (*Database, error) 
 		sh.truncated = rs.time
 	}
 	d.snap.Store(&Snapshot{sch: rs.sch, rels: rels, idx: idx, time: rs.time, lsn: rs.lsn})
+	met.openSeconds.Observe(uint64(time.Since(tOpen)))
 	return d, nil
 }
 
@@ -107,6 +121,9 @@ type replayState struct {
 	ordered [][]byte
 	time    uint64
 	lsn     uint64 // last applied LSN
+
+	met *storeMetrics // replay counters (all-nil set when metrics are off)
+	tr  obs.Tracer
 }
 
 // replayWAL scans the segment files, applies every complete record with
@@ -139,6 +156,7 @@ func replayWAL(dir string, rs *replayState) error {
 	}
 
 	next := rs.lsn + 1
+	var nRecs, nBytes, lastEmit uint64
 	for {
 		var holders []*cursor
 		for _, c := range cursors {
@@ -163,11 +181,22 @@ func replayWAL(dir string, rs *replayState) error {
 			if err := applyRecord(rs, c.recs[c.i]); err != nil {
 				return err
 			}
+			nBytes += uint64(len(c.recs[c.i].Payload))
+			nRecs++
 			c.i++
 		}
 		rs.lsn = next
 		rs.time = rec.Time
 		next++
+		if rs.tr != nil && nRecs-lastEmit >= 1024 {
+			rs.tr.Event(obs.Event{Kind: obs.EvRecoveryReplay, N: nRecs, Bytes: nBytes, LSN: rs.lsn})
+			lastEmit = nRecs
+		}
+	}
+	rs.met.replayRecords.Add(nRecs)
+	rs.met.replayBytes.Add(nBytes)
+	if rs.tr != nil && nRecs > 0 {
+		rs.tr.Event(obs.Event{Kind: obs.EvRecoveryReplay, N: nRecs, Bytes: nBytes, LSN: rs.lsn})
 	}
 
 	// Physical truncation: every frame past the applied prefix goes, so the

@@ -59,6 +59,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/schema"
 )
@@ -218,6 +219,9 @@ type Commit struct {
 	Changed  map[string]*relation.Relation
 	Ins      map[string]*relation.Relation
 	Del      map[string]*relation.Relation
+	// Label is an optional diagnostic identifier (the transaction's label)
+	// carried into tracer events; it plays no role in validation.
+	Label string
 }
 
 // Conflict explains a failed first-committer-wins validation: a transaction
@@ -309,12 +313,12 @@ type Database struct {
 	maxEpoch int
 	retain   uint64
 
-	commits     atomic.Uint64
-	conflicts   atomic.Uint64
-	crossShard  atomic.Uint64
-	merged      atomic.Uint64
-	epochs      atomic.Uint64
-	intraMerged atomic.Uint64
+	// Observability (see obs.go): the registry the metric handles in met
+	// were resolved from (Stats() is a thin view over it), and the optional
+	// lifecycle tracer. met is never nil; reg and tr may be.
+	reg *obs.Registry
+	met *storeMetrics
+	tr  obs.Tracer
 
 	// dur is the durability sidecar (WAL writer + checkpoint state) of a
 	// database built by Open; nil for the in-memory constructors.
@@ -342,6 +346,10 @@ func NewSharded(sch *schema.Database, shards int) *Database {
 	for i := range db.shards {
 		db.shards[i] = &shard{}
 	}
+	// Metrics are on by default — Stats() is a view over the registry — and
+	// re-pointable (or disabled) via SetObservability before concurrent use.
+	db.reg = obs.NewRegistry()
+	db.met = newStoreMetrics(db.reg)
 	db.snap.Store(&Snapshot{sch: sch, rels: rels})
 	return db
 }
@@ -372,15 +380,19 @@ func ShardIndex(name string, n int) int {
 	return int(h.Sum32() % uint32(n))
 }
 
-// Stats returns a snapshot of the commit counters.
+// Stats returns a snapshot of the commit counters. Since the obs migration
+// this is a thin view over the metrics registry (the counters live there,
+// striped); with observability disabled via SetObservability(nil, ...) it
+// reads zero.
 func (d *Database) Stats() Stats {
+	m := d.met
 	return Stats{
-		Commits:           d.commits.Load(),
-		Conflicts:         d.conflicts.Load(),
-		CrossShardCommits: d.crossShard.Load(),
-		MergedCommits:     d.merged.Load(),
-		Epochs:            d.epochs.Load(),
-		IntraBatchMerges:  d.intraMerged.Load(),
+		Commits:           m.commits.Value(),
+		Conflicts:         m.conflicts.Value(),
+		CrossShardCommits: m.crossShard.Value(),
+		MergedCommits:     m.merged.Value(),
+		Epochs:            m.epochs.Value(),
+		IntraBatchMerges:  m.intraMerged.Value(),
 	}
 }
 
@@ -790,6 +802,12 @@ func (d *Database) CommitValidated(c Commit) (uint64, *Conflict, error) {
 		d.gq.draining = true
 	}
 	d.gq.mu.Unlock()
+	// The enqueue event is the one tracer callback emitted while holding no
+	// lock at all (the queue is claimed, the drain has not started), so a
+	// test tracer may block here to steer commits into a shared epoch.
+	if tr := d.tr; tr != nil {
+		tr.Event(obs.Event{Kind: obs.EvTxnEnqueue, Txn: c.Label, Time: c.BaseTime})
+	}
 	if lead {
 		d.drain(p)
 	}
@@ -872,6 +890,10 @@ func (d *Database) Clone() *Database {
 	cur := d.Snapshot()
 	c := &Database{sch: d.sch, shards: make([]*shard, len(d.shards)), retain: d.retain, maxEpoch: d.maxEpoch}
 	c.pubCond = sync.NewCond(&c.pubMu)
+	// The clone counts into its own fresh registry (its Stats start at
+	// zero); use SetObservability to share the parent's.
+	c.reg = obs.NewRegistry()
+	c.met = newStoreMetrics(c.reg)
 	c.clock.Store(cur.time)
 	for i := range c.shards {
 		c.shards[i] = &shard{truncated: cur.time}

@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// seqTracer records every event in arrival order and blocks the leader's
+// enqueue callback until the follower has enqueued — EvTxnEnqueue is the one
+// event emitted while holding no engine lock, so parking there steers both
+// commits into a single shared epoch deterministically.
+type seqTracer struct {
+	mu     sync.Mutex
+	events []obs.Event
+	gate   chan struct{} // closed once the follower's enqueue is recorded
+}
+
+func (s *seqTracer) Event(e obs.Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	if e.Kind == obs.EvTxnEnqueue && e.Txn == "B" {
+		close(s.gate)
+	}
+	s.mu.Unlock()
+	if e.Kind == obs.EvTxnEnqueue && e.Txn == "A" {
+		<-s.gate // park the leader until B is queued behind it
+	}
+}
+
+func (s *seqTracer) snapshot() []obs.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]obs.Event(nil), s.events...)
+}
+
+func (s *seqTracer) has(kind obs.EventKind, txn string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.events {
+		if e.Kind == kind && e.Txn == txn {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTracerSequenceSharedEpoch pins the exact lifecycle-event order for one
+// committed and one conflicted transaction sharing a group-commit epoch:
+// both enqueues, the per-member validation verdicts in queue order, the
+// epoch's WAL append, the winner's commit and the epoch publish.
+func TestTracerSequenceSharedEpoch(t *testing.T) {
+	tr := &seqTracer{gate: make(chan struct{})}
+	db, err := Open(t.TempDir(), storageSchema(), DurOptions{Sync: wal.SyncOff, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	dA := mkDelta(t, db, 1)
+	dB := mkDelta(t, db, 2)
+	var wg sync.WaitGroup
+	var ctA, ctB uint64
+	var cfA, cfB *Conflict
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// A reads and writes tuple 1; its enqueue event blocks in the
+		// tracer until B is behind it in the queue.
+		ctA, cfA, _ = db.CommitValidated(Commit{
+			Label: "A", BaseTime: 0, Reads: keyRead("r", intTuple(1)), Changed: dA, Ins: dA,
+		})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for !tr.has(obs.EvTxnEnqueue, "A") {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never reached its enqueue event")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// B reads the tuple A writes (same base snapshot), so intra-epoch
+		// validation in queue order must reject it with A's key.
+		ctB, cfB, _ = db.CommitValidated(Commit{
+			Label: "B", BaseTime: 0, Reads: keyRead("r", intTuple(1), intTuple(2)), Changed: dB, Ins: dB,
+		})
+	}()
+	wg.Wait()
+
+	if cfA != nil || ctA != 1 {
+		t.Fatalf("A: time=%d conflict=%v, want commit at t=1", ctA, cfA)
+	}
+	if cfB == nil || ctB != 0 {
+		t.Fatalf("B: time=%d conflict=%v, want an intra-epoch conflict", ctB, cfB)
+	}
+	if cfB.Relation != "r" || cfB.Key != intTuple(1).Key() {
+		t.Errorf("B conflict = %+v, want relation r key %q", cfB, intTuple(1).Key())
+	}
+
+	type want struct {
+		kind obs.EventKind
+		txn  string
+		ok   bool
+	}
+	wants := []want{
+		{obs.EvTxnEnqueue, "A", false},
+		{obs.EvTxnEnqueue, "B", false},
+		{obs.EvTxnValidate, "A", true},
+		{obs.EvTxnValidate, "B", false},
+		{obs.EvWALAppend, "", false},
+		{obs.EvTxnCommit, "A", false},
+		{obs.EvEpochPublish, "", false},
+	}
+	got := tr.snapshot()
+	if len(got) != len(wants) {
+		t.Fatalf("recorded %d events %v, want %d", len(got), got, len(wants))
+	}
+	for i, w := range wants {
+		e := got[i]
+		if e.Kind != w.kind || e.Txn != w.txn {
+			t.Fatalf("event %d = {%s %q}, want {%s %q}\nfull sequence: %v", i, e.Kind, e.Txn, w.kind, w.txn, got)
+		}
+		if e.Kind == obs.EvTxnValidate && e.OK != w.ok {
+			t.Errorf("event %d (%s %s): OK=%v, want %v", i, e.Kind, e.Txn, e.OK, w.ok)
+		}
+	}
+	// Every epoch-scoped event carries the shared epoch's published time.
+	for _, e := range got {
+		switch e.Kind {
+		case obs.EvWALAppend, obs.EvTxnCommit, obs.EvEpochPublish:
+			if e.Epoch != 1 {
+				t.Errorf("%s: epoch %d, want 1", e.Kind, e.Epoch)
+			}
+		}
+	}
+	if got[5].Time != 1 {
+		t.Errorf("commit event at t=%d, want 1", got[5].Time)
+	}
+	if got[6].N != 1 {
+		t.Errorf("publish event installed %d members, want 1", got[6].N)
+	}
+	if got[4].Bytes == 0 || got[4].LSN == 0 {
+		t.Errorf("WAL append event = %+v, want non-zero LSN and bytes", got[4])
+	}
+
+	// The losing member's conflict is visible in the registry view too.
+	st := db.Stats()
+	if st.Commits != 1 || st.Conflicts != 1 || st.Epochs != 1 {
+		t.Errorf("stats = %+v, want 1 commit, 1 conflict, 1 epoch", st)
+	}
+}

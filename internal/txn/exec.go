@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/algebra"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -140,14 +141,21 @@ func (e *Executor) ExecOptimistic(t *Transaction, check PostCheck, maxRetries in
 		return nil, fmt.Errorf("txn: transaction rejected: %w", err)
 	}
 
+	met, tr := metricsFor(e.db.Registry()), e.db.Tracer()
 	for attempt := 0; ; attempt++ {
+		met.attempts.Inc()
 		ov := NewOverlay(e.db)
+		ov.SetLabel(t.Label)
 		ov.SetProbeTuning(e.probeMaxDriving, e.probeScanRatio)
+		if tr != nil {
+			tr.Event(obs.Event{Kind: obs.EvTxnBegin, Txn: t.Label, Time: ov.base.Time(), N: uint64(attempt)})
+		}
 		res, done, err := e.attempt(t, check, ov)
 		if err != nil {
 			return nil, err
 		}
 		if done {
+			met.aborts.Inc()
 			res.Retries = attempt
 			return res, nil
 		}
@@ -159,12 +167,17 @@ func (e *Executor) ExecOptimistic(t *Transaction, check PostCheck, maxRetries in
 			return &Result{Committed: true, Stats: *ov.stats, Retries: attempt, CommitTime: ct}, nil
 		}
 		if attempt >= maxRetries {
+			met.aborts.Inc()
 			return &Result{
 				Committed:   false,
 				AbortReason: fmt.Errorf("%w after %d attempts (last conflict: %s)", ErrRetriesExhausted, attempt+1, conflict),
 				Stats:       *ov.stats,
 				Retries:     attempt,
 			}, nil
+		}
+		met.retries.Inc()
+		if tr != nil {
+			tr.Event(obs.Event{Kind: obs.EvTxnRetry, Txn: t.Label, N: uint64(attempt), Relation: conflict.Relation, Key: conflict.Key})
 		}
 		time.Sleep(backoffDelay(attempt))
 	}
@@ -176,10 +189,18 @@ func (e *Executor) ExecOptimistic(t *Transaction, check PostCheck, maxRetries in
 func (e *Executor) attempt(t *Transaction, check PostCheck, ov *Overlay) (res *Result, done bool, err error) {
 	for _, stmt := range t.Program {
 		ov.stats.Statements++
+		ov.met.statements.Inc()
+		var tStmt time.Time
+		if ov.met.statementSeconds != nil {
+			tStmt = time.Now()
+		}
 		if err := stmt.Exec(ov); err != nil {
 			// Abort: the overlay is discarded, the pinned snapshot remains
 			// the committed state.
 			return &Result{Committed: false, AbortReason: err, Stats: *ov.stats}, true, nil
+		}
+		if ov.met.statementSeconds != nil {
+			ov.met.statementSeconds.Observe(uint64(time.Since(tStmt)))
 		}
 	}
 	if check != nil {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -64,6 +65,12 @@ type Overlay struct {
 	temps   map[string]*relation.Relation
 	reads   map[string]*storage.ReadInfo
 	stats   *Stats
+	// met/tr are the engine-wide metric handles and tracer inherited from
+	// the database (nullTxnMetrics / nil for NewOverlayAt); label tags the
+	// overlay's trace events with the transaction's label.
+	met   *txnMetrics
+	tr    obs.Tracer
+	label string
 	// probeMaxDriving/probeScanRatio override the algebra layer's
 	// probe-versus-scan heuristics (algebra.ProbeTuningEnv); zero or less
 	// means "use the default".
@@ -71,12 +78,17 @@ type Overlay struct {
 	probeScanRatio  int
 }
 
-// NewOverlay creates a fresh overlay pinned to the current snapshot of db.
+// NewOverlay creates a fresh overlay pinned to the current snapshot of db,
+// inheriting the database's metrics registry and tracer.
 func NewOverlay(db *storage.Database) *Overlay {
-	return NewOverlayAt(db.Snapshot())
+	ov := NewOverlayAt(db.Snapshot())
+	ov.met = metricsFor(db.Registry())
+	ov.tr = db.Tracer()
+	return ov
 }
 
-// NewOverlayAt creates a fresh overlay pinned to the given snapshot.
+// NewOverlayAt creates a fresh overlay pinned to the given snapshot. A bare
+// snapshot carries no registry, so the overlay is uninstrumented.
 func NewOverlayAt(snap *storage.Snapshot) *Overlay {
 	return &Overlay{
 		base:    snap,
@@ -86,8 +98,13 @@ func NewOverlayAt(snap *storage.Snapshot) *Overlay {
 		temps:   make(map[string]*relation.Relation),
 		reads:   make(map[string]*storage.ReadInfo),
 		stats:   &Stats{},
+		met:     nullTxnMetrics,
 	}
 }
+
+// SetLabel tags the overlay's trace events and commit record with the
+// transaction's label.
+func (o *Overlay) SetLabel(label string) { o.label = label }
 
 // Base returns the snapshot the overlay is pinned to.
 func (o *Overlay) Base() *storage.Snapshot { return o.base }
@@ -128,13 +145,22 @@ func (o *Overlay) readInfo(name string) *storage.ReadInfo {
 	return ri
 }
 
-// markFullRead records a whole-relation read of a base relation.
+// markFullRead records a whole-relation read of a base relation. The
+// full-scan counter and scan event fire once per (transaction, relation) —
+// on the transition to Full, not on every re-read.
 func (o *Overlay) markFullRead(name string) {
 	ri := o.readInfo(name)
+	if ri.Full {
+		return
+	}
 	ri.Full = true
 	ri.Keys = nil
 	ri.Probes = nil
 	ri.Ranges = nil
+	o.met.fullScans.Inc()
+	if o.tr != nil {
+		o.tr.Event(obs.Event{Kind: obs.EvTxnScan, Txn: o.label, Relation: name})
+	}
 }
 
 // markKeyRead records a keyed read (tuple-presence observation) of a base
@@ -233,6 +259,10 @@ func (o *Overlay) RangeProbe(name string, aux algebra.AuxKind, idx []int, prefix
 	ranges := index.RangesFor(eqVals, boundKind, loV, hiV, loIncl, hiIncl, includeNull, includeNaN)
 	probeCols := idx[:prefix+1]
 	o.stats.RangeProbes++
+	o.met.rangeProbes.Inc()
+	if o.tr != nil {
+		o.tr.Event(obs.Event{Kind: obs.EvTxnRangeProbe, Txn: o.label, Relation: name, N: uint64(len(ranges))})
+	}
 	var out []relation.Tuple
 	for _, kr := range ranges {
 		o.markRangeRead(name, probeCols, kr)
@@ -316,6 +346,10 @@ func (o *Overlay) Probe(name string, aux algebra.AuxKind, idx []int, vals []valu
 	key := index.KeyVals(vals)
 	o.markProbeRead(name, idx, key)
 	o.stats.IndexProbes++
+	o.met.probes.Inc()
+	if o.tr != nil {
+		o.tr.Event(obs.Event{Kind: obs.EvTxnProbe, Txn: o.label, Relation: name, N: 1})
+	}
 	out := x.Probe(key)
 	if aux != algebra.AuxCur {
 		return out, nil // old(R) is exactly the pinned snapshot
@@ -540,12 +574,29 @@ func (o *Overlay) CommitRecord() storage.Commit {
 			del[name] = dd
 		}
 	}
+	if o.met.readRelations != nil {
+		o.met.readRelations.Observe(uint64(len(o.reads)))
+		var keys uint64
+		for _, ri := range o.reads {
+			keys += uint64(len(ri.Keys))
+			for _, pr := range ri.Probes {
+				keys += uint64(len(pr.Keys))
+			}
+			for _, rr := range ri.Ranges {
+				keys += uint64(len(rr.Ranges))
+			}
+		}
+		o.met.readKeys.Observe(keys)
+	}
+	o.met.tuplesIns.Add(uint64(o.stats.TuplesInserted))
+	o.met.tuplesDel.Add(uint64(o.stats.TuplesDeleted))
 	return storage.Commit{
 		BaseTime: o.base.Time(),
 		Reads:    o.reads,
 		Changed:  changed,
 		Ins:      ins,
 		Del:      del,
+		Label:    o.label,
 	}
 }
 

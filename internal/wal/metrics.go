@@ -1,0 +1,78 @@
+package wal
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics holds the WAL's metric handles, resolved once at NewMetrics so
+// the append path never touches the registry. A nil *Metrics — what
+// NewMetrics returns for a nil registry, and the zero value of
+// Options.Metrics — disables every observation at the cost of one branch;
+// the timing call sites also skip their clock reads in that case.
+type Metrics struct {
+	appends       *obs.Counter
+	appendSeconds *obs.Histogram
+	appendBytes   *obs.Histogram
+	fsyncs        *obs.Counter
+	fsyncSeconds  *obs.Histogram
+	rotations     *obs.Counter
+	truncated     *obs.Counter
+	queueDepth    *obs.Gauge
+}
+
+// NewMetrics resolves the WAL metric set against reg; nil in, nil out.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		appends:       reg.Counter("repro_wal_appends_total"),
+		appendSeconds: reg.Histogram("repro_wal_append_seconds"),
+		appendBytes:   reg.Histogram("repro_wal_append_bytes"),
+		fsyncs:        reg.Counter("repro_wal_fsyncs_total"),
+		fsyncSeconds:  reg.Histogram("repro_wal_fsync_seconds"),
+		rotations:     reg.Counter("repro_wal_segment_rotations_total"),
+		truncated:     reg.Counter("repro_wal_segments_truncated_total"),
+		queueDepth:    reg.Gauge("repro_wal_flush_queue_depth"),
+	}
+}
+
+func (m *Metrics) observeAppend(d time.Duration, bytes int64) {
+	if m == nil {
+		return
+	}
+	m.appends.Inc()
+	m.appendSeconds.Observe(uint64(d))
+	m.appendBytes.Observe(uint64(bytes))
+}
+
+func (m *Metrics) observeFsync(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.fsyncs.Inc()
+	m.fsyncSeconds.Observe(uint64(d))
+}
+
+func (m *Metrics) addRotation() {
+	if m == nil {
+		return
+	}
+	m.rotations.Inc()
+}
+
+func (m *Metrics) addTruncated(n int) {
+	if m == nil {
+		return
+	}
+	m.truncated.Add(uint64(n))
+}
+
+func (m *Metrics) setQueueDepth(n int) {
+	if m == nil {
+		return
+	}
+	m.queueDepth.Set(int64(n))
+}

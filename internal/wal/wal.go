@@ -39,14 +39,18 @@ package wal
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // SyncPolicy selects when appended records are fsynced to stable storage.
@@ -92,6 +96,13 @@ type Options struct {
 	// BatchInterval is the background fsync period under SyncBatched; 0
 	// means the default (2ms).
 	BatchInterval time.Duration
+	// Metrics, when non-nil, receives append/fsync latencies and byte
+	// counts, segment rotations and truncations, and the batched-flusher
+	// queue depth (see NewMetrics).
+	Metrics *Metrics
+	// Tracer, when non-nil, receives EvWALFsync events for batched
+	// background fsync passes and EvWALTruncate for segment truncation.
+	Tracer obs.Tracer
 }
 
 const (
@@ -279,6 +290,9 @@ type Writer struct {
 	dirty  []*segment // segments with writes since the last fsync
 	err    error      // sticky I/O error: the log is unusable after one
 
+	met *Metrics   // nil when disabled
+	tr  obs.Tracer // nil when disabled
+
 	stop chan struct{} // closes the batched-sync flusher
 	done chan struct{}
 }
@@ -309,6 +323,8 @@ func Open(dir string, nextLSN uint64, opts Options) (*Writer, error) {
 		nextLSN: nextLSN,
 		active:  make(map[int]*segment),
 		firsts:  make(map[int][]uint64),
+		met:     opts.Metrics,
+		tr:      opts.Tracer,
 	}
 	for _, e := range entries {
 		if shard, first, ok := parseSegName(e.Name()); ok {
@@ -356,7 +372,7 @@ func (w *Writer) NextLSN() uint64 {
 // segment is fsynced before the call returns. An error poisons the writer:
 // every later call returns it, so a half-appended record can never be
 // followed by acknowledged successors.
-func (w *Writer) AppendRecord(typ byte, time uint64, parts []Append) (uint64, int64, error) {
+func (w *Writer) AppendRecord(typ byte, ltime uint64, parts []Append) (uint64, int64, error) {
 	if len(parts) == 0 {
 		return 0, 0, fmt.Errorf("wal: append with no parts")
 	}
@@ -364,6 +380,10 @@ func (w *Writer) AppendRecord(typ byte, time uint64, parts []Append) (uint64, in
 	defer w.mu.Unlock()
 	if w.err != nil {
 		return 0, 0, w.err
+	}
+	var start time.Time
+	if w.met != nil {
+		start = time.Now()
 	}
 	lsn := w.nextLSN
 	total := int64(0)
@@ -374,7 +394,7 @@ func (w *Writer) AppendRecord(typ byte, time uint64, parts []Append) (uint64, in
 			w.err = err
 			return 0, 0, err
 		}
-		frame := appendFrame(nil, typ, lsn, time, len(parts), p.Payload)
+		frame := appendFrame(nil, typ, lsn, ltime, len(parts), p.Payload)
 		if _, err := seg.w.Write(frame); err != nil {
 			w.err = fmt.Errorf("wal: append: %w", err)
 			return 0, 0, w.err
@@ -391,17 +411,30 @@ func (w *Writer) AppendRecord(typ byte, time uint64, parts []Append) (uint64, in
 			return 0, 0, w.err
 		}
 	}
+	if w.met != nil {
+		w.met.observeAppend(time.Since(start), total)
+	}
 	switch w.opts.Sync {
 	case SyncAlways:
 		for _, seg := range touched {
+			var fs time.Time
+			if w.met != nil {
+				fs = time.Now()
+			}
 			if err := seg.f.Sync(); err != nil {
 				w.err = fmt.Errorf("wal: fsync: %w", err)
 				return 0, 0, w.err
+			}
+			if w.met != nil {
+				w.met.observeFsync(time.Since(fs))
 			}
 		}
 	case SyncBatched:
 		for _, seg := range touched {
 			w.markDirty(seg)
+		}
+		if w.met != nil {
+			w.met.setQueueDepth(len(w.dirty))
 		}
 	}
 	w.nextLSN = lsn + 1
@@ -416,6 +449,7 @@ func (w *Writer) segmentFor(shard int, lsn uint64) (*segment, error) {
 		if err := w.seal(seg); err != nil {
 			return nil, err
 		}
+		w.met.addRotation()
 		seg = nil
 	}
 	if seg == nil {
@@ -476,32 +510,54 @@ func (w *Writer) syncLocked() error {
 	if w.err != nil {
 		return w.err
 	}
+	synced := len(w.dirty)
+	var start time.Time
+	if (w.met != nil || w.tr != nil) && synced > 0 {
+		start = time.Now()
+	}
 	for _, seg := range w.dirty {
 		if err := seg.w.Flush(); err != nil {
 			w.err = fmt.Errorf("wal: flush: %w", err)
 			return w.err
 		}
+		var fs time.Time
+		if w.met != nil {
+			fs = time.Now()
+		}
 		if err := seg.f.Sync(); err != nil {
 			w.err = fmt.Errorf("wal: fsync: %w", err)
 			return w.err
 		}
+		if w.met != nil {
+			w.met.observeFsync(time.Since(fs))
+		}
 	}
 	w.dirty = w.dirty[:0]
+	if synced > 0 {
+		w.met.setQueueDepth(0)
+		if w.tr != nil {
+			w.tr.Event(obs.Event{Kind: obs.EvWALFsync, N: uint64(synced), Dur: time.Since(start)})
+		}
+	}
 	return nil
 }
 
+// flushLoop is the SyncBatched background fsync goroutine; the pprof label
+// attributes its CPU time in profiles.
 func (w *Writer) flushLoop() {
 	defer close(w.done)
-	t := time.NewTicker(w.opts.BatchInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-w.stop:
-			return
-		case <-t.C:
-			_ = w.Sync()
+	pprof.Do(context.Background(), pprof.Labels("stage", "wal-flusher"), func(context.Context) {
+		t := time.NewTicker(w.opts.BatchInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				_ = w.Sync()
+			}
 		}
-	}
+	})
 }
 
 // TruncateThrough deletes sealed segments all of whose records have
@@ -511,6 +567,7 @@ func (w *Writer) flushLoop() {
 func (w *Writer) TruncateThrough(upTo uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	removed := 0
 	for shard, fs := range w.firsts {
 		// All but the last entry are sealed; segment i covers
 		// [fs[i], fs[i+1]).
@@ -523,7 +580,14 @@ func (w *Writer) TruncateThrough(upTo uint64) error {
 		}
 		if keep > 0 {
 			w.firsts[shard] = append(fs[:0:0], fs[keep:]...)
+			removed += keep
 		}
+	}
+	if removed > 0 {
+		w.met.addTruncated(removed)
+	}
+	if w.tr != nil {
+		w.tr.Event(obs.Event{Kind: obs.EvWALTruncate, LSN: upTo, N: uint64(removed)})
 	}
 	return nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports that the race detector is compiled in, so timing-
+// sensitive guards (the observability overhead bound) know to skip.
+const raceEnabled = true

@@ -32,6 +32,7 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/index"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/rules"
 	"repro/internal/schema"
@@ -158,6 +160,18 @@ type Options struct {
 	// default (8 MiB), negative disables automatic checkpoints (DB.Checkpoint
 	// still works). Ignored when Dir is empty.
 	CheckpointBytes int64
+	// Metrics, when non-nil, is the registry every engine metric registers
+	// on — transaction execution, the commit pipeline, the WAL, index
+	// maintenance and checkpoint/recovery (see docs/OBSERVABILITY.md for the
+	// catalog). Sharing one registry between databases is well-defined:
+	// their counters sum. When nil the database builds a private registry,
+	// readable through DB.Metrics and DB.WriteProm all the same.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives transaction- and epoch-lifecycle
+	// events (obs.Event) synchronously from the engine. Tracers must return
+	// promptly and must not re-enter the database: most events fire inside
+	// the commit pipeline, several under shard locks.
+	Tracer obs.Tracer
 }
 
 // Validate reports the first invalid option: negative shard, retry or depth
@@ -284,10 +298,20 @@ func OpenChecked(opts *Options) (*DB, error) {
 	}
 	var store *storage.Database
 	if o.Dir != "" {
+		// The WAL writer and recovery replay resolve their metric handles at
+		// open time, so the registry must exist before storage.Open — a
+		// caller-supplied one, or a fresh private one (readable through
+		// DB.Metrics) so the durable layers are never dark.
+		reg := o.Metrics
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
 		s, err := storage.Open(o.Dir, sch, storage.DurOptions{
 			Shards:          shards,
 			Sync:            o.Sync.wal(),
 			CheckpointBytes: o.CheckpointBytes,
+			Metrics:         reg,
+			Tracer:          o.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -297,6 +321,13 @@ func OpenChecked(opts *Options) (*DB, error) {
 		sch = store.Schema()
 	} else {
 		store = storage.NewSharded(sch, shards)
+		if o.Metrics != nil || o.Tracer != nil {
+			reg := o.Metrics
+			if reg == nil {
+				reg = store.Registry() // keep the private registry, attach the tracer
+			}
+			store.SetObservability(reg, o.Tracer)
+		}
 	}
 	batch := o.GroupCommitBatch
 	if o.DisableGroupCommit {
@@ -1009,6 +1040,81 @@ func (db *DB) CommitStats() CommitStats {
 	}
 	return out
 }
+
+// Metrics returns a point-in-time snapshot of every engine metric — the
+// registry passed as Options.Metrics, or the database's private one. Safe to
+// call concurrently with submissions; see docs/OBSERVABILITY.md for the
+// metric catalog.
+func (db *DB) Metrics() obs.Snapshot { return db.store.Registry().Snapshot() }
+
+// WriteProm writes the database's metrics to w in Prometheus text exposition
+// format. Mount it on an HTTP handler to scrape the engine:
+//
+//	http.HandleFunc("/metrics", func(w http.ResponseWriter, *http.Request) {
+//		db.WriteProm(w)
+//	})
+func (db *DB) WriteProm(w io.Writer) error { return obs.WriteProm(w, db.store.Registry()) }
+
+// PublishExpvar publishes the database's metric registry as an expvar
+// variable under the given name (e.g. "repro"), making it visible on
+// /debug/vars. Publishing the same name twice is a no-op; distinct databases
+// need distinct names.
+func (db *DB) PublishExpvar(name string) { obs.PublishExpvar(name, db.store.Registry()) }
+
+// The observability types live in internal/obs; these aliases re-export the
+// ones external consumers need, so Options.Metrics, Options.Tracer and
+// DB.Metrics() are usable without importing an internal package.
+
+// MetricsRegistry collects counters, gauges and histograms from every engine
+// layer. Share one across databases to aggregate, or pass distinct
+// registries to keep them apart. The zero value is not usable; construct
+// with NewMetricsRegistry.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry for Options.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsSnapshot is the point-in-time view DB.Metrics returns: plain maps
+// of counter, gauge and histogram values keyed by metric name.
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramSnapshot is one histogram's state inside a MetricsSnapshot;
+// Quantile estimates percentiles (latency histograms are in nanoseconds).
+type HistogramSnapshot = obs.HistSnapshot
+
+// Tracer receives typed transaction-lifecycle events; see
+// docs/OBSERVABILITY.md for the event reference. Callbacks run inline on
+// engine goroutines: keep them fast and do not call back into the database.
+type Tracer = obs.Tracer
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc = obs.TracerFunc
+
+// TraceEvent is one lifecycle event; Kind selects which fields are set.
+type TraceEvent = obs.Event
+
+// TraceEventKind identifies a TraceEvent's type.
+type TraceEventKind = obs.EventKind
+
+// Re-exported event kinds, for filtering TraceEvents by Kind.
+const (
+	EvTxnBegin        = obs.EvTxnBegin
+	EvTxnProbe        = obs.EvTxnProbe
+	EvTxnRangeProbe   = obs.EvTxnRangeProbe
+	EvTxnScan         = obs.EvTxnScan
+	EvTxnEnqueue      = obs.EvTxnEnqueue
+	EvTxnValidate     = obs.EvTxnValidate
+	EvWALAppend       = obs.EvWALAppend
+	EvWALFsync        = obs.EvWALFsync
+	EvTxnCommit       = obs.EvTxnCommit
+	EvEpochPublish    = obs.EvEpochPublish
+	EvTxnRetry        = obs.EvTxnRetry
+	EvSnapshotTooOld  = obs.EvSnapshotTooOld
+	EvCheckpointStart = obs.EvCheckpointStart
+	EvCheckpointEnd   = obs.EvCheckpointEnd
+	EvWALTruncate     = obs.EvWALTruncate
+	EvRecoveryReplay  = obs.EvRecoveryReplay
+)
 
 // Load bulk-inserts rows into a relation without integrity control or
 // transactional bookkeeping; intended for fixtures and benchmark data. Rows
