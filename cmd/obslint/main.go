@@ -33,7 +33,7 @@ import (
 	"strings"
 )
 
-var nameRe = regexp.MustCompile(`^repro_(txn|storage|wal|index|checkpoint|recovery)_[a-z0-9_]+$`)
+var nameRe = regexp.MustCompile(`^repro_(txn|storage_cache|storage|wal|index|checkpoint|recovery)_[a-z0-9_]+$`)
 
 var histSuffixes = []string{"_seconds", "_bytes", "_size"}
 

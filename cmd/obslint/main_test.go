@@ -28,6 +28,9 @@ func m(reg *Registry) {
 	reg.Histogram("repro_wal_fsync_seconds")
 	reg.Histogram("repro_checkpoint_bytes")
 	reg.Histogram("repro_storage_epoch_txns_size")
+	reg.Counter("repro_storage_cache_evictions_total")
+	reg.Gauge("repro_storage_cache_occupancy")
+	reg.Histogram("repro_storage_cache_fault_seconds")
 }`)
 	if len(diags) != 0 {
 		t.Errorf("clean source flagged: %v", diags)
@@ -44,6 +47,7 @@ func TestNamingViolations(t *testing.T) {
 		{`reg.Gauge("repro_wal_depth_total")`, "must not carry"},
 		{`reg.Gauge("repro_wal_queue_seconds")`, "must not carry"},
 		{`reg.Counter("repro_txn_Retries_total")`, "does not match"},
+		{`reg.Counter("repro_cache_hits_total")`, "does not match"},
 	} {
 		diags := lintSrc(t, "package p\nfunc m(reg *Registry) { "+tc.src+" }")
 		if len(diags) != 1 || !strings.Contains(diags[0], tc.want) {

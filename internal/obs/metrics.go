@@ -232,7 +232,7 @@ func (k metricKind) String() string {
 
 // nameRE is the engine-wide naming convention; cmd/obslint enforces the
 // same shape statically over the source tree.
-var nameRE = regexp.MustCompile(`^repro_(txn|storage|wal|index|checkpoint|recovery)_[a-z0-9_]+$`)
+var nameRE = regexp.MustCompile(`^repro_(txn|storage_cache|storage|wal|index|checkpoint|recovery)_[a-z0-9_]+$`)
 
 // checkName panics on a convention violation: metric names are compile-time
 // string literals, so a bad name is a programmer error, not input.

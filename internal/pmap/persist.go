@@ -11,6 +11,18 @@ package pmap
 // to the size of the map. The address doubles as the generation watermark:
 // "newer than the last checkpoint" is exactly "has no retained address".
 //
+// Lazy stubs participate without faulting: a stub whose address the sink
+// retains is emitted as a bare reference, so an incremental checkpoint of a
+// paged relation never touches its cold subtrees. A full checkpoint (which
+// retains nothing) faults stubs in through the map's loader and rewrites
+// them; the stub is then *retargeted* to its new address — but only via
+// Persisted.CommitRetargets, which the caller invokes after the new
+// checkpoint file is durable, because until then the new address is not
+// readable and concurrent readers may fault the stub at any moment.
+// Retargeting is safe for every snapshot sharing the stub: the rewrite is
+// content-preserving, so the node read from the new address is identical to
+// the one at the old.
+//
 // Only frozen maps may persist: a mutable owner could rewrite a stamped
 // node in place, silently invalidating its address. Nodes created by
 // path-copying after a Clone start with no address and are therefore
@@ -19,15 +31,24 @@ package pmap
 // and by nothing else, so stamping does not race concurrent readers of the
 // frozen trie.
 
+import (
+	"errors"
+	"fmt"
+)
+
 // Addr is the persistent address a Sink assigned to a node — an opaque
 // non-zero token, typically a packed (file, offset) pair. The zero Addr
 // means "never persisted" (and, as a Persist result, "empty map").
 type Addr uint64
 
-// Entry is one key/value pair of a node handed to a Sink.
-type Entry[V any] struct {
-	Key string
-	Val V
+// NodeInfo is the full structure of one node handed to a Sink: the bitmap,
+// the collision flag and the slots in stored (bitmap-rank) order. It is the
+// exact input NewNode needs to rebuild the node, so a sink that encodes it
+// faithfully makes the checkpoint a live backing store.
+type NodeInfo[V any] struct {
+	Bitmap uint64
+	Coll   bool
+	Slots  []SlotData[V]
 }
 
 // Sink receives a trie bottom-up during Persist.
@@ -37,50 +58,117 @@ type Sink[V any] interface {
 	// the subtree and reuses the address.
 	Retained(Addr) bool
 	// Node persists one node whose children are already persisted and
-	// returns its address. The entries and children slices are only valid
+	// returns its address. The NodeInfo (and its Slots slice) is only valid
 	// for the duration of the call.
-	Node(entries []Entry[V], children []Addr) (Addr, error)
+	Node(NodeInfo[V]) (Addr, error)
+}
+
+// Persisted is the result of a Persist call: the root's address (0 for an
+// empty map), the number of nodes written (as opposed to referenced), and
+// any pending stub retargets to commit once the sink's output is durable.
+type Persisted struct {
+	Root      Addr
+	Written   int
+	retargets []func()
+}
+
+// CommitRetargets repoints every lazy stub that Persist rewrote to its new
+// address. Call it exactly once, strictly after the checkpoint the sink was
+// writing is durable and readable (file renamed into place and the
+// directory synced) — before that, faults through the retargeted stubs
+// would read an address that may not survive a crash. If the checkpoint is
+// abandoned instead, simply drop the Persisted: the stubs keep their old,
+// still-readable addresses.
+func (p *Persisted) CommitRetargets() {
+	for _, f := range p.retargets {
+		f()
+	}
+	p.retargets = nil
 }
 
 // Persist writes every node of the frozen map not already retained by the
-// sink, bottom-up, and returns the root's address (0 for an empty map) and
-// the number of nodes written (as opposed to referenced). It panics on a
-// mutable map.
-func (m *Map[V]) Persist(sink Sink[V]) (Addr, int, error) {
+// sink, bottom-up. It panics on a mutable map.
+func (m *Map[V]) Persist(sink Sink[V]) (*Persisted, error) {
 	if m.edit != nil {
 		panic("pmap: Persist on mutable map (Freeze first)")
 	}
-	written := 0
-	addr, err := persistNode(m.root, sink, &written)
-	return addr, written, err
+	p := &Persisted{}
+	root, err := persistNode(m.root, sink, m.loader, p)
+	if err != nil {
+		return nil, err
+	}
+	p.Root = root
+	return p, nil
 }
 
-func persistNode[V any](n *node[V], sink Sink[V], written *int) (Addr, error) {
+func persistNode[V any](n *node[V], sink Sink[V], ld Loader[V], p *Persisted) (Addr, error) {
 	if n == nil {
 		return 0, nil
+	}
+	if a := Addr(n.lazy.Load()); a != 0 {
+		if sink.Retained(a) {
+			return a, nil
+		}
+		// A full checkpoint rewrites retained-by-nothing subtrees: fault the
+		// stub's content in (error-returning here, unlike the read path — a
+		// checkpoint can fail cleanly) and persist it node by node.
+		if ld == nil {
+			return 0, fmt.Errorf("pmap: persist: lazy node %x with no loader", uint64(a))
+		}
+		dn, err := ld.Load(a)
+		if err != nil {
+			return 0, fmt.Errorf("pmap: persist: fault of node %x: %w", uint64(a), err)
+		}
+		if dn == nil || dn.n == nil {
+			return 0, fmt.Errorf("pmap: persist: loader returned no node for %x", uint64(a))
+		}
+		na, err := persistContent(dn.n, sink, ld, p)
+		if err != nil {
+			return 0, err
+		}
+		stub := n
+		stub.ckpt = na
+		p.retargets = append(p.retargets, func() { stub.lazy.Store(uint64(na)) })
+		return na, nil
 	}
 	if n.ckpt != 0 && sink.Retained(n.ckpt) {
 		return n.ckpt, nil
 	}
-	var entries []Entry[V]
-	var children []Addr
-	for i := range n.slots {
-		s := &n.slots[i]
-		if s.child != nil {
-			a, err := persistNode(s.child, sink, written)
-			if err != nil {
-				return 0, err
-			}
-			children = append(children, a)
-			continue
-		}
-		entries = append(entries, Entry[V]{Key: s.key, Val: s.val})
-	}
-	a, err := sink.Node(entries, children)
+	a, err := persistContent(n, sink, ld, p)
 	if err != nil {
 		return 0, err
 	}
-	*written++
 	n.ckpt = a
+	return a, nil
+}
+
+// persistContent persists n's children then hands n's structure to the
+// sink, returning the assigned address. It does not touch memo fields; the
+// caller stamps whichever object (node or stub) carries the memo.
+func persistContent[V any](n *node[V], sink Sink[V], ld Loader[V], p *Persisted) (Addr, error) {
+	info := NodeInfo[V]{Bitmap: n.bitmap, Coll: n.coll, Slots: make([]SlotData[V], len(n.slots))}
+	for i := range n.slots {
+		s := &n.slots[i]
+		if s.child != nil {
+			ca, err := persistNode(s.child, sink, ld, p)
+			if err != nil {
+				return 0, err
+			}
+			if ca == 0 {
+				return 0, errors.New("pmap: persist: child subtree yielded zero address")
+			}
+			info.Slots[i] = SlotData[V]{Child: ca}
+			continue
+		}
+		info.Slots[i] = SlotData[V]{Key: s.key, Val: s.val}
+	}
+	a, err := sink.Node(info)
+	if err != nil {
+		return 0, err
+	}
+	if a == 0 {
+		return 0, errors.New("pmap: persist: sink assigned zero address")
+	}
+	p.Written++
 	return a, nil
 }

@@ -1,6 +1,9 @@
 package pmap
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // Branching geometry: each trie level consumes chunk bits of the 64-bit key
 // hash, so a node has up to width children selected by a bitmap. A 64-bit
@@ -47,6 +50,15 @@ type node[V any] struct {
 	// caller.
 	ckpt  Addr
 	slots []slot[V]
+	// lazy, when non-zero, marks this node as an unfaulted stub: bitmap,
+	// coll and slots are empty and the node's content lives at this
+	// persistent address, to be faulted in through the map's Loader on
+	// access (see lazy.go). It is atomic because Persist retargets stubs of
+	// a relocated node to the new address (CommitRetargets) while frozen
+	// snapshots may be faulting them concurrently. Distinct from ckpt: a
+	// failed checkpoint stamps ckpt before its file is discarded, so ckpt
+	// alone must never be trusted as a live address.
+	lazy atomic.Uint64
 }
 
 // Map is a hash-array-mapped trie from string keys to values of type V.
@@ -68,6 +80,10 @@ type Map[V any] struct {
 	root  *node[V]
 	count int
 	edit  *edit
+	// loader, when non-nil, faults lazy stub nodes in by address (see
+	// lazy.go). Carried by every clone so working copies of a paged
+	// relation page too.
+	loader Loader[V]
 }
 
 // New returns an empty mutable map.
@@ -112,7 +128,7 @@ func (m *Map[V]) Clone() *Map[V] {
 	if m.edit != nil {
 		m.edit = &edit{}
 	}
-	return &Map[V]{root: m.root, count: m.count, edit: &edit{}}
+	return &Map[V]{root: m.root, count: m.count, edit: &edit{}, loader: m.loader}
 }
 
 // Get returns the value stored under key.
@@ -121,6 +137,7 @@ func (m *Map[V]) Get(key string) (V, bool) {
 	n := m.root
 	shift := uint(0)
 	for n != nil {
+		n = m.resolve(n)
 		if n.coll {
 			for i := range n.slots {
 				if n.slots[i].key == key {
@@ -128,6 +145,9 @@ func (m *Map[V]) Get(key string) (V, bool) {
 				}
 			}
 			break
+		}
+		if shift >= 64 {
+			corruptDepth(n)
 		}
 		bit := uint64(1) << ((h >> shift) & mask)
 		if n.bitmap&bit == 0 {
@@ -180,6 +200,10 @@ func (m *Map[V]) set(n *node[V], shift uint, h uint64, key string, val V, added 
 			slots:  []slot[V]{{hash: h, key: key, val: val}},
 		}
 	}
+	// Unchanged paths return orig, not its resolution, so a no-op Set
+	// through a stub leaves the stub in place.
+	orig := n
+	n = m.resolve(n)
 	if n.coll {
 		for i := range n.slots {
 			if n.slots[i].key == key {
@@ -192,6 +216,9 @@ func (m *Map[V]) set(n *node[V], shift uint, h uint64, key string, val V, added 
 		n = m.owned(n)
 		n.slots = append(n.slots, slot[V]{hash: h, key: key, val: val})
 		return n
+	}
+	if shift >= 64 {
+		corruptDepth(n)
 	}
 	bit := uint64(1) << ((h >> shift) & mask)
 	i := rank(n.bitmap, bit)
@@ -215,7 +242,7 @@ func (m *Map[V]) set(n *node[V], shift uint, h uint64, key string, val V, added 
 	case s.child != nil:
 		child := m.set(s.child, shift+chunk, h, key, val, added)
 		if child == s.child {
-			return n
+			return orig
 		}
 		n = m.owned(n)
 		n.slots[i].child = child
@@ -284,6 +311,10 @@ func (m *Map[V]) del(n *node[V], shift uint, h uint64, key string, removed *bool
 	if n == nil {
 		return nil
 	}
+	// As in set: unchanged paths return orig so no-op deletes through a
+	// stub leave the stub in place.
+	orig := n
+	n = m.resolve(n)
 	if n.coll {
 		for i := range n.slots {
 			if n.slots[i].key == key {
@@ -299,18 +330,21 @@ func (m *Map[V]) del(n *node[V], shift uint, h uint64, key string, removed *bool
 				return n
 			}
 		}
-		return n
+		return orig
+	}
+	if shift >= 64 {
+		corruptDepth(n)
 	}
 	bit := uint64(1) << ((h >> shift) & mask)
 	if n.bitmap&bit == 0 {
-		return n
+		return orig
 	}
 	i := rank(n.bitmap, bit)
 	s := n.slots[i]
 	if s.child != nil {
 		child := m.del(s.child, shift+chunk, h, key, removed)
 		if !*removed {
-			return n
+			return orig
 		}
 		if child == nil {
 			// The subtree drained; drop its slot, collapsing this node too
@@ -322,14 +356,14 @@ func (m *Map[V]) del(n *node[V], shift uint, h uint64, key string, removed *bool
 			return m.removeSlot(n, bit, i)
 		}
 		if child == s.child {
-			return n
+			return orig
 		}
 		n = m.owned(n)
 		n.slots[i].child = child
 		return n
 	}
 	if s.hash != h || s.key != key {
-		return n
+		return orig
 	}
 	*removed = true
 	if len(n.slots) == 1 {
@@ -359,17 +393,23 @@ func (m *Map[V]) removeSlot(n *node[V], bit uint64, i int) *node[V] {
 // a Go map's order it carries no meaning). The map must not be mutated
 // while Range runs.
 func (m *Map[V]) Range(fn func(key string, val V) error) error {
-	return rangeNode(m.root, fn)
+	return rangeNode(m.root, m.loader, 0, fn)
 }
 
-func rangeNode[V any](n *node[V], fn func(string, V) error) error {
+func rangeNode[V any](n *node[V], ld Loader[V], depth int, fn func(string, V) error) error {
 	if n == nil {
 		return nil
+	}
+	if n.lazy.Load() != 0 {
+		n = faultNode(n, ld)
+	}
+	if depth > maxDepth {
+		corruptDepth(n)
 	}
 	for i := range n.slots {
 		s := &n.slots[i]
 		if s.child != nil {
-			if err := rangeNode(s.child, fn); err != nil {
+			if err := rangeNode(s.child, ld, depth+1, fn); err != nil {
 				return err
 			}
 			continue
@@ -384,17 +424,23 @@ func rangeNode[V any](n *node[V], fn func(string, V) error) error {
 // RangeValues is Range without the key, saving an indirect call per entry
 // on hot scan paths (the algebra evaluator iterates relations tuple-wise).
 func (m *Map[V]) RangeValues(fn func(val V) error) error {
-	return rangeValues(m.root, fn)
+	return rangeValues(m.root, m.loader, 0, fn)
 }
 
-func rangeValues[V any](n *node[V], fn func(V) error) error {
+func rangeValues[V any](n *node[V], ld Loader[V], depth int, fn func(V) error) error {
 	if n == nil {
 		return nil
+	}
+	if n.lazy.Load() != 0 {
+		n = faultNode(n, ld)
+	}
+	if depth > maxDepth {
+		corruptDepth(n)
 	}
 	for i := range n.slots {
 		s := &n.slots[i]
 		if s.child != nil {
-			if err := rangeValues(s.child, fn); err != nil {
+			if err := rangeValues(s.child, ld, depth+1, fn); err != nil {
 				return err
 			}
 			continue

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/pmap"
+	"repro/internal/schema"
 	"repro/internal/value"
 )
 
@@ -61,13 +62,30 @@ func AppendTuples(dst []byte, r *Relation) []byte {
 // Persist serializes the sealed relation's trie bottom-up through the sink
 // (see pmap.Map.Persist): nodes whose addresses the sink still retains are
 // skipped as whole subtrees, which is what makes checkpoints incremental.
-// It returns the root address (0 when empty) and the number of nodes
-// written. The relation must be sealed.
-func (r *Relation) Persist(sink pmap.Sink[Tuple]) (pmap.Addr, int, error) {
+// The returned Persisted carries the root address (0 when empty), the node
+// count written, and pending stub retargets the caller commits once the
+// checkpoint is durable. The relation must be sealed.
+func (r *Relation) Persist(sink pmap.Sink[Tuple]) (*pmap.Persisted, error) {
 	if !r.sealed {
 		panic(fmt.Sprintf("relation %s: Persist of unsealed instance", r.schema.Name))
 	}
 	return r.tuples.Persist(sink)
+}
+
+// FromPersisted returns a mutable relation over the persisted trie rooted at
+// root (0 means empty) with the given cardinality, faulting nodes in through
+// ld on first access. The relation starts unsealed so recovery can replay
+// WAL deltas onto it directly; Seal it before publishing, like any other.
+func FromPersisted(s *schema.Relation, root pmap.Addr, count int, ld pmap.Loader[Tuple]) *Relation {
+	return &Relation{schema: s, tuples: pmap.NewLazy(root, count, ld)}
+}
+
+// Paged reports whether the relation faults its trie through a loader, i.e.
+// may hold far more tuples than resident memory. Whole-relation
+// materializations (scan memos, eager index builds) should be skipped for
+// paged relations.
+func (r *Relation) Paged() bool {
+	return r.tuples.Paged()
 }
 
 // DecodeTuples decodes an AppendTuples-encoded tuple list from the front of

@@ -296,7 +296,9 @@ func (r *Relation) ForEachKey(fn func(key string, t Tuple) error) error {
 // relation must not be mutated during the iteration (sealed instances
 // cannot be, and additionally memoize their scan order — see Relation).
 func (r *Relation) ForEach(fn func(Tuple) error) error {
-	if !r.sealed {
+	if !r.sealed || r.tuples.Paged() {
+		// No scan memo for paged relations: flattening would materialize the
+		// whole relation, defeating the cache budget that pages it.
 		return r.tuples.RangeValues(fn)
 	}
 	if p := r.scan.Load(); p != nil {

@@ -2,16 +2,23 @@
 // bounding how much WAL a recovery must replay.
 //
 // A checkpoint file (ckpt-%08d.ck) serializes the snapshot's relation tries
-// through pmap's bottom-up Persist walk: each trie node becomes one block —
-// child addresses plus the node's own tuples — and a node's address packs
-// (file id << 40 | offset) into a pmap.Addr. Because frozen trie nodes
-// memoize the address the last checkpoint assigned them, an incremental
-// checkpoint re-serializes only the nodes created since the previous one
-// (path copies of the commits in between) and refers to everything else by
-// address into earlier files of its chain. Every FullEvery-th checkpoint is
-// full — it retains no earlier address, so it is self-contained — and once
-// it commits, all older checkpoint files are deleted and the WAL is
-// truncated to the checkpoint's LSN watermark.
+// through pmap's bottom-up Persist walk: each trie node becomes one
+// length-prefixed block carrying its exact structure — bitmap, collision
+// flag and slots in stored order, each slot either a child address or a
+// tuple — and a node's address packs (file id << 40 | offset) into a
+// pmap.Addr. The block is decodable in isolation (decodeNodeBlock), which is
+// what lets the pager fault single nodes back in and makes the checkpoint a
+// live backing store, not just a backup. Because frozen trie nodes memoize
+// the address the last checkpoint assigned them, an incremental checkpoint
+// re-serializes only the nodes created since the previous one (path copies
+// of the commits in between) and refers to everything else by address into
+// earlier files of its chain. Every FullEvery-th checkpoint is full — it
+// retains no earlier address, so it is self-contained — and once it commits,
+// all older checkpoint files are superseded and the WAL is truncated to the
+// checkpoint's LSN watermark. On a resident database superseded files are
+// deleted on the spot; on a paged one they are only *condemned*, because
+// live snapshots may still hold stubs addressed into them — see
+// sweepCondemned for the gating.
 //
 // The directory at the end of the file records, per relation, the schema,
 // the trie root address and the cardinality, followed by the index
@@ -27,9 +34,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -39,7 +49,8 @@ import (
 )
 
 const (
-	ckptMagic    = "RPRCKPT1"
+	ckptMagic    = "RPRCKPT2"
+	ckptMagicV1  = "RPRCKPT1" // node blocks lacked the self-describing framing
 	ckptEndMagic = "RPRCKEND"
 	// addrShift packs a node address as fileID<<addrShift | offset: 24 bits
 	// of file id, 40 bits of offset (1 TiB per checkpoint file).
@@ -74,27 +85,38 @@ func (s *ckptSink) Retained(a pmap.Addr) bool {
 	return fid >= s.chainBase && s.live[fid]
 }
 
-func (s *ckptSink) Node(entries []pmap.Entry[relation.Tuple], children []pmap.Addr) (pmap.Addr, error) {
+func (s *ckptSink) Node(info pmap.NodeInfo[relation.Tuple]) (pmap.Addr, error) {
 	off := s.off
 	if uint64(off) > offsetMask {
 		return 0, fmt.Errorf("storage: checkpoint file exceeds addressable size")
 	}
+	// Body: bitmap, flags, slot count, then the slots in stored order — a
+	// child address, or address 0 followed by the tuple (the pmap key is the
+	// tuple's canonical key: derivable, so recomputed on load).
 	b := s.buf[:0]
-	b = binary.AppendUvarint(b, uint64(len(children)))
-	for _, c := range children {
-		b = binary.AppendUvarint(b, uint64(c))
+	b = binary.AppendUvarint(b, info.Bitmap)
+	var flags byte
+	if info.Coll {
+		flags |= 1
 	}
-	b = binary.AppendUvarint(b, uint64(len(entries)))
-	for _, e := range entries {
-		// The pmap key is the tuple's canonical key — derivable, so only the
-		// tuple is stored and the key recomputed on load.
-		b = relation.AppendTuple(b, e.Val)
+	b = append(b, flags)
+	b = binary.AppendUvarint(b, uint64(len(info.Slots)))
+	for _, sl := range info.Slots {
+		b = binary.AppendUvarint(b, uint64(sl.Child))
+		if sl.Child == 0 {
+			b = relation.AppendTuple(b, sl.Val)
+		}
 	}
 	s.buf = b
+	var pfx [binary.MaxVarintLen64]byte
+	hdr := binary.PutUvarint(pfx[:], uint64(len(b)))
+	if _, err := s.w.Write(pfx[:hdr]); err != nil {
+		return 0, err
+	}
 	if _, err := s.w.Write(b); err != nil {
 		return 0, err
 	}
-	s.off += int64(len(b))
+	s.off += int64(hdr + len(b))
 	return pmap.Addr(s.fileID<<addrShift | uint64(off)), nil
 }
 
@@ -157,14 +179,16 @@ func (d *Database) Checkpoint() error {
 		size int
 	}
 	entries := make([]relEntry, 0, len(names))
+	results := make([]*pmap.Persisted, 0, len(names))
 	for _, name := range names {
 		r := snap.rels[name]
-		root, _, err := r.Persist(sink)
+		res, err := r.Persist(sink)
 		if err != nil {
 			f.Close()
 			return fmt.Errorf("storage: checkpoint relation %q: %w", name, err)
 		}
-		entries = append(entries, relEntry{name: name, root: root, size: r.Len()})
+		entries = append(entries, relEntry{name: name, root: res.Root, size: r.Len()})
+		results = append(results, res)
 	}
 
 	// Directory: schemas, roots and cardinalities, then the index defs.
@@ -228,19 +252,34 @@ func (d *Database) Checkpoint() error {
 		return fmt.Errorf("storage: checkpoint: %w", err)
 	}
 
-	// Committed: the new file joins the chain; a full checkpoint supersedes
-	// everything older.
+	// Committed: the new file is durable and readable, so stubs rewritten by
+	// a full checkpoint may now be repointed at their new addresses.
+	for _, res := range results {
+		res.CommitRetargets()
+	}
+
+	// The new file joins the chain; a full checkpoint supersedes everything
+	// older. On a resident database the superseded files are deleted
+	// outright. On a paged one live snapshots may still fault through stubs
+	// addressed into them, so they are condemned instead and unlinked later,
+	// once no snapshot at least as old as this checkpoint remains (see
+	// sweepCondemned).
 	du.live[fileID] = true
 	du.count++
 	if full {
 		du.lastFull = fileID
 		for id := range du.live {
 			if id < fileID {
-				os.Remove(filepath.Join(du.dir, ckptName(id)))
+				if du.pager != nil {
+					du.condemned = append(du.condemned, condemnedFile{id: id, lsn: snap.lsn})
+				} else {
+					os.Remove(filepath.Join(du.dir, ckptName(id)))
+				}
 				delete(du.live, id)
 			}
 		}
 	}
+	du.sweepCondemned(snap.lsn)
 	du.bytes.Store(0)
 	total := uint64(dirOff) + uint64(len(dir)) + uint64(len(footer))
 	met.ckptRuns.Inc()
@@ -291,8 +330,14 @@ type ckptState struct {
 
 // loadCheckpoint reads the newest checkpoint chain under dir, or returns nil
 // when none exists. The relations come back mutable (unsealed) so the WAL
-// tail can replay onto them.
-func loadCheckpoint(dir string) (*ckptState, error) {
+// tail can replay onto them. With a pager, only the newest file's header and
+// directory are read — each relation materializes as a root stub over the
+// chain and every node faults in on demand — so opening an arbitrarily large
+// database touches kilobytes. Without one, every node of the chain is
+// decoded eagerly as before. Files below the chain base (condemned by an
+// earlier full checkpoint but not yet unlinked when the process died) are
+// removed: nothing can address them.
+func loadCheckpoint(dir string, pg *pager) (*ckptState, error) {
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -312,12 +357,22 @@ func loadCheckpoint(dir string) (*ckptState, error) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	newest := ids[len(ids)-1]
 
-	data, dirBytes, err := readCkptFile(filepath.Join(dir, ckptName(newest)))
+	var rest, dirBytes []byte
+	var files map[uint64][]byte
+	if pg != nil {
+		rest, dirBytes, err = readCkptMeta(filepath.Join(dir, ckptName(newest)))
+	} else {
+		var data []byte
+		data, dirBytes, err = readCkptFile(filepath.Join(dir, ckptName(newest)))
+		if err == nil {
+			rest = data[len(ckptMagic):]
+			files = map[uint64][]byte{newest: data}
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
 	st := &ckptState{fileID: newest, live: map[uint64]bool{newest: true}}
-	rest := data[len(ckptMagic):]
 	var k int
 	if _, k = binary.Uvarint(rest); k <= 0 { // file id (redundant with the name)
 		return nil, fmt.Errorf("storage: checkpoint %d: bad header", newest)
@@ -336,15 +391,20 @@ func loadCheckpoint(dir string) (*ckptState, error) {
 	}
 
 	// The chain: every surviving file in [lastFull, newest]. Ids of failed
-	// attempts are simply absent; nothing references them.
-	files := map[uint64][]byte{newest: data}
+	// attempts are simply absent; nothing references them. Leftover files
+	// below the chain base are dead — remove them.
 	for _, id := range ids {
-		if id >= st.lastFull && id < newest {
-			d, _, err := readCkptFile(filepath.Join(dir, ckptName(id)))
-			if err != nil {
-				return nil, err
+		switch {
+		case id < st.lastFull:
+			os.Remove(filepath.Join(dir, ckptName(id)))
+		case id < newest:
+			if pg == nil {
+				d, _, err := readCkptFile(filepath.Join(dir, ckptName(id)))
+				if err != nil {
+					return nil, err
+				}
+				files[id] = d
 			}
-			files[id] = d
 			st.live[id] = true
 		}
 	}
@@ -358,11 +418,11 @@ func loadCheckpoint(dir string) (*ckptState, error) {
 	var schemas []*schema.Relation
 	st.rels = make(map[string]*relation.Relation, n)
 	for i := uint64(0); i < n; i++ {
-		rs, rest, err := decodeRelationSchema(dirBytes)
+		rs, rem, err := decodeRelationSchema(dirBytes)
 		if err != nil {
 			return nil, fmt.Errorf("storage: checkpoint %d: %w", newest, err)
 		}
-		dirBytes = rest
+		dirBytes = rem
 		root, k := binary.Uvarint(dirBytes)
 		if k <= 0 {
 			return nil, fmt.Errorf("storage: checkpoint %d: bad root", newest)
@@ -373,17 +433,28 @@ func loadCheckpoint(dir string) (*ckptState, error) {
 			return nil, fmt.Errorf("storage: checkpoint %d: bad size", newest)
 		}
 		dirBytes = dirBytes[k:]
-		r := relation.New(rs)
-		if root != 0 {
-			if err := collectNodes(files, pmap.Addr(root), func(t relation.Tuple) {
-				r.InsertUnchecked(t)
-			}); err != nil {
-				return nil, fmt.Errorf("storage: checkpoint %d: relation %q: %w", newest, rs.Name, err)
+		var r *relation.Relation
+		if pg != nil {
+			// Shallow open: a root stub over the chain, cardinality trusted
+			// from the CRC-checked directory. Pinning the root keeps the
+			// first hop of every probe resident.
+			r = relation.FromPersisted(rs, pmap.Addr(root), int(size), pg)
+			if root != 0 {
+				pg.pin(pmap.Addr(root))
 			}
-		}
-		if uint64(r.Len()) != size {
-			return nil, fmt.Errorf("storage: checkpoint %d: relation %q: %d tuples, directory says %d",
-				newest, rs.Name, r.Len(), size)
+		} else {
+			r = relation.New(rs)
+			if root != 0 {
+				if err := collectNodes(files, pmap.Addr(root), 0, func(t relation.Tuple) {
+					r.InsertUnchecked(t)
+				}); err != nil {
+					return nil, fmt.Errorf("storage: checkpoint %d: relation %q: %w", newest, rs.Name, err)
+				}
+			}
+			if uint64(r.Len()) != size {
+				return nil, fmt.Errorf("storage: checkpoint %d: relation %q: %d tuples, directory says %d",
+					newest, rs.Name, r.Len(), size)
+			}
 		}
 		schemas = append(schemas, rs)
 		st.rels[rs.Name] = r
@@ -421,6 +492,9 @@ func readCkptFile(path string) ([]byte, []byte, error) {
 		return nil, nil, fmt.Errorf("storage: recover: %w", err)
 	}
 	const footerLen = 8 + 4 + 8
+	if len(data) >= len(ckptMagicV1) && string(data[:len(ckptMagicV1)]) == ckptMagicV1 {
+		return nil, nil, fmt.Errorf("storage: %s: unsupported v1 checkpoint (re-load the data)", filepath.Base(path))
+	}
 	if len(data) < len(ckptMagic)+footerLen || string(data[:len(ckptMagic)]) != ckptMagic {
 		return nil, nil, fmt.Errorf("storage: %s: not a checkpoint file", filepath.Base(path))
 	}
@@ -439,9 +513,69 @@ func readCkptFile(path string) ([]byte, []byte, error) {
 	return data, dirBytes, nil
 }
 
+// readCkptMeta opens a checkpoint file and reads only its header and
+// CRC-checked directory (via the footer), never the node blocks — the paged
+// Open path. Returns the header bytes (past the magic) and the directory.
+func readCkptMeta(path string) ([]byte, []byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: recover: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: recover: %w", err)
+	}
+	const footerLen = 8 + 4 + 8
+	size := st.Size()
+	if size < int64(len(ckptMagic))+footerLen {
+		return nil, nil, fmt.Errorf("storage: %s: not a checkpoint file", filepath.Base(path))
+	}
+	// Header: the magic plus four uvarints (fileID, chainBase, lsn, time).
+	hdr := make([]byte, len(ckptMagic)+4*binary.MaxVarintLen64)
+	if int64(len(hdr)) > size {
+		hdr = hdr[:size]
+	}
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, nil, fmt.Errorf("storage: recover: %w", err)
+	}
+	if string(hdr[:len(ckptMagicV1)]) == ckptMagicV1 {
+		return nil, nil, fmt.Errorf("storage: %s: unsupported v1 checkpoint (re-load the data)", filepath.Base(path))
+	}
+	if string(hdr[:len(ckptMagic)]) != ckptMagic {
+		return nil, nil, fmt.Errorf("storage: %s: not a checkpoint file", filepath.Base(path))
+	}
+	var foot [footerLen]byte
+	if _, err := f.ReadAt(foot[:], size-footerLen); err != nil {
+		return nil, nil, fmt.Errorf("storage: recover: %w", err)
+	}
+	if string(foot[12:]) != ckptEndMagic {
+		return nil, nil, fmt.Errorf("storage: %s: missing footer magic", filepath.Base(path))
+	}
+	dirOff := binary.LittleEndian.Uint64(foot[:])
+	if dirOff > uint64(size-footerLen) {
+		return nil, nil, fmt.Errorf("storage: %s: directory offset out of range", filepath.Base(path))
+	}
+	dirBytes := make([]byte, uint64(size-footerLen)-dirOff)
+	if _, err := f.ReadAt(dirBytes, int64(dirOff)); err != nil {
+		return nil, nil, fmt.Errorf("storage: recover: %w", err)
+	}
+	if crc32.Checksum(dirBytes, crcTable) != binary.LittleEndian.Uint32(foot[8:]) {
+		return nil, nil, fmt.Errorf("storage: %s: directory checksum mismatch", filepath.Base(path))
+	}
+	return hdr[len(ckptMagic):], dirBytes, nil
+}
+
+// ckptMaxDepth bounds the eager trie walk, mirroring pmap's own depth guard:
+// a deeper chain means a corrupt file forged a cyclic address graph.
+const ckptMaxDepth = 16
+
 // collectNodes walks a persisted trie depth-first from addr, invoking fn for
-// every stored tuple.
-func collectNodes(files map[uint64][]byte, addr pmap.Addr, fn func(relation.Tuple)) error {
+// every stored tuple — the eager (resident) load path.
+func collectNodes(files map[uint64][]byte, addr pmap.Addr, depth int, fn func(relation.Tuple)) error {
+	if depth > ckptMaxDepth {
+		return fmt.Errorf("node %x: trie deeper than hash width", uint64(addr))
+	}
 	fid := uint64(addr) >> addrShift
 	off := uint64(addr) & offsetMask
 	data := files[fid]
@@ -452,33 +586,101 @@ func collectNodes(files map[uint64][]byte, addr pmap.Addr, fn func(relation.Tupl
 		return fmt.Errorf("node %x offset out of range", uint64(addr))
 	}
 	b := data[off:]
-	nc, k := binary.Uvarint(b)
-	if k <= 0 || nc > uint64(len(b)) {
-		return fmt.Errorf("node %x: bad child count", uint64(addr))
+	bodyLen, k := binary.Uvarint(b)
+	if k <= 0 || bodyLen == 0 || bodyLen > maxNodeBody || bodyLen > uint64(len(b)-k) {
+		return fmt.Errorf("node %x: bad block length", uint64(addr))
 	}
-	b = b[k:]
-	for i := uint64(0); i < nc; i++ {
-		child, k := binary.Uvarint(b)
-		if k <= 0 {
-			return fmt.Errorf("node %x: bad child address", uint64(addr))
-		}
-		b = b[k:]
-		if err := collectNodes(files, pmap.Addr(child), fn); err != nil {
-			return err
-		}
+	node, _, err := decodeNodeBlock(addr, b[k:uint64(k)+bodyLen])
+	if err != nil {
+		return err
 	}
-	ne, k := binary.Uvarint(b)
-	if k <= 0 || ne > uint64(len(b)) {
-		return fmt.Errorf("node %x: bad entry count", uint64(addr))
-	}
-	b = b[k:]
-	for i := uint64(0); i < ne; i++ {
-		t, rest, err := relation.DecodeTuple(b)
-		if err != nil {
-			return fmt.Errorf("node %x: %w", uint64(addr), err)
+	return node.Walk(func(child pmap.Addr, t relation.Tuple) error {
+		if child != 0 {
+			return collectNodes(files, child, depth+1, fn)
 		}
 		fn(t)
-		b = rest
+		return nil
+	})
+}
+
+// condemnedFile is a checkpoint file superseded by the full checkpoint at
+// lsn, awaiting unlink until no live snapshot predates that checkpoint.
+type condemnedFile struct {
+	id  uint64
+	lsn uint64
+}
+
+// sweepCondemned unlinks condemned checkpoint files once the oldest live
+// snapshot's LSN has reached the condemning checkpoint's — the chain
+// watermark is pinned to the oldest live snapshot, so a reader still holding
+// stubs into a superseded file keeps it on disk. Immediately before each
+// unlink the pager permanently retains the file's handle: any stale stub
+// that nonetheless escaped the retarget walk still faults correctly through
+// the open descriptor. Called under ckptMu with the current snapshot's LSN.
+func (du *durability) sweepCondemned(cur uint64) {
+	if du.pager == nil || len(du.condemned) == 0 {
+		return
 	}
-	return nil
+	floor := du.leases.oldestLive(cur)
+	kept := du.condemned[:0]
+	for _, c := range du.condemned {
+		if floor < c.lsn {
+			kept = append(kept, c)
+			continue
+		}
+		retained, err := du.pager.retainFile(c.id)
+		if err != nil {
+			kept = append(kept, c) // transient; retry on the next sweep
+			continue
+		}
+		if retained {
+			os.Remove(filepath.Join(du.dir, ckptName(c.id)))
+		}
+		// Not retained means the file is already gone (or the pager closed
+		// mid-shutdown); either way the entry is done.
+	}
+	du.condemned = kept
+}
+
+// snapLeases refcounts live snapshots by LSN so checkpoint GC can find the
+// oldest snapshot still reachable anywhere in the process. Snapshots are
+// registered at publish; the lease is released by the snapshot's finalizer,
+// so "live" tracks actual reachability (a long-held old snapshot keeps its
+// checkpoint files on disk, a dropped one frees them at the next sweep
+// after GC). Only paged databases register — resident ones never read back.
+type snapLeases struct {
+	mu   sync.Mutex
+	live map[uint64]int
+}
+
+func newSnapLeases() *snapLeases { return &snapLeases{live: map[uint64]int{}} }
+
+func (l *snapLeases) register(s *Snapshot) {
+	l.mu.Lock()
+	l.live[s.lsn]++
+	l.mu.Unlock()
+	runtime.SetFinalizer(s, l.release)
+}
+
+func (l *snapLeases) release(s *Snapshot) {
+	l.mu.Lock()
+	if n := l.live[s.lsn]; n <= 1 {
+		delete(l.live, s.lsn)
+	} else {
+		l.live[s.lsn] = n - 1
+	}
+	l.mu.Unlock()
+}
+
+// oldestLive returns the smallest leased LSN, or cur when nothing is leased.
+func (l *snapLeases) oldestLive(cur uint64) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	min := cur
+	for lsn := range l.live {
+		if lsn < min {
+			min = lsn
+		}
+	}
+	return min
 }

@@ -79,6 +79,12 @@ type DurOptions struct {
 	// incremental, bounding the chain a recovery must read; 0 means the
 	// default (8).
 	FullEvery int
+	// CacheBytes, when positive, pages the database: relations open as
+	// shallow stubs over the checkpoint chain and trie nodes fault in
+	// through a shared node cache bounded near this many bytes (CLOCK
+	// eviction; pinned roots and in-flight faults can exceed it
+	// transiently). 0 keeps the database fully memory-resident.
+	CacheBytes int64
 	// Metrics, when non-nil, receives every engine metric: the WAL writer,
 	// the recovery replay and the opened database all resolve their handles
 	// from it. Nil disables metrics (Open still builds a private registry for
@@ -137,6 +143,15 @@ type durability struct {
 	// count counts committed checkpoints; every FullEvery-th (starting with
 	// the first) is full.
 	count uint64
+	// pager is the shared node cache of a paged database (CacheBytes > 0);
+	// nil for a resident one. It is the Loader behind every relation stub.
+	pager *pager
+	// leases tracks live snapshots by LSN for checkpoint-chain GC; non-nil
+	// exactly when pager is.
+	leases *snapLeases
+	// condemned lists superseded checkpoint files awaiting unlink (paged
+	// databases only); guarded by ckptMu.
+	condemned []condemnedFile
 
 	// bytes accumulates WAL bytes since the last checkpoint, the automatic
 	// checkpoint trigger.
@@ -181,7 +196,17 @@ func (d *Database) Close() error {
 		return nil
 	}
 	d.dur.wg.Wait()
-	return d.dur.w.Close()
+	err := d.dur.w.Close()
+	if d.dur.pager != nil {
+		// After the WAL: no more commits, no more checkpoints, so no more
+		// faults on behalf of new work. Readers still holding old snapshots
+		// of a paged database fault-fail from here on (documented: Close
+		// invalidates the database).
+		if cerr := d.dur.pager.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // waitQuiesced blocks (under pubMu) until every reserved epoch has published

@@ -422,7 +422,7 @@ func (d *Database) processEpoch(batch []*pending, leader *pending) {
 			if recLSN != 0 {
 				next.lsn = recLSN
 			}
-			d.snap.Store(next)
+			d.publishSnap(next)
 			d.pubCond.Broadcast()
 			d.pubMu.Unlock()
 			met.inflight.Add(-1)

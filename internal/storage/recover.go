@@ -41,9 +41,23 @@ func Open(dir string, sch *schema.Database, opts DurOptions) (*Database, error) 
 		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
 	}
 
-	ck, err := loadCheckpoint(dir)
-	if err != nil {
+	// A positive CacheBytes pages the database: the pager is the shared node
+	// cache every relation stub faults through, and Open reads only
+	// checkpoint headers and directories instead of decoding every node.
+	var pg *pager
+	if opts.CacheBytes > 0 {
+		pg = newPager(dir, opts.CacheBytes, opts.Metrics)
+	}
+	fail := func(err error) (*Database, error) {
+		if pg != nil {
+			pg.Close()
+		}
 		return nil, err
+	}
+
+	ck, err := loadCheckpoint(dir, pg)
+	if err != nil {
+		return fail(err)
 	}
 	met := newStoreMetrics(opts.Metrics)
 	rs := &replayState{
@@ -52,7 +66,10 @@ func Open(dir string, sch *schema.Database, opts DurOptions) (*Database, error) 
 		met:  met,
 		tr:   opts.Tracer,
 	}
-	du := &durability{dir: dir, opts: opts, live: map[uint64]bool{}, nextFile: 1}
+	du := &durability{dir: dir, opts: opts, live: map[uint64]bool{}, nextFile: 1, pager: pg}
+	if pg != nil {
+		du.leases = newSnapLeases()
+	}
 	if ck != nil {
 		rs.sch = ck.sch
 		rs.rels = ck.rels
@@ -72,12 +89,12 @@ func Open(dir string, sch *schema.Database, opts DurOptions) (*Database, error) 
 	}
 
 	if err := replayWAL(dir, rs); err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	w, err := wal.Open(dir, rs.lsn+1, opts.walOptions())
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	du.w = w
 
@@ -102,13 +119,13 @@ func Open(dir string, sch *schema.Database, opts DurOptions) (*Database, error) 
 	idx, err := buildIndexes(rels, rs.hash, rs.ordered)
 	if err != nil {
 		w.Close()
-		return nil, err
+		return fail(err)
 	}
 	d.clock.Store(rs.time)
 	for _, sh := range d.shards {
 		sh.truncated = rs.time
 	}
-	d.snap.Store(&Snapshot{sch: rs.sch, rels: rels, idx: idx, time: rs.time, lsn: rs.lsn})
+	d.publishSnap(&Snapshot{sch: rs.sch, rels: rels, idx: idx, time: rs.time, lsn: rs.lsn})
 	met.openSeconds.Observe(uint64(time.Since(tOpen)))
 	return d, nil
 }

@@ -404,6 +404,20 @@ func (d *Database) Schema() *schema.Database { return d.sch }
 // regardless of later commits.
 func (d *Database) Snapshot() *Snapshot { return d.snap.Load() }
 
+// publishSnap atomically publishes s as the current snapshot. On a paged
+// database it also registers a GC lease keyed by s.lsn: checkpoint-chain GC
+// (sweepCondemned) pins superseded checkpoint files on disk until no
+// published snapshot older than the condemning checkpoint remains reachable.
+// Resident databases skip the lease entirely — publish stays a bare atomic
+// store. In-memory construction paths (NewSharded, Clone) store directly;
+// they have no durability sidecar to lease against.
+func (d *Database) publishSnap(s *Snapshot) {
+	if du := d.dur; du != nil && du.leases != nil {
+		du.leases.register(s)
+	}
+	d.snap.Store(s)
+}
+
 // Time returns the logical time of the current state.
 func (d *Database) Time() uint64 { return d.Snapshot().time }
 
@@ -452,7 +466,7 @@ func (d *Database) AddRelation(rs *schema.Relation) error {
 		}
 		next.lsn = lsn
 	}
-	d.snap.Store(next)
+	d.publishSnap(next)
 	return nil
 }
 
@@ -481,7 +495,7 @@ func (d *Database) Load(r *relation.Relation) error {
 		}
 		next.lsn = lsn
 	}
-	d.snap.Store(next)
+	d.publishSnap(next)
 	return nil
 }
 
@@ -534,7 +548,7 @@ func (d *Database) DefineIndex(rel string, cols []int) error {
 		}
 		next.lsn = lsn
 	}
-	d.snap.Store(next)
+	d.publishSnap(next)
 	return nil
 }
 
@@ -587,7 +601,7 @@ func (d *Database) DefineOrderedIndex(rel string, cols []int) error {
 		}
 		next.lsn = lsn
 	}
-	d.snap.Store(next)
+	d.publishSnap(next)
 	return nil
 }
 

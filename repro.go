@@ -160,6 +160,14 @@ type Options struct {
 	// default (8 MiB), negative disables automatic checkpoints (DB.Checkpoint
 	// still works). Ignored when Dir is empty.
 	CheckpointBytes int64
+	// CacheBytes, when positive, pages the durable database instead of
+	// keeping it memory-resident: Open materializes relations as shallow
+	// stubs over the newest checkpoint chain and trie nodes fault in on
+	// demand through a shared node cache bounded near this many bytes (CLOCK
+	// eviction, pinned roots), so relations can outgrow RAM. Commits are
+	// unaffected — path-copied writes stay in memory until checkpointed.
+	// 0 keeps every relation fully resident. Requires Dir.
+	CacheBytes int64
 	// Metrics, when non-nil, is the registry every engine metric registers
 	// on — transaction execution, the commit pipeline, the WAL, index
 	// maintenance and checkpoint/recovery (see docs/OBSERVABILITY.md for the
@@ -211,6 +219,12 @@ func (o *Options) Validate() error {
 	}
 	if o.Sync != SyncAlways && o.Dir == "" {
 		return fmt.Errorf("repro: Options.Sync requires Options.Dir (an in-memory database has no log to sync)")
+	}
+	if o.CacheBytes < 0 {
+		return fmt.Errorf("repro: Options.CacheBytes must be positive (or 0 for fully resident), got %d", o.CacheBytes)
+	}
+	if o.CacheBytes > 0 && o.Dir == "" {
+		return fmt.Errorf("repro: Options.CacheBytes requires Options.Dir (paging needs a checkpoint chain to fault from)")
 	}
 	for _, decl := range o.Indexes {
 		if _, _, _, err := index.ParseDecl(decl); err != nil {
@@ -310,6 +324,7 @@ func OpenChecked(opts *Options) (*DB, error) {
 			Shards:          shards,
 			Sync:            o.Sync.wal(),
 			CheckpointBytes: o.CheckpointBytes,
+			CacheBytes:      o.CacheBytes,
 			Metrics:         reg,
 			Tracer:          o.Tracer,
 		})
