@@ -261,7 +261,9 @@ func TestOrderedIndexDeclarations(t *testing.T) {
 // the probe agrees with the scan path, and a threshold-guarded alarm still
 // aborts a violating transaction through the probed check.
 func TestSubmitRangeProbes(t *testing.T) {
-	db := Open(&Options{UseDifferential: true, AutoIndex: true, Indexes: []string{"stock(id)"}})
+	// Pruning off: the benign qty = qty + 1 update below is provably safe
+	// and would elide the probed check this test pins.
+	db := Open(&Options{UseDifferential: true, AutoIndex: true, Indexes: []string{"stock(id)"}, DisableCheckPruning: true})
 	db.MustCreateRelation(`relation stock(id int, qty int)`)
 	// There must always be at least one well-stocked item: an existential
 	// constraint whose check selects stock by a threshold comparison. With
@@ -362,9 +364,13 @@ const rangeSentinel = 1_000_000
 // update predicates probe declared stock(id) hash indexes and the checks
 // range-probe auto-built stock(qty) ordered indexes; with indexed=false the
 // same transactions scan, which is the benchmark's before/after contrast.
-func newRangeAlarmDB(t testing.TB, nShards, lowRows int, indexed bool) *DB {
+// With prune=false the monotone qty = qty + 1 updates would elide the probed
+// checks entirely, so the tests pinning the range-probe machinery pass false;
+// the safe-heavy benchmark workload passes true to measure exactly that
+// elision.
+func newRangeAlarmDB(t testing.TB, nShards, lowRows int, indexed, prune bool) *DB {
 	t.Helper()
-	opts := &Options{UseDifferential: true, AutoIndex: indexed, MaxCommitRetries: 1_000_000}
+	opts := &Options{UseDifferential: true, AutoIndex: indexed, MaxCommitRetries: 1_000_000, DisableCheckPruning: !prune}
 	if indexed {
 		for s := 0; s < nShards; s++ {
 			opts.Indexes = append(opts.Indexes, fmt.Sprintf("stock%d(id)", s))
@@ -400,7 +406,7 @@ func TestRangeProbeCrossShardStress(t *testing.T) {
 		lowRows   = 400
 		perWorker = 60
 	)
-	db := newRangeAlarmDB(t, nShards, lowRows, true)
+	db := newRangeAlarmDB(t, nShards, lowRows, true, false)
 	var wg sync.WaitGroup
 	errs := make(chan error, 2*nShards*perWorker)
 	// Two workers per stock relation, updating disjoint id halves: their

@@ -27,6 +27,15 @@ type Options struct {
 	Dynamic bool
 	// MaxDepth overrides DefaultMaxDepth when positive.
 	MaxDepth int
+	// Prune runs the static safety analyzer (translate.AnalyzeSafety) per
+	// selected rule and appends only the checks the transaction's statement
+	// shapes require; a fully safe verdict appends nothing, so the check
+	// contributes no read records, probes or conflict surface at all.
+	// Effective only together with UseDifferential: the per-side residual
+	// checks are what the analyzer selects among, and full-state checks are
+	// what callers fall back on when they bypass the base-consistency
+	// invariant pruning shares with the differential rewrite.
+	Prune bool
 }
 
 // Subsystem is the integrity control subsystem: it holds the rule catalog
@@ -55,6 +64,11 @@ type Step struct {
 	Rules []string
 	// Statements appended at this level.
 	Statements int
+	// ChecksElided counts compiled check programs the safety analyzer
+	// proved unnecessary at this level.
+	ChecksElided int
+	// Repairs counts repair programs appended at this level.
+	Repairs int
 }
 
 // Report describes what the modification did to a transaction.
@@ -64,6 +78,11 @@ type Report struct {
 	OriginalStmts  int
 	FinalStmts     int
 	RulesTriggered map[string]int // rule name → times selected
+	// ChecksElided counts compiled check programs the safety analyzer
+	// elided across all levels.
+	ChecksElided int
+	// ChecksRepaired counts repair programs appended across all levels.
+	ChecksRepaired int
 }
 
 // String renders a human-readable summary.
@@ -71,8 +90,15 @@ func (r *Report) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "modification: %d -> %d statements, %d level(s)\n", r.OriginalStmts, r.FinalStmts, r.Depth)
 	for i, st := range r.Steps {
-		fmt.Fprintf(&sb, "  level %d: triggers {%s} selected [%s] (+%d stmts)\n",
+		fmt.Fprintf(&sb, "  level %d: triggers {%s} selected [%s] (+%d stmts)",
 			i+1, st.Triggers, strings.Join(st.Rules, ", "), st.Statements)
+		if st.ChecksElided > 0 {
+			fmt.Fprintf(&sb, " (%d checks elided)", st.ChecksElided)
+		}
+		if st.Repairs > 0 {
+			fmt.Fprintf(&sb, " (%d repairs)", st.Repairs)
+		}
+		sb.WriteString("\n")
 	}
 	return sb.String()
 }
@@ -104,13 +130,20 @@ func (s *Subsystem) modP(p algebra.Program, depth int, report *Report) (algebra.
 	if err != nil {
 		return nil, err
 	}
-	if len(triggered) == 0 {
+	if len(step.Rules) == 0 {
 		return p, nil
 	}
 	report.Depth = depth + 1
 	report.Steps = append(report.Steps, step)
+	report.ChecksElided += step.ChecksElided
+	report.ChecksRepaired += step.Repairs
 	for _, name := range step.Rules {
 		report.RulesTriggered[name]++
+	}
+	if len(triggered) == 0 {
+		// Every selected rule's checks were proven unnecessary: nothing was
+		// appended, so the recursion ends here.
+		return p, nil
 	}
 	rest, err := s.modP(triggered, depth+1, report)
 	if err != nil {
@@ -122,24 +155,34 @@ func (s *Subsystem) modP(p algebra.Program, depth int, report *Report) (algebra.
 // trigP implements TrigP: the concatenation of the enforcement programs of
 // the rules whose trigger sets intersect the program's triggers
 // (SelPS/ConcatP of Algorithm 6.2, or SelRS/TrOptRS of Algorithms 5.2-5.3 in
-// dynamic mode).
+// dynamic mode). A rule is never selected by its own repair statements: the
+// repair is a complete fix for the rule's constraint by construction, and
+// the rule's checks already run after it within the same enforcement
+// program, so re-selecting would loop without adding enforcement.
 func (s *Subsystem) trigP(p algebra.Program) (algebra.Program, Step, error) {
-	raised := s.programTriggers(p)
+	raised, byOrigin := s.programTriggers(p)
 	step := Step{Triggers: raised}
 	if raised.IsEmpty() {
 		return nil, step, nil
 	}
+	analysis := unwrapStmts(p)
 	var out algebra.Program
 	for _, ip := range s.cat.Programs() {
-		if !ip.Triggers.Intersects(raised) {
+		sel := raised
+		if _, isOrigin := byOrigin[ip.RuleName]; isOrigin {
+			sel = s.triggersExcludingOrigin(p, ip.RuleName)
+		}
+		if !ip.Triggers.Intersects(sel) {
 			continue
 		}
-		enforcement, err := s.enforcementProgram(ip)
+		enforcement, elided, repairs, err := s.enforcementProgram(ip, analysis)
 		if err != nil {
 			return nil, step, err
 		}
 		step.Rules = append(step.Rules, ip.RuleName)
 		step.Statements += len(enforcement)
+		step.ChecksElided += elided
+		step.Repairs += repairs
 		out = out.Concat(enforcement)
 	}
 	return out, step, nil
@@ -148,23 +191,59 @@ func (s *Subsystem) trigP(p algebra.Program) (algebra.Program, Step, error) {
 // programTriggers computes GetTrigPX over a program: statements belonging to
 // a non-triggering rule action raise no triggers. Non-triggering actions are
 // recognized per enforcement-program instance via the nonTriggering marker
-// statements are tagged with when cloned in enforcementProgram.
-func (s *Subsystem) programTriggers(p algebra.Program) trigger.Set {
+// statements are tagged with when cloned in enforcementProgram. The second
+// result maps repair origins present in the program to their raised
+// triggers, so selection can exclude a rule's own repair statements.
+func (s *Subsystem) programTriggers(p algebra.Program) (trigger.Set, map[string]trigger.Set) {
+	out := trigger.NewSet()
+	var byOrigin map[string]trigger.Set
+	for _, st := range p {
+		if _, ok := st.(*nonTriggeringStmt); ok {
+			continue // declared non-triggering: contributes nothing
+		}
+		ts := trigger.FromStatement(unwrapStmt(st))
+		if rs, ok := st.(*repairStmt); ok {
+			if byOrigin == nil {
+				byOrigin = make(map[string]trigger.Set)
+			}
+			if cur, ok := byOrigin[rs.origin]; ok {
+				byOrigin[rs.origin] = cur.Union(ts)
+			} else {
+				byOrigin[rs.origin] = ts
+			}
+		}
+		out.AddAll(ts)
+	}
+	return out, byOrigin
+}
+
+// triggersExcludingOrigin recomputes the raised trigger set skipping repair
+// statements tagged with the given origin (and non-triggering statements,
+// as always).
+func (s *Subsystem) triggersExcludingOrigin(p algebra.Program, origin string) trigger.Set {
 	out := trigger.NewSet()
 	for _, st := range p {
-		if nt, ok := st.(*nonTriggeringStmt); ok {
-			_ = nt // declared non-triggering: contributes nothing
+		if _, ok := st.(*nonTriggeringStmt); ok {
 			continue
 		}
-		out.AddAll(trigger.FromStatement(st))
+		if rs, ok := st.(*repairStmt); ok && rs.origin == origin {
+			continue
+		}
+		out.AddAll(trigger.FromStatement(unwrapStmt(st)))
 	}
 	return out
 }
 
-// enforcementProgram returns a fresh copy of the rule's enforcement program,
-// re-translating when the subsystem operates dynamically.
-func (s *Subsystem) enforcementProgram(ip *rules.IntegrityProgram) (algebra.Program, error) {
-	var prog algebra.Program
+// enforcementProgram returns a fresh copy of the rule's enforcement program
+// — repair statements first (tagged with their origin), checks after them —
+// re-translating when the subsystem operates dynamically. With pruning
+// active, the safety analyzer scores the level's statements against each
+// translated part and only the required residual checks are emitted; a rule
+// whose parts are all provably safe appends nothing at all (its repair
+// would be a no-op too). Returns the program plus the number of elided
+// check programs and appended repair programs.
+func (s *Subsystem) enforcementProgram(ip *rules.IntegrityProgram, analysis []algebra.Stmt) (algebra.Program, int, int, error) {
+	eip := ip
 	if r, ok := s.cat.Rule(ip.RuleName); s.opts.Dynamic && ok {
 		// Externally added programs (no rule, e.g. view maintenance) have
 		// nothing to re-translate and use the stored form even in dynamic
@@ -174,22 +253,48 @@ func (s *Subsystem) enforcementProgram(ip *rules.IntegrityProgram) (algebra.Prog
 			Triggers:  r.Triggers.Clone(),
 			Condition: r.Condition,
 			Action:    r.Action,
+			Repair:    r.Repair,
 		}, s.cat.Schema())
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
-		prog = fresh.Program(s.opts.UseDifferential)
-	} else {
-		prog = algebra.CloneProgram(ip.Program(s.opts.UseDifferential))
+		eip = fresh
 	}
-	if ip.NonTriggering {
-		wrapped := make(algebra.Program, len(prog))
-		for i, st := range prog {
+
+	var checks algebra.Program
+	elided := 0
+	if s.opts.Prune && s.opts.UseDifferential && len(eip.Plans) > 0 {
+		for _, pl := range eip.Plans {
+			need := translate.AnalyzeSafety(pl.Part, s.cat.Schema(), analysis)
+			prog, skipped := pl.ProgramFor(need)
+			elided += skipped
+			checks = checks.Concat(algebra.CloneProgram(prog))
+		}
+	} else {
+		checks = algebra.CloneProgram(eip.Program(s.opts.UseDifferential))
+	}
+
+	var out algebra.Program
+	repairs := 0
+	if eip.Repair != nil && (elided == 0 || len(checks) > 0) {
+		// All-safe verdicts skip the repair too: a transaction that cannot
+		// violate the constraint makes the repair a no-op by construction.
+		repairs = 1
+		rp := algebra.CloneProgram(eip.Repair.Program)
+		for _, st := range rp {
+			out = append(out, &repairStmt{Stmt: st, origin: eip.RuleName})
+		}
+	}
+	out = out.Concat(checks)
+
+	if eip.NonTriggering {
+		wrapped := make(algebra.Program, len(out))
+		for i, st := range out {
 			wrapped[i] = &nonTriggeringStmt{Stmt: st}
 		}
-		return wrapped, nil
+		return wrapped, elided, repairs, nil
 	}
-	return prog, nil
+	return out, elided, repairs, nil
 }
 
 // nonTriggeringStmt wraps a statement of a non-triggering rule action so the
@@ -197,6 +302,40 @@ func (s *Subsystem) enforcementProgram(ip *rules.IntegrityProgram) (algebra.Prog
 // Definition 6.2). It is transparent for type checking and execution.
 type nonTriggeringStmt struct {
 	algebra.Stmt
+}
+
+// repairStmt wraps a statement of a rule's repair program, carrying the rule
+// it repairs for so the next recursion level does not re-select that rule on
+// its own repair. It is transparent for type checking and execution.
+type repairStmt struct {
+	algebra.Stmt
+	origin string
+}
+
+// unwrapStmt strips the subsystem's marker wrappers off a statement.
+func unwrapStmt(st algebra.Stmt) algebra.Stmt {
+	for {
+		switch x := st.(type) {
+		case *nonTriggeringStmt:
+			st = x.Stmt
+		case *repairStmt:
+			st = x.Stmt
+		default:
+			return st
+		}
+	}
+}
+
+// unwrapStmts strips marker wrappers off a whole program for analysis. All
+// state-changing statements are included — non-triggering and repair
+// statements raise no (or restricted) triggers but still write data the
+// checks of selected rules observe.
+func unwrapStmts(p algebra.Program) []algebra.Stmt {
+	out := make([]algebra.Stmt, len(p))
+	for i, st := range p {
+		out[i] = unwrapStmt(st)
+	}
+	return out
 }
 
 // Classes returns the constraint classes enforced by the catalog, for

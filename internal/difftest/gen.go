@@ -1,0 +1,261 @@
+// Package difftest generates randomized (schema, constraint set,
+// transaction) scenarios for the differential enforcement harness: every
+// generated transaction is run through both the pruned and the unpruned
+// enforcement path and the outcomes must be identical. The package emits
+// only source text (DDL, constraint formulas, transaction programs) so it
+// can be used from the facade tests and the fuzz targets without importing
+// the engine.
+//
+// The generator is deliberately adversarial around the safety analyzer's
+// decision boundaries: inserted values cluster on, next to and across
+// constraint thresholds; updates mix monotone steps in both directions,
+// constant stores, identity writes and cross-column expressions; deletes
+// target guard-failing and guard-satisfying rows alike; referential writes
+// hit both existing and missing keys. Division is excluded from generated
+// conditions and set expressions: an evaluation error inside an enforcement
+// check aborts the transaction at whichever check runs first, so pruned and
+// unpruned programs could surface errors from different (all correct)
+// program points; the harness asserts outcome equality, not error-site
+// equality.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Scenario is one generated workload.
+type Scenario struct {
+	// Relations holds DDL texts, in creation order.
+	Relations []string
+	// Constraints holds named constraint declarations (condition text may
+	// end in an "on violation" repair clause).
+	Constraints []Constraint
+	// Seed holds transaction texts that establish the initial state. They
+	// are submitted through the checked path; a seed transaction that
+	// violates a constraint is simply dropped (rejection sampling), which
+	// keeps the surviving base state consistent by the engine's own
+	// semantics.
+	Seed []string
+	// Txns holds the randomized workload transactions.
+	Txns []string
+}
+
+// Constraint is a named constraint declaration.
+type Constraint struct {
+	Name string
+	Cond string
+}
+
+// The fixed scenario schema. Thresholds, categories and keys vary; the
+// relation shapes do not, which keeps the statement generators simple and
+// the search space dense around the interesting boundaries.
+//
+//	item(id int, qty int, price int, cat string)
+//	ord(id int, item int, n int)
+const (
+	itemDDL = `relation item(id int, qty int, price int, cat string)`
+	ordDDL  = `relation ord(id int, item int, n int)`
+)
+
+// Generate builds a scenario with nTxns workload transactions.
+func Generate(rng *rand.Rand, nTxns int) *Scenario {
+	s := &Scenario{Relations: []string{itemDDL, ordDDL}}
+	s.Constraints = genConstraints(rng)
+	s.Seed = genSeed(rng)
+	for i := 0; i < nTxns; i++ {
+		s.Txns = append(s.Txns, genTxn(rng))
+	}
+	return s
+}
+
+// genConstraints picks 1–3 distinct constraint templates.
+func genConstraints(rng *rand.Rand) []Constraint {
+	type tmpl func(rng *rand.Rand, name string) Constraint
+	templates := []tmpl{domainConstraint, referentialConstraint, existentialConstraint, pairConstraint}
+	rng.Shuffle(len(templates), func(i, j int) { templates[i], templates[j] = templates[j], templates[i] })
+	n := 1 + rng.Intn(3)
+	if n > len(templates) {
+		n = len(templates)
+	}
+	var out []Constraint
+	for i := 0; i < n; i++ {
+		out = append(out, templates[i](rng, fmt.Sprintf("c%d", i)))
+	}
+	return out
+}
+
+// domainConstraint: forall x (x in item [and guard] implies x.attr op K),
+// optionally with a clamp or cascade delete repair.
+//
+// Every generated constraint must hold on the sentinel row (1000, 500,
+// 500, 'a'): differential enforcement — and therefore pruning — is only
+// sound against a consistent committed base state, so the constraint set
+// must be jointly satisfiable and the seed must establish a satisfying
+// state. Upper bounds therefore always carry a category guard excluding
+// the sentinel's 'a'; lower bounds (which 500 satisfies for any K in the
+// band) may go unguarded.
+func domainConstraint(rng *rand.Rand, name string) Constraint {
+	attr := pick(rng, "qty", "price")
+	op := pick(rng, ">=", "<=", ">", "<")
+	k := rng.Intn(11) - 5
+	guard := ""
+	if op == "<=" || op == "<" {
+		guard = fmt.Sprintf(` and x.cat = '%s'`, pick(rng, "b", "c"))
+	} else if rng.Intn(3) == 0 {
+		guard = fmt.Sprintf(` and x.cat = '%s'`, pick(rng, "a", "b"))
+	}
+	cond := fmt.Sprintf(`forall x (x in item%s implies x.%s %s %d)`, guard, attr, op, k)
+	switch rng.Intn(4) {
+	case 0:
+		// Clamp is rejected at definition time when the guard reads the
+		// clamped attribute; the guard here reads cat only, so it compiles.
+		cond += " on violation clamp"
+	case 1:
+		cond += " on violation cascade delete"
+	}
+	return Constraint{Name: name, Cond: cond}
+}
+
+// referentialConstraint: every order references an existing item,
+// optionally repaired by cascade delete or default fill.
+func referentialConstraint(rng *rand.Rand, name string) Constraint {
+	cond := `forall x (x in ord implies exists y (y in item and x.item = y.id))`
+	switch rng.Intn(4) {
+	case 0:
+		cond += " on violation cascade delete"
+	case 1:
+		cond += " on violation default fill"
+	}
+	return Constraint{Name: name, Cond: cond}
+}
+
+// existentialConstraint: some item stays above a reserve threshold. The
+// seed plants a large sentinel so the base state has a durable witness.
+func existentialConstraint(rng *rand.Rand, name string) Constraint {
+	k := 50 + rng.Intn(50)
+	return Constraint{Name: name, Cond: fmt.Sprintf(`exists x (x in item and x.qty >= %d)`, k)}
+}
+
+// pairConstraint: no order demands more than its item's stock.
+func pairConstraint(rng *rand.Rand, name string) Constraint {
+	return Constraint{Name: name, Cond: `forall x (x in item implies forall y (y in ord implies not (y.item = x.id and y.n > x.qty)))`}
+}
+
+// genSeed emits per-row insert transactions: rejected rows drop out
+// individually instead of voiding the whole seed.
+func genSeed(rng *rand.Rand) []string {
+	var out []string
+	// A high-qty sentinel keeps existential reserves satisfiable and gives
+	// referential fills a target.
+	out = append(out, `begin insert(item, values[(1000, 500, 500, 'a')]); end`)
+	nItems := 3 + rng.Intn(6)
+	for i := 0; i < nItems; i++ {
+		out = append(out, fmt.Sprintf(`begin insert(item, values[(%d, %d, %d, '%s')]); end`,
+			rng.Intn(12), genVal(rng), genVal(rng), pick(rng, "a", "b", "c")))
+	}
+	nOrds := rng.Intn(5)
+	for i := 0; i < nOrds; i++ {
+		out = append(out, fmt.Sprintf(`begin insert(ord, values[(%d, %d, %d)]); end`,
+			rng.Intn(12), genItemRef(rng), rng.Intn(6)))
+	}
+	return out
+}
+
+// genVal emits values clustered around the constraint threshold band
+// [-5, 5] with occasional outliers.
+func genVal(rng *rand.Rand) int {
+	switch rng.Intn(5) {
+	case 0:
+		return rng.Intn(200) - 100
+	default:
+		return rng.Intn(15) - 7
+	}
+}
+
+// genItemRef emits an item id: usually in the seeded range (often the
+// sentinel), sometimes certainly missing.
+func genItemRef(rng *rand.Rand) int {
+	switch rng.Intn(4) {
+	case 0:
+		return 1000
+	case 1:
+		return 5000 + rng.Intn(10) // missing
+	default:
+		return rng.Intn(12)
+	}
+}
+
+// genTxn builds one workload transaction of 1–3 statements.
+func genTxn(rng *rand.Rand) string {
+	n := 1 + rng.Intn(3)
+	var stmts []string
+	for i := 0; i < n; i++ {
+		stmts = append(stmts, genStmt(rng))
+	}
+	return "begin\n\t" + strings.Join(stmts, ";\n\t") + ";\nend"
+}
+
+func genStmt(rng *rand.Rand) string {
+	switch rng.Intn(10) {
+	case 0, 1:
+		return fmt.Sprintf(`insert(item, values[(%d, %d, %d, '%s')])`,
+			rng.Intn(14), genVal(rng), genVal(rng), pick(rng, "a", "b", "c"))
+	case 2:
+		return fmt.Sprintf(`insert(ord, values[(%d, %d, %d)])`,
+			rng.Intn(14), genItemRef(rng), rng.Intn(6))
+	case 3:
+		return fmt.Sprintf(`delete(item, select(item, %s))`, genPred(rng, "id", "qty"))
+	case 4:
+		return fmt.Sprintf(`delete(ord, select(ord, %s))`, genPred(rng, "id", "item"))
+	case 5, 6, 7:
+		return genUpdateItem(rng)
+	case 8:
+		return fmt.Sprintf(`update(ord, id = %d, [item = %d])`, rng.Intn(14), genItemRef(rng))
+	default:
+		return fmt.Sprintf(`update(ord, id = %d, [n = n + %d])`, rng.Intn(14), rng.Intn(4))
+	}
+}
+
+// genPred emits a where predicate over the given key and value columns.
+func genPred(rng *rand.Rand, keyCol, valCol string) string {
+	switch rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf(`%s = %d`, keyCol, rng.Intn(14))
+	case 1:
+		return fmt.Sprintf(`%s %s %d`, valCol, pick(rng, "<", ">", "<=", ">="), genVal(rng))
+	default:
+		return fmt.Sprintf(`%s = %d and %s > %d`, keyCol, rng.Intn(14), valCol, genVal(rng))
+	}
+}
+
+// genUpdateItem stresses the monotone-direction and constant-store branches
+// of the analyzer: steps in both directions, identity writes, constant
+// stores on and off the threshold, cross-column expressions, and category
+// rewrites that move rows across domain guards.
+func genUpdateItem(rng *rand.Rand) string {
+	where := genPred(rng, "id", "qty")
+	var set string
+	switch rng.Intn(8) {
+	case 0:
+		set = fmt.Sprintf(`qty = qty + %d`, rng.Intn(5))
+	case 1:
+		set = fmt.Sprintf(`qty = qty - %d`, rng.Intn(5))
+	case 2:
+		set = fmt.Sprintf(`qty = %d`, genVal(rng))
+	case 3:
+		set = `qty = qty`
+	case 4:
+		set = fmt.Sprintf(`price = price + %d`, rng.Intn(5)-2)
+	case 5:
+		set = `price = qty + 1`
+	case 6:
+		set = fmt.Sprintf(`cat = '%s'`, pick(rng, "a", "b", "c"))
+	default:
+		set = fmt.Sprintf(`qty = qty + %d, price = %d`, rng.Intn(5)-2, genVal(rng))
+	}
+	return fmt.Sprintf(`update(item, %s, [%s])`, where, set)
+}
+
+func pick[T any](rng *rand.Rand, xs ...T) T { return xs[rng.Intn(len(xs))] }

@@ -24,9 +24,13 @@ type Graph struct {
 
 // Build constructs the triggering graph of the catalog's integrity
 // programs: an edge J1 → J2 iff GetTrigPX(action(J1)) ∩ triggers(J2) ≠ ∅.
-// Aborting rules have no outgoing edges (their enforcement programs contain
-// only alarms); non-triggering actions contribute no edges either
-// (Definition 6.2).
+// Aborting rules without a repair have no outgoing edges (their enforcement
+// programs contain only alarms); a rule with a repair action raises the
+// repair program's triggers. The self-edge of a repairing rule is excluded:
+// the subsystem never re-selects a rule on its own repair statements (the
+// repair is a complete fix by construction, and the rule's own checks
+// already run after it), so that loop cannot occur at run time.
+// Non-triggering actions contribute no edges (Definition 6.2).
 func Build(programs []*rules.IntegrityProgram) *Graph {
 	g := &Graph{index: make(map[string]int, len(programs))}
 	for _, ip := range programs {
@@ -36,10 +40,16 @@ func Build(programs []*rules.IntegrityProgram) *Graph {
 	g.adj = make([][]int, len(g.names))
 	for i, from := range programs {
 		raised := trigger.FromProgramX(from.Full, from.NonTriggering)
+		if from.Repair != nil {
+			raised = raised.Union(trigger.FromProgram(from.Repair.Program))
+		}
 		if raised.IsEmpty() {
 			continue
 		}
 		for j, to := range programs {
+			if i == j && from.Repair != nil {
+				continue
+			}
 			if raised.Intersects(to.Triggers) {
 				g.adj[i] = append(g.adj[i], j)
 			}

@@ -86,13 +86,61 @@ func ParseRule(name, src string, db *schema.Database) (*rules.Rule, error) {
 // ParseConstraintRule builds the default aborting rule for a bare constraint
 // (Section 4: "if integrity control is to be performed in a default way,
 // the specification of integrity constraints is sufficient and rules can be
-// derived automatically").
+// derived automatically"). The constraint may carry an optional repair
+// clause after the formula:
+//
+//	forall x (x in stock implies x.qty >= 0) on violation clamp
+//	forall x (x in order implies exists y (y in customer and x.cust = y.id))
+//	    on violation cascade delete
+//
+// Repair kinds: "cascade delete", "default fill", "clamp". The enforcement
+// program then appends the compiled repair before the checks instead of
+// alarming outright.
 func ParseConstraintRule(name, condition string) (*rules.Rule, error) {
-	cond, err := ParseConstraint(condition)
+	p, err := newParser(condition)
 	if err != nil {
 		return nil, err
 	}
-	return &rules.Rule{Name: name, Condition: cond, Action: rules.AbortAction()}, nil
+	cond, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	repair := rules.RepairNone
+	if p.acceptKeyword("on") {
+		if err := p.expectKeyword("violation"); err != nil {
+			return nil, err
+		}
+		repair, err = p.parseRepairKind()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	return &rules.Rule{Name: name, Condition: cond, Action: rules.AbortAction(), Repair: repair}, nil
+}
+
+// parseRepairKind parses the strategy of an "on violation" clause.
+func (p *parser) parseRepairKind() (rules.RepairKind, error) {
+	switch {
+	case p.acceptKeyword("cascade"):
+		if err := p.expectKeyword("delete"); err != nil {
+			return rules.RepairNone, err
+		}
+		return rules.RepairCascadeDelete, nil
+	case p.acceptKeyword("default"):
+		if err := p.expectKeyword("fill"); err != nil {
+			return rules.RepairNone, err
+		}
+		return rules.RepairDefaultFill, nil
+	case p.acceptKeyword("clamp"):
+		return rules.RepairClamp, nil
+	case p.acceptKeyword("abort"):
+		return rules.RepairNone, nil
+	default:
+		return rules.RepairNone, p.errf("expected repair kind: cascade delete, default fill, clamp or abort")
+	}
 }
 
 func (p *parser) parseTrigger() (trigger.Trigger, error) {

@@ -35,33 +35,127 @@ import (
 //   - existential / aggregate / mixed: the witness structure is global;
 //     recheck in full.
 func Differential(parts []*translate.Part, db *schema.Database, constraint string) (algebra.Program, bool) {
+	plans, improved := CompileParts(parts, db, constraint)
 	var prog algebra.Program
-	improved := false
-	for _, p := range parts {
-		dp, ok := differentialPart(p, db, constraint)
-		if ok {
-			improved = true
-			prog = prog.Concat(dp)
-		} else {
-			prog = prog.Concat(algebra.CloneProgram(p.Program))
-		}
+	for _, pl := range plans {
+		prog = prog.Concat(pl.Differential())
 	}
 	return prog, improved
 }
 
-func differentialPart(p *translate.Part, db *schema.Database, constraint string) (algebra.Program, bool) {
+// PartPlan pairs one translated constraint part with its compiled check
+// programs: the full-state check (always present) and, for differentiable
+// classes, the two delta-based side checks. The static safety analyzer
+// (translate.AnalyzeSafety) selects among them per transaction shape; a
+// Need with only SideA set runs SideA alone, a safe verdict runs nothing.
+type PartPlan struct {
+	Part *translate.Part
+	// Full is a clone of the part's full-state check program.
+	Full algebra.Program
+	// SideA is the insert-side differential check (nil when the class has
+	// no differential form): new-R tuples for domain, the ins-R antijoin
+	// for referential, the ins-R semijoin for pair.
+	SideA algebra.Program
+	// SideB is the second differential check (nil for domain and for
+	// non-differentiable classes): the del-S re-match for referential, the
+	// ins-S semijoin for pair.
+	SideB algebra.Program
+}
+
+// Differentiable reports whether the plan carries delta-based side checks.
+func (pl *PartPlan) Differentiable() bool { return pl.SideA != nil }
+
+// Differential returns the plan's best unconditional program: both sides
+// for differentiable parts, the full check otherwise.
+func (pl *PartPlan) Differential() algebra.Program {
+	if !pl.Differentiable() {
+		return pl.Full
+	}
+	prog := pl.SideA
+	if pl.SideB != nil {
+		prog = prog.Concat(pl.SideB)
+	}
+	return prog
+}
+
+// ProgramFor assembles the check program a given safety verdict requires.
+// The second result is the number of compiled checks the verdict elided.
+func (pl *PartPlan) ProgramFor(need translate.Need) (algebra.Program, int) {
+	if need.Full || !pl.Differentiable() {
+		if need.Safe() {
+			return nil, len(pl.compiled())
+		}
+		return pl.Full, 0
+	}
+	var prog algebra.Program
+	elided := 0
+	if need.SideA {
+		prog = prog.Concat(pl.SideA)
+	} else {
+		elided++
+	}
+	if pl.SideB != nil {
+		if need.SideB {
+			prog = prog.Concat(pl.SideB)
+		} else {
+			elided++
+		}
+	} else if need.SideB {
+		// A SideB requirement against a plan with no SideB (domain class)
+		// cannot happen via AnalyzeSafety; fall back to the full check.
+		return pl.Full, 0
+	}
+	return prog, elided
+}
+
+// compiled lists the plan's distinct check programs.
+func (pl *PartPlan) compiled() []algebra.Program {
+	if !pl.Differentiable() {
+		return []algebra.Program{pl.Full}
+	}
+	out := []algebra.Program{pl.SideA}
+	if pl.SideB != nil {
+		out = append(out, pl.SideB)
+	}
+	return out
+}
+
+// CompileParts builds a PartPlan per translated part. The bool mirrors
+// Differential's: whether any part gained a differential form.
+func CompileParts(parts []*translate.Part, db *schema.Database, constraint string) ([]*PartPlan, bool) {
+	plans := make([]*PartPlan, 0, len(parts))
+	improved := false
+	for _, p := range parts {
+		pl := &PartPlan{Part: p, Full: algebra.CloneProgram(p.Program)}
+		if a, b, ok := differentialPart(p, db, constraint); ok {
+			pl.SideA, pl.SideB = a, b
+			improved = true
+		}
+		plans = append(plans, pl)
+	}
+	return plans, improved
+}
+
+// differentialPart compiles the delta-based side checks for one part:
+// (sideA, sideB, true) for differentiable classes (sideB nil for domain),
+// or (nil, nil, false).
+func differentialPart(p *translate.Part, db *schema.Database, constraint string) (algebra.Program, algebra.Program, bool) {
 	switch p.Class {
 	case translate.ClassDomain:
 		if p.Rel.Aux != algebra.AuxCur || p.HasAggs {
-			return nil, false
+			return nil, nil, false
 		}
 		expr := guarded(algebra.NewAuxRel(p.Rel.Name, algebra.AuxIns), p.Guard)
 		expr = algebra.NewSelect(expr, &algebra.Not{X: algebra.CloneScalar(p.Cond)})
-		return alarmProgram(expr, db, constraint)
+		prog, ok := alarmProgram(expr, db, constraint)
+		if !ok {
+			return nil, nil, false
+		}
+		return prog, nil, true
 
 	case translate.ClassReferential:
 		if p.Rel.Aux != algebra.AuxCur || p.Other.Aux != algebra.AuxCur {
-			return nil, false
+			return nil, nil, false
 		}
 		// New left tuples must find a match in the current right state.
 		left1 := guarded(algebra.NewAuxRel(p.Rel.Name, algebra.AuxIns), p.Guard)
@@ -81,17 +175,17 @@ func differentialPart(p *translate.Part, db *schema.Database, constraint string)
 
 		prog1, ok := alarmProgram(check1, db, constraint)
 		if !ok {
-			return nil, false
+			return nil, nil, false
 		}
 		prog2, ok := alarmProgram(check2, db, constraint)
 		if !ok {
-			return nil, false
+			return nil, nil, false
 		}
-		return prog1.Concat(prog2), true
+		return prog1, prog2, true
 
 	case translate.ClassPair:
 		if p.Rel.Aux != algebra.AuxCur || p.Other.Aux != algebra.AuxCur {
-			return nil, false
+			return nil, nil, false
 		}
 		// Violating pairs involving a new left tuple.
 		check1 := algebra.NewSemiJoin(
@@ -107,16 +201,16 @@ func differentialPart(p *translate.Part, db *schema.Database, constraint string)
 		)
 		prog1, ok := alarmProgram(check1, db, constraint)
 		if !ok {
-			return nil, false
+			return nil, nil, false
 		}
 		prog2, ok := alarmProgram(check2, db, constraint)
 		if !ok {
-			return nil, false
+			return nil, nil, false
 		}
-		return prog1.Concat(prog2), true
+		return prog1, prog2, true
 
 	default:
-		return nil, false
+		return nil, nil, false
 	}
 }
 

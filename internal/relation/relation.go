@@ -44,6 +44,17 @@ import (
 // Tuple is an ordered list of values conforming to a relation schema.
 type Tuple []value.Value
 
+// Footprint reports the measured resident size of the tuple's backing
+// array and string payloads in bytes (the slice header itself is counted
+// by whatever structure holds the tuple).
+func (t Tuple) Footprint() int64 {
+	var size int64
+	for _, v := range t {
+		size += v.Footprint()
+	}
+	return size
+}
+
 // Key returns the canonical byte-string identity of the tuple; two tuples
 // have equal keys iff they are equal as set elements.
 func (t Tuple) Key() string {

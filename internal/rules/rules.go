@@ -42,6 +42,12 @@ type Rule struct {
 	Triggers  trigger.Set
 	Condition calculus.WFF
 	Action    Action
+	// Repair selects a declarative repair strategy for an aborting rule:
+	// instead of alarming immediately, the enforcement program first appends
+	// the compiled repair statements, then the checks, so the transaction is
+	// modified into one that satisfies the constraint (and still aborts when
+	// the repair is insufficient).
+	Repair RepairKind
 
 	info *calculus.Info
 }
@@ -76,6 +82,14 @@ type IntegrityProgram struct {
 	// would exploit (translate.IndexHints); the facade builds them when
 	// automatic indexing is enabled.
 	IndexHints []translate.IndexHint
+	// Plans holds the per-part compiled check programs (full + differential
+	// sides) together with the translated parts, so the transaction
+	// modification subsystem can run the static safety analyzer per part and
+	// assemble only the checks a transaction shape requires. Nil for
+	// compensating rules and externally added programs (they are opaque).
+	Plans []*optimize.PartPlan
+	// Repair is the compiled repair action, nil for abort-only rules.
+	Repair *Repair
 }
 
 // Program returns the enforcement program for the requested strategy,
@@ -128,10 +142,26 @@ func Compile(r *Rule, db *schema.Database) (*IntegrityProgram, error) {
 			ip.Classes = append(ip.Classes, p.Class)
 		}
 		ip.IndexHints = translate.IndexHints(res.Parts, db)
-		if diff, improved := optimize.Differential(res.Parts, db, r.Name); improved {
+		plans, improved := optimize.CompileParts(res.Parts, db, r.Name)
+		ip.Plans = plans
+		if improved {
+			var diff algebra.Program
+			for _, pl := range plans {
+				diff = diff.Concat(pl.Differential())
+			}
 			ip.Differential = diff
 		}
+		if r.Repair != RepairNone {
+			rep, err := compileRepair(r.Repair, r.Name, res.Parts, db)
+			if err != nil {
+				return nil, err
+			}
+			ip.Repair = rep
+		}
 		return ip, nil
+	}
+	if r.Repair != RepairNone {
+		return nil, fmt.Errorf("rules: rule %s: repair clauses apply to aborting rules only", r.Name)
 	}
 
 	// TransR for a compensating rule: in the practical case the paper

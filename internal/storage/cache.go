@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+	"unsafe"
 
 	"repro/internal/obs"
 	"repro/internal/pmap"
@@ -245,14 +246,16 @@ func (p *pager) fault(a pmap.Addr) (*pmap.Node[relation.Tuple], int64, error) {
 	if _, err := f.ReadAt(body, off+int64(k)); err != nil {
 		return nil, 0, fmt.Errorf("storage: fault node %x: %w", uint64(a), err)
 	}
-	node, nslots, err := decodeNodeBlock(a, body)
+	node, _, err := decodeNodeBlock(a, body)
 	if err != nil {
 		return nil, 0, err
 	}
-	// Rough resident-size estimate: entry headers, decoded values and the
-	// node itself. It only needs to be proportional, not exact — the budget
-	// is a pressure knob, not an accounting ledger.
-	size := int64(96) + 4*int64(bodyLen) + 56*int64(nslots)
+	// Measured resident size: the decoded node structures (pmap.Footprint
+	// walks the slots, charging stub children, key strings and tuple
+	// payloads at their unsafe.Sizeof-derived cost) plus this cache's own
+	// per-entry bookkeeping. TestNodeFootprintAccuracy pins the measurement
+	// against retained-heap ground truth.
+	size := node.Footprint(relation.Tuple.Footprint) + int64(unsafe.Sizeof(pageEntry{}))
 	return node, size, nil
 }
 

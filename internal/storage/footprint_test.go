@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/pmap"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// buildFootprintNode constructs one decoded node shaped like the cache's
+// real population: a mix of key/tuple entries and stub children. All
+// strings are freshly allocated so the node shares no memory with anything
+// outside itself.
+func buildFootprintNode(i int) *pmap.Node[relation.Tuple] {
+	nslots := 3 + i%9
+	slots := make([]pmap.SlotData[relation.Tuple], nslots)
+	for j := range slots {
+		if (i+j)%4 == 0 {
+			slots[j] = pmap.SlotData[relation.Tuple]{Child: pmap.Addr(1<<41 | uint64(i*64+j+1))}
+			continue
+		}
+		tup := relation.Tuple{
+			value.Int(int64(i*1000 + j)),
+			value.String(fmt.Sprintf("name-%d-%d", i, j)),
+			value.Float(float64(i) * 1.5),
+			value.String(fmt.Sprintf("category-with-some-length-%d", (i+j)%17)),
+		}
+		slots[j] = pmap.SlotData[relation.Tuple]{Key: tup.Key(), Val: tup}
+	}
+	bitmap := uint64(1)<<nslots - 1
+	n, err := pmap.NewNode(pmap.Addr(1<<40|uint64(i+1)), bitmap, false, slots)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// TestNodeFootprintAccuracy pins the measured node footprint — what the
+// pager charges its byte budget per cached node — against ground truth:
+// the retained heap growth from actually holding those nodes. The two must
+// agree within 10%, so the cache's occupancy gauge and eviction pressure
+// reflect real memory, not a guess.
+func TestNodeFootprintAccuracy(t *testing.T) {
+	const n = 4000
+	nodes := make([]*pmap.Node[relation.Tuple], n)
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := range nodes {
+		nodes[i] = buildFootprintNode(i)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	actual := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+
+	var estimated int64
+	for _, nd := range nodes {
+		estimated += nd.Footprint(relation.Tuple.Footprint)
+	}
+	runtime.KeepAlive(nodes)
+
+	if actual <= 0 {
+		t.Fatalf("retained heap measurement failed: delta %d", actual)
+	}
+	ratio := float64(estimated) / float64(actual)
+	t.Logf("estimated %d bytes, retained heap %d bytes, ratio %.3f", estimated, actual, ratio)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("measured footprint off by more than 10%%: estimated %d, retained heap %d (ratio %.3f)",
+			estimated, actual, ratio)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"unsafe"
 )
 
 // Kind enumerates the dynamic type of a Value.
@@ -218,17 +219,40 @@ func Arith(op ArithOp, a, b Value) (Value, error) {
 		return Null(), fmt.Errorf("value: arithmetic %s on %s and %s", op, a.kind, b.kind)
 	}
 	if a.kind == KindInt && b.kind == KindInt {
+		// Integer arithmetic is exact or an error — never a silent wrap.
+		// The static safety analyzer's monotone-direction proofs (an update
+		// moving a value away from a threshold cannot violate it) rely on a
+		// committed x+k really being ≥ x for k ≥ 0; a wrapping add would
+		// break that, so overflow aborts the statement instead.
 		x, y := a.i, b.i
 		switch op {
 		case OpAdd:
-			return Int(x + y), nil
+			r := x + y
+			if (y > 0 && r < x) || (y < 0 && r > x) {
+				return Null(), fmt.Errorf("value: integer overflow in %d + %d", x, y)
+			}
+			return Int(r), nil
 		case OpSub:
-			return Int(x - y), nil
+			r := x - y
+			if (y > 0 && r > x) || (y < 0 && r < x) {
+				return Null(), fmt.Errorf("value: integer overflow in %d - %d", x, y)
+			}
+			return Int(r), nil
 		case OpMul:
-			return Int(x * y), nil
+			if x != 0 && y != 0 {
+				r := x * y
+				if r/y != x || (x == math.MinInt64 && y == -1) {
+					return Null(), fmt.Errorf("value: integer overflow in %d * %d", x, y)
+				}
+				return Int(r), nil
+			}
+			return Int(0), nil
 		case OpDiv:
 			if y == 0 {
 				return Null(), fmt.Errorf("value: division by zero")
+			}
+			if x == math.MinInt64 && y == -1 {
+				return Null(), fmt.Errorf("value: integer overflow in %d / %d", x, y)
 			}
 			if x%y == 0 {
 				return Int(x / y), nil
@@ -251,6 +275,12 @@ func Arith(op ArithOp, a, b Value) (Value, error) {
 		return Float(x / y), nil
 	}
 	return Null(), fmt.Errorf("value: unknown arithmetic operator %v", op)
+}
+
+// Footprint reports the measured resident size of the value in bytes: the
+// struct itself plus the string payload it references.
+func (v Value) Footprint() int64 {
+	return int64(unsafe.Sizeof(v)) + int64(len(v.s))
 }
 
 // AppendKey appends a canonical binary encoding of v to dst. Two values have

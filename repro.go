@@ -90,6 +90,14 @@ type Options struct {
 	// by the rule optimizer (checks read ins(R)/del(R) instead of full
 	// relations where sound).
 	UseDifferential bool
+	// DisableCheckPruning turns off the static safety analyzer that elides
+	// enforcement checks a transaction's statement shapes provably cannot
+	// make fire (relation-footprint disjointness and monotone-direction
+	// analysis; see docs/ARCHITECTURE.md). Pruning is on by default and
+	// only active together with UseDifferential — it selects among the
+	// differential side checks and shares their base-consistency
+	// assumption. Exists for ablations and the differential test harness.
+	DisableCheckPruning bool
 	// DynamicTranslation re-translates rules at every modification
 	// (Algorithm 5.1 verbatim) instead of using precompiled integrity
 	// programs (Algorithm 6.2). Slower; exists for the ablation.
@@ -280,6 +288,9 @@ type DB struct {
 	sub   *core.Subsystem
 	opts  Options
 
+	elidedTotal   *obs.Counter
+	repairedTotal *obs.Counter
+
 	viewNames map[string]bool
 }
 
@@ -360,6 +371,8 @@ func OpenChecked(opts *Options) (*DB, error) {
 		opts:  o,
 	}
 	db.sub = core.New(cat, db.coreOptions())
+	db.elidedTotal = store.Registry().Counter("repro_txn_checks_elided_total")
+	db.repairedTotal = store.Registry().Counter("repro_txn_checks_repaired_total")
 	if o.Dir != "" {
 		// Recovered relations never pass through CreateRelation again, so
 		// their Options.Indexes declarations apply here (declarations naming
@@ -429,6 +442,7 @@ func (db *DB) coreOptions() core.Options {
 		UseDifferential: db.opts.UseDifferential,
 		Dynamic:         db.opts.DynamicTranslation,
 		MaxDepth:        db.opts.MaxModificationDepth,
+		Prune:           !db.opts.DisableCheckPruning,
 	}
 }
 
@@ -798,6 +812,13 @@ type ModReport struct {
 	FinalStmts     int
 	RulesTriggered map[string]int
 	ModifiedText   string
+	// ChecksElided counts compiled check programs the static safety
+	// analyzer proved this transaction shape cannot make fire; each one ran
+	// neither reads nor probes.
+	ChecksElided int
+	// ChecksRepaired counts repair programs appended in place of plain
+	// alarm checks (constraints declared with an "on violation" clause).
+	ChecksRepaired int
 }
 
 // Result reports the outcome of a submitted transaction.
@@ -812,6 +833,12 @@ type Result struct {
 	RangeProbes int    // ordered-index range probes among Probes, each recording an interval read
 	Retries     int    // conflict-induced re-executions before the outcome
 	CommitTime  uint64 // logical time of the installed state; 0 if aborted
+	// ChecksElided counts enforcement checks the static safety analyzer
+	// proved unnecessary for this transaction (also in Report).
+	ChecksElided int
+	// ChecksRepaired counts repair programs appended to this transaction
+	// by constraints with an "on violation" clause (also in Report).
+	ChecksRepaired int
 }
 
 // Submit parses "begin ... end" transaction text, modifies it under the
@@ -919,6 +946,12 @@ func (db *DB) submit(t *txn.Transaction, withIntegrity bool) (*Result, error) {
 		}
 		t = modified
 		report = rep
+		if rep.ChecksElided > 0 {
+			db.elidedTotal.Add(uint64(rep.ChecksElided))
+		}
+		if rep.ChecksRepaired > 0 {
+			db.repairedTotal.Add(uint64(rep.ChecksRepaired))
+		}
 	}
 	retries := txn.DefaultMaxRetries
 	if db.opts.MaxCommitRetries > 0 {
@@ -953,11 +986,15 @@ func (db *DB) toResult(res *txn.Result, report *core.Report) *Result {
 		}
 	}
 	if report != nil {
+		out.ChecksElided = report.ChecksElided
+		out.ChecksRepaired = report.ChecksRepaired
 		out.Report = &ModReport{
 			Depth:          report.Depth,
 			OriginalStmts:  report.OriginalStmts,
 			FinalStmts:     report.FinalStmts,
 			RulesTriggered: report.RulesTriggered,
+			ChecksElided:   report.ChecksElided,
+			ChecksRepaired: report.ChecksRepaired,
 		}
 	}
 	return out
@@ -978,6 +1015,8 @@ func (db *DB) Explain(src string) (string, *ModReport, error) {
 		OriginalStmts:  rep.OriginalStmts,
 		FinalStmts:     rep.FinalStmts,
 		RulesTriggered: rep.RulesTriggered,
+		ChecksElided:   rep.ChecksElided,
+		ChecksRepaired: rep.ChecksRepaired,
 	}, nil
 }
 
